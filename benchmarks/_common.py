@@ -1,0 +1,63 @@
+"""Shared configuration for the evaluation benchmarks (Sec. VI).
+
+Every benchmark regenerates one table or figure of the paper: it computes
+the same rows/series, prints them, writes them under ``results/``, and
+asserts the headline *shape* claims (who wins, monotonicity, approximate
+factors). Absolute values differ from the paper's testbed — see
+EXPERIMENTS.md for the side-by-side record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.codes import make_code
+from repro.codes.base import ArrayCode
+
+#: Array sizes of Tables IV-V (all chosen so n-1 is prime, for HDD1).
+EVAL_SIZES = (6, 8, 12, 14, 18, 20, 24)
+
+#: Smaller size set for the expensive simulation benchmarks (Fig. 13 uses
+#: exactly these in the paper).
+SIM_SIZES = (8, 12, 14)
+
+#: Display order matching the paper's legends.
+FAMILIES = ("tip", "triple-star", "star", "cauchy-rs", "hdd1")
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def code_for(family: str, n: int) -> ArrayCode:
+    """Instantiate the code the paper's evaluation would use at size n."""
+    return make_code(family, n)
+
+
+def write_result(name: str, lines: list[str]) -> Path:
+    """Persist one experiment's regenerated rows under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def format_table(header: list[str], rows: list[list[str]]) -> list[str]:
+    """Fixed-width table rendering for results files and stdout."""
+    widths = [
+        max(len(str(cell)) for cell in column)
+        for column in zip(header, *rows)
+    ]
+    def fmt(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Print and persist an experiment's output."""
+    banner = f"=== {name} ==="
+    print()
+    print(banner)
+    for line in lines:
+        print(line)
+    write_result(name, [banner, *lines])

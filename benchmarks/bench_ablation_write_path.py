@@ -1,0 +1,70 @@
+"""Ablation: read-modify-write vs. reconstruct-write vs. auto selection.
+
+The paper's response-time evaluation models RMW throughout; this ablation
+quantifies what the classic large-write optimization would add on top of
+TIP, and confirms the auto strategy never issues more element I/Os.
+"""
+
+from _common import code_for, emit, format_table
+
+from repro.disksim import RaidController, simulate_trace, ArraySimulator
+from repro.traces import TraceRequest, generate_trace
+
+CHUNK = 8 * 1024
+STRATEGIES = ("rmw", "rcw", "auto")
+
+
+def io_counts_by_run_length(n: int = 12):
+    """Element I/Os per strategy as the written run grows."""
+    code = code_for("tip", n)
+    controllers = {
+        s: RaidController(code, CHUNK, write_strategy=s) for s in STRATEGIES
+    }
+    table = {}
+    for chunks in (1, 2, 4, 8, 16, code.num_data - 1):
+        request = TraceRequest(0.0, 0, chunks * CHUNK, True)
+        table[chunks] = {
+            s: controllers[s].plan(request).total_ios for s in STRATEGIES
+        }
+    return table
+
+
+def response_times(n: int = 12):
+    trace = generate_trace("usr_0", requests=900, seed=13).stretched(4.0)
+    code = code_for("tip", n)
+    return {
+        s: ArraySimulator(code, CHUNK, write_strategy=s, seed=2)
+        .run(trace)
+        .mean_response_ms
+        for s in STRATEGIES
+    }
+
+
+def test_ablation_write_path_io_counts(benchmark):
+    table = benchmark.pedantic(io_counts_by_run_length, rounds=1, iterations=1)
+    rows = [
+        [str(chunks)] + [str(table[chunks][s]) for s in STRATEGIES]
+        for chunks in table
+    ]
+    emit(
+        "ablation_write_path_ios",
+        format_table(["run (chunks)"] + list(STRATEGIES), rows),
+    )
+    for chunks, counts in table.items():
+        assert counts["auto"] == min(counts.values()), chunks
+    # Small writes: RMW wins; near-full-stripe: RCW wins.
+    first = min(table)
+    last = max(table)
+    assert table[first]["rmw"] <= table[first]["rcw"]
+    assert table[last]["rcw"] < table[last]["rmw"]
+
+
+def test_ablation_write_path_response_time(benchmark):
+    times = benchmark.pedantic(response_times, rounds=1, iterations=1)
+    rows = [[s, f"{times[s]:.2f}"] for s in STRATEGIES]
+    emit(
+        "ablation_write_path_latency",
+        format_table(["strategy", "mean response ms"], rows),
+    )
+    # Auto must not be slower than always-RMW beyond noise.
+    assert times["auto"] <= times["rmw"] * 1.05

@@ -1,0 +1,48 @@
+"""Extension: degraded-mode response time as failures accumulate.
+
+The paper evaluates healthy arrays; a 3DFT's operational value shows when
+disks are actually down. This benchmark replays a read-heavy workload on
+a TIP array with 0-3 failed disks and reports the latency amplification
+of on-the-fly reconstruction, plus the per-request element-read blow-up.
+"""
+
+from _common import code_for, emit, format_table
+
+from repro.disksim import ArraySimulator
+from repro.traces import generate_trace
+
+N = 8
+CHUNK = 8 * 1024
+
+
+def compute():
+    trace = generate_trace("financial_2", requests=800, seed=21).stretched(3.0)
+    out = {}
+    for failures in range(4):
+        failed = tuple(range(failures))
+        sim = ArraySimulator(code_for("tip", N), CHUNK, seed=4, failed=failed)
+        result = sim.run(trace)
+        out[failures] = (result.mean_response_ms, result.total_element_ios)
+    return out
+
+
+def test_degraded_mode_latency(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    healthy_ms, healthy_ios = results[0]
+    rows = [
+        [str(k), f"{ms:.2f}", f"{ms / healthy_ms:.2f}x", str(ios)]
+        for k, (ms, ios) in results.items()
+    ]
+    emit(
+        "degraded_mode_latency",
+        format_table(
+            ["failed disks", "mean resp ms", "vs healthy", "element I/Os"],
+            rows,
+        ),
+    )
+    # Element I/Os grow monotonically with failures (reconstruction reads).
+    ios = [results[k][1] for k in sorted(results)]
+    assert all(b >= a for a, b in zip(ios, ios[1:]))
+    # Triple-degraded reads cost measurably more than healthy ones.
+    assert results[3][0] > results[0][0]
+    assert results[3][1] > results[0][1] * 1.5

@@ -1,0 +1,42 @@
+"""Fig. 10: single write complexity under a uniform workload.
+
+Regenerates the paper's series — average number of modified elements per
+single-element write for each code at n = 6..24 — and asserts the
+figure's shape: TIP is flat at the optimum of 4, every baseline is above
+it, HDD1 is the worst, and the baselines grow with n.
+"""
+
+from _common import EVAL_SIZES, FAMILIES, code_for, emit, format_table
+
+from repro.analysis import single_write_cost
+
+
+def compute_series() -> dict[str, dict[int, float]]:
+    return {
+        family: {n: single_write_cost(code_for(family, n)) for n in EVAL_SIZES}
+        for family in FAMILIES
+    }
+
+
+def test_fig10_single_write_complexity(benchmark):
+    series = benchmark(compute_series)
+
+    rows = [
+        [family] + [f"{series[family][n]:.3f}" for n in EVAL_SIZES]
+        for family in FAMILIES
+    ]
+    emit(
+        "fig10_single_write",
+        format_table(["code"] + [f"n={n}" for n in EVAL_SIZES], rows),
+    )
+
+    tip = series["tip"]
+    assert all(value == 4.0 for value in tip.values()), "TIP must be optimal"
+    for family in FAMILIES[1:]:
+        for n in EVAL_SIZES:
+            assert series[family][n] > 4.0, (family, n)
+        # Baselines trend upward across the size range.
+        assert series[family][24] > series[family][6], family
+    for n in EVAL_SIZES:
+        worst = max(series[family][n] for family in FAMILIES)
+        assert series["hdd1"][n] == worst, n

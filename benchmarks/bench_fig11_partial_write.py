@@ -1,0 +1,60 @@
+"""Fig. 11: partial stripe write complexity for l = 2..5 consecutive
+elements under a uniform workload.
+
+Shape claims: TIP beats the chained/adjuster baselines (Triple-Star,
+HDD1) at every l and size; for large l, Cauchy-RS's small word size makes
+it competitive with TIP (the paper's own caveat for l = 5).
+"""
+
+from _common import EVAL_SIZES, FAMILIES, code_for, emit, format_table
+
+from repro.analysis import partial_write_cost
+
+LENGTHS = (2, 3, 4, 5)
+
+
+def compute_series() -> dict[int, dict[str, dict[int, float]]]:
+    return {
+        length: {
+            family: {
+                n: partial_write_cost(code_for(family, n), length)
+                for n in EVAL_SIZES
+            }
+            for family in FAMILIES
+        }
+        for length in LENGTHS
+    }
+
+
+def test_fig11_partial_stripe_write_complexity(benchmark):
+    series = benchmark.pedantic(compute_series, rounds=1, iterations=1)
+
+    lines: list[str] = []
+    for length in LENGTHS:
+        lines.append(f"l = {length}")
+        rows = [
+            [family]
+            + [f"{series[length][family][n]:.3f}" for n in EVAL_SIZES]
+            for family in FAMILIES
+        ]
+        lines.extend(
+            format_table(["code"] + [f"n={n}" for n in EVAL_SIZES], rows)
+        )
+        lines.append("")
+    emit("fig11_partial_stripe_write", lines)
+
+    for length in LENGTHS:
+        for n in EVAL_SIZES:
+            tip = series[length]["tip"][n]
+            assert tip < series[length]["triple-star"][n], (length, n)
+            assert tip < series[length]["hdd1"][n], (length, n)
+            # STAR's S-diagonals hurt it at moderate n (word sizes match).
+            if n >= 12:
+                assert tip < series[length]["star"][n], (length, n)
+    # The paper's l=5 caveat: Cauchy-RS is within ~10% of TIP (or better)
+    # on average across sizes, thanks to its much smaller word size.
+    tip_avg = sum(series[5]["tip"][n] for n in EVAL_SIZES) / len(EVAL_SIZES)
+    crs_avg = sum(series[5]["cauchy-rs"][n] for n in EVAL_SIZES) / len(
+        EVAL_SIZES
+    )
+    assert crs_avg < tip_avg * 1.35

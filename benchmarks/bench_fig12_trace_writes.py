@@ -1,0 +1,61 @@
+"""Fig. 12: average number of I/Os per write request on the four MSR
+Cambridge-like workloads (chunk size 8 KB).
+
+Workloads are the synthetic Table III substitutes (see DESIGN.md). Shape
+claims: TIP has the fewest modified elements per write request at the
+moderate-to-large sizes, and its relative gain grows with array size —
+the paper's "with a larger array size, TIP-code achieves higher
+performance gain".
+"""
+
+from _common import FAMILIES, code_for, emit, format_table
+
+from repro.analysis import synthetic_write_cost
+from repro.traces import generate_trace
+
+WORKLOADS = ("prxy_0", "src2_0", "stg_0", "usr_0")
+SIZES = (6, 8, 12, 14, 18, 20, 24)
+REQUESTS = 4000
+CHUNK = 8 * 1024
+
+
+def compute_series() -> dict[str, dict[str, dict[int, float]]]:
+    out: dict[str, dict[str, dict[int, float]]] = {}
+    for workload in WORKLOADS:
+        trace = generate_trace(workload, requests=REQUESTS, seed=2015)
+        out[workload] = {
+            family: {
+                n: synthetic_write_cost(code_for(family, n), trace, CHUNK)
+                for n in SIZES
+            }
+            for family in FAMILIES
+        }
+    return out
+
+
+def test_fig12_synthetic_write_complexity(benchmark):
+    series = benchmark.pedantic(compute_series, rounds=1, iterations=1)
+
+    lines: list[str] = []
+    for workload in WORKLOADS:
+        lines.append(f"workload {workload}")
+        rows = [
+            [family]
+            + [f"{series[workload][family][n]:.2f}" for n in SIZES]
+            for family in FAMILIES
+        ]
+        lines.extend(format_table(["code"] + [f"n={n}" for n in SIZES], rows))
+        lines.append("")
+    emit("fig12_trace_write_cost", lines)
+
+    for workload in WORKLOADS:
+        data = series[workload]
+        for n in SIZES:
+            if n >= 8:
+                tip = data["tip"][n]
+                for family in FAMILIES[1:]:
+                    assert tip < data[family][n], (workload, family, n)
+        # The gain over the worst code grows with array size.
+        gain_small = data["hdd1"][6] / data["tip"][6]
+        gain_large = data["hdd1"][24] / data["tip"][24]
+        assert gain_large > gain_small, workload

@@ -1,0 +1,60 @@
+"""Fig. 14: encoding performance — (a) speed in GiB/s on random memory,
+(b) encoding complexity in XORs per data element.
+
+The paper encodes 256 MB with 4 KB packets on one core; here the region
+is scaled to 32 MB (pure-Python + numpy, same memory-bound regime). Shape
+claims: TIP has the lowest XOR count per element (it attains the
+3 - 3/(p-2) bound) and the best or near-best throughput.
+"""
+
+import pytest
+from _common import FAMILIES, code_for, emit, format_table
+
+from repro.analysis.xor_cost import encoding_xor_per_element
+from repro.codec import measure_encode_throughput
+
+N = 12            # the mid-range size of the paper's speed experiments
+DATA_BYTES = 32 << 20
+PACKET = 4096
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_fig14a_encoding_speed(benchmark, family):
+    code = code_for(family, N)
+
+    def encode_once():
+        return measure_encode_throughput(
+            code, data_bytes=DATA_BYTES, packet_size=PACKET, seed=1
+        )
+
+    result = benchmark.pedantic(encode_once, rounds=3, iterations=1)
+    emit(
+        f"fig14a_encoding_speed_{family}",
+        [
+            f"code={code.name} n={N}",
+            f"throughput_gib_s={result.gib_per_second:.3f}",
+            f"xors_per_element={result.xors_per_element:.3f}",
+        ],
+    )
+    assert result.gib_per_second > 0
+
+
+def test_fig14b_encoding_complexity(benchmark):
+    def compute():
+        return {
+            family: encoding_xor_per_element(code_for(family, N))
+            for family in FAMILIES
+        }
+
+    complexity = benchmark(compute)
+    rows = [[family, f"{complexity[family]:.3f}"] for family in FAMILIES]
+    emit(
+        "fig14b_encoding_complexity",
+        format_table(["code", "XORs/element"], rows),
+    )
+    # TIP attains the XOR lower bound; everyone else is strictly above.
+    tip = complexity["tip"]
+    for family in FAMILIES[1:]:
+        assert complexity[family] > tip, family
+    # Headline factor: the worst baseline costs >= 1.5x TIP's XORs.
+    assert max(complexity.values()) / tip > 1.5

@@ -1,0 +1,56 @@
+"""Table III: statistics of the evaluation traces.
+
+Regenerates the summary table from the synthetic trace generators and
+asserts each workload's measured IOPS / write fraction / average request
+length land on the published values (the generators are calibrated, so
+this is a verification that the substitution holds).
+"""
+
+import pytest
+from _common import emit, format_table
+
+from repro.traces import TABLE3_WORKLOADS, generate_trace
+
+REQUESTS = 6000
+
+
+def compute_stats():
+    return {
+        name: generate_trace(name, requests=REQUESTS, seed=2015).stats()
+        for name in sorted(TABLE3_WORKLOADS)
+    }
+
+
+def test_table3_trace_statistics(benchmark):
+    stats = benchmark.pedantic(compute_stats, rounds=1, iterations=1)
+
+    rows = []
+    for name in sorted(TABLE3_WORKLOADS):
+        spec = TABLE3_WORKLOADS[name]
+        measured = stats[name]
+        rows.append(
+            [
+                name,
+                f"{measured.iops:.2f}",
+                f"{100 * measured.write_fraction:.2f}%",
+                f"{measured.avg_request_kb:.2f}",
+                f"(paper: {spec.iops:.2f} / {100 * spec.write_fraction:.2f}% "
+                f"/ {spec.avg_request_kb:.2f})",
+            ]
+        )
+    emit(
+        "table3_trace_stats",
+        format_table(
+            ["trace", "IOPS", "write%", "avg req KB", "published"], rows
+        ),
+    )
+
+    for name, spec in TABLE3_WORKLOADS.items():
+        measured = stats[name]
+        assert measured.iops == pytest.approx(spec.iops, rel=0.06), name
+        assert measured.write_fraction == pytest.approx(
+            spec.write_fraction, abs=0.025
+        ), name
+        assert measured.avg_request_kb == pytest.approx(
+            spec.avg_request_kb, rel=0.12
+        ), name

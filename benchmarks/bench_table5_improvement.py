@@ -1,0 +1,50 @@
+"""Table V: improvement of TIP over other codes on partial stripe write
+complexity at l = 2.
+
+The paper reports 13.95-23.24% over Triple-Star and 32.11-43.18% over
+HDD1, growing with n. Those two columns reproduce here (same stripe
+geometry); the STAR/Cauchy columns depend on the baselines' much smaller
+word sizes at small n and are reported for the record.
+"""
+
+from _common import EVAL_SIZES, code_for, emit, format_table
+
+from repro.analysis import improvement, partial_write_cost
+
+BASELINES = ("triple-star", "star", "cauchy-rs", "hdd1")
+
+
+def compute_table() -> dict[str, dict[int, float]]:
+    tip = {n: partial_write_cost(code_for("tip", n), 2) for n in EVAL_SIZES}
+    return {
+        family: {
+            n: improvement(
+                partial_write_cost(code_for(family, n), 2), tip[n]
+            )
+            for n in EVAL_SIZES
+        }
+        for family in BASELINES
+    }
+
+
+def test_table5_partial_write_improvement(benchmark):
+    table = benchmark.pedantic(compute_table, rounds=1, iterations=1)
+
+    rows = [
+        [family] + [f"{table[family][n]:.2f}%" for n in EVAL_SIZES]
+        for family in BASELINES
+    ]
+    emit(
+        "table5_partial_write_improvement",
+        format_table(["vs code"] + [f"n={n}" for n in EVAL_SIZES], rows),
+    )
+
+    # Triple-Star and HDD1 columns: positive, growing, right magnitude.
+    for family in ("triple-star", "hdd1"):
+        values = [table[family][n] for n in EVAL_SIZES]
+        assert all(v > 0 for v in values), family
+        assert values[-1] > values[0], family
+    assert 8.0 < table["triple-star"][6] < 20.0
+    assert 15.0 < table["triple-star"][24] < 30.0
+    assert 25.0 < table["hdd1"][6] < 45.0
+    assert 35.0 < table["hdd1"][24] < 55.0

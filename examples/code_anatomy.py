@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Visualize the layouts and parity chains of the compared codes.
+
+Renders each code's element grid the way the paper's Figs. 1-3 do —
+data cells, parity cells per family — and prints one worked parity chain
+per code, plus the update-penalty footprint of a sample write.
+
+Run:  python examples/code_anatomy.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import make_code
+from repro.codes.base import Cell
+
+FAMILIES = ("tip", "star", "triple-star", "hdd1", "cauchy-rs")
+
+
+def render_grid(code) -> list[str]:
+    """ASCII layout: '.' data, 'P' parity, '-' structural empty."""
+    symbol = {Cell.DATA: ".", Cell.PARITY: "P", Cell.EMPTY: "-"}
+    header = "    " + " ".join(f"{c:>2d}" for c in range(code.cols))
+    lines = [header]
+    for r in range(code.rows):
+        cells = " ".join(f" {symbol[code.kind(r, c)]}" for c in range(code.cols))
+        lines.append(f"{r:>3d} {cells}")
+    return lines
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    for family in FAMILIES:
+        code = make_code(family, n)
+        print("=" * 60)
+        print(f"{family}  ->  {code.name}")
+        print(f"  {code.rows} rows x {code.cols} disks, "
+              f"{code.num_data} data + {code.num_parity} parity elements, "
+              f"efficiency {code.storage_efficiency:.1%}")
+        for line in render_grid(code):
+            print("  " + line)
+        parity, members = next(iter(code.chains.items()))
+        rendered = " ^ ".join(f"C{r},{c}" for r, c in sorted(members)[:6])
+        suffix = " ^ …" if len(members) > 6 else ""
+        print(f"  example chain: C{parity[0]},{parity[1]} = {rendered}{suffix}")
+        sample = code.data_positions[0]
+        penalty = code.update_penalty(sample)
+        print(f"  writing C{sample[0]},{sample[1]} touches "
+              f"{len(penalty)} parity element(s)"
+              + (" — optimal" if len(penalty) == code.faults else ""))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""A persistent erasure-coded store: files on disk, failures, scrubbing.
+
+Uses :class:`repro.store.ArrayStore` — one backing file per "disk" — to
+show the whole operational lifecycle: write data, lose three drives
+(files wiped), serve reads degraded, rebuild online, and scrub for silent
+corruption afterwards.
+
+Run:  python examples/persistent_store.py [directory]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import make_code
+from repro.store import ArrayStore
+
+CHUNK = 2048
+
+
+def main() -> None:
+    directory = (
+        Path(sys.argv[1])
+        if len(sys.argv) > 1
+        else Path(tempfile.mkdtemp(prefix="tip-store-"))
+    )
+    code = make_code("tip", 8)
+    store = ArrayStore(code, directory, stripes=12, chunk_bytes=CHUNK)
+    print(f"store: {code.name} over {code.n} backing files in {directory}")
+    print(f"capacity: {store.capacity_chunks} chunks "
+          f"({store.capacity_chunks * CHUNK // 1024} KiB)\n")
+
+    # Write a recognizable payload.
+    rng = np.random.default_rng(99)
+    payload = rng.integers(
+        0, 256, size=(store.capacity_chunks, CHUNK), dtype=np.uint8
+    )
+    store.write_chunks(0, payload)
+    assert store.scrub() == []
+    print("payload written; scrub clean")
+
+    # Three drives die — their files are wiped, as a hot-swap would.
+    for disk in (1, 4, 6):
+        store.fail_disk(disk)
+    print("disks 1, 4, 6 failed (backing files zeroed)")
+
+    # Degraded service: reads still return correct data.
+    sample = store.read_chunks(17, 40)
+    assert np.array_equal(sample, payload[17:57])
+    print("degraded reads serve correct data (on-the-fly reconstruction)")
+
+    # A degraded write also works and stays consistent.
+    update = rng.integers(0, 256, size=(5, CHUNK), dtype=np.uint8)
+    store.write_chunks(20, update)
+    payload[20:25] = update
+    print("degraded write accepted")
+
+    # Online rebuild.
+    stripes = store.rebuild()
+    print(f"rebuilt {stripes} stripes; array healthy")
+    assert store.scrub() == []
+    everything = store.read_chunks(0, store.capacity_chunks)
+    assert np.array_equal(everything, payload)
+    print("full readback matches; scrub clean")
+
+    # Silent corruption is caught by scrubbing.
+    victim = directory / "disk003.img"
+    raw = bytearray(victim.read_bytes())
+    raw[5000] ^= 0x01
+    victim.write_bytes(bytes(raw))
+    corrupt = store.scrub()
+    print(f"injected a single flipped bit on disk 3 -> scrub flags "
+          f"stripe(s) {corrupt}")
+    assert corrupt
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: protect data with TIP-code and survive three disk failures.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    # A 12-disk array: TIP picks p = 11, giving 9 data disks + the
+    # equivalent of 3 parity disks embedded across the stripe.
+    code = repro.make_code("tip", n=12)
+    print(f"code: {code.name}")
+    print(f"disks: {code.n}, elements/disk: {code.rows}")
+    print(f"data elements/stripe: {code.num_data} "
+          f"(storage efficiency {code.storage_efficiency:.1%})")
+
+    # Write a stripe of application data (4 KB chunks here).
+    rng = np.random.default_rng(7)
+    payload = rng.integers(
+        0, 256, size=(code.num_data, 4096), dtype=np.uint8
+    )
+    stripe = code.make_stripe(payload)
+    assert code.verify_stripe(stripe)
+    print("\nstripe encoded; all parity chains verify")
+
+    # Three disks fail at once.
+    failed = (1, 4, 9)
+    code.erase_columns(stripe, failed)
+    print(f"disks {failed} erased")
+
+    # Recover. The generic decoder inverts the parity-check system once
+    # and replays a scheduled XOR program (Sec. IV of the paper).
+    code.decode(stripe, failed)
+    recovered = code.extract_data(stripe)
+    assert np.array_equal(recovered, payload)
+    print("all data recovered byte-for-byte")
+
+    # The headline property: writing one chunk costs exactly 4 element
+    # writes (1 data + 3 independent parities), for every chunk.
+    penalties = {
+        len(code.update_penalty(pos)) for pos in code.data_positions
+    }
+    print(f"\nparities touched per single-chunk write: {sorted(penalties)} "
+          "(optimal for triple-fault tolerance)")
+
+
+if __name__ == "__main__":
+    main()

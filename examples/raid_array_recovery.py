@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""A virtual 3DFT block device: store files, lose three disks, rebuild.
+
+Demonstrates the library as the core of an actual storage array: a
+multi-stripe volume striped over a TIP-coded array, a whole-array rebuild
+after a triple failure using the paper's own algebraic decoder (Sec.
+III-D), and an integrity audit afterward.
+
+Run:  python examples/raid_array_recovery.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro import TipCode
+
+
+CHUNK = 4096
+
+
+class TipVolume:
+    """A tiny logical volume on top of a native TIP-coded disk array."""
+
+    def __init__(self, p: int, stripes: int) -> None:
+        self.code = TipCode(p)
+        self.stripes = stripes
+        self.chunks = self.code.num_data * stripes
+        # disks[d] holds the column packets of every stripe, like a real
+        # drive would: shape (stripes * rows, CHUNK).
+        self.array = np.zeros(
+            (stripes, self.code.rows, self.code.cols, CHUNK), dtype=np.uint8
+        )
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.chunks * CHUNK
+
+    def write(self, data: bytes) -> None:
+        """Fill the volume from the start with ``data`` (zero padded)."""
+        if len(data) > self.capacity_bytes:
+            raise ValueError("data exceeds volume capacity")
+        padded = data.ljust(self.capacity_bytes, b"\0")
+        view = np.frombuffer(padded, dtype=np.uint8).reshape(
+            self.chunks, CHUNK
+        )
+        for stripe_index in range(self.stripes):
+            begin = stripe_index * self.code.num_data
+            packets = view[begin: begin + self.code.num_data]
+            self.array[stripe_index] = self.code.make_stripe(packets)
+
+    def read(self) -> bytes:
+        out = bytearray()
+        for stripe_index in range(self.stripes):
+            data = self.code.extract_data(self.array[stripe_index])
+            out.extend(data.tobytes())
+        return bytes(out)
+
+    def fail_disks(self, disks: tuple[int, ...]) -> None:
+        for disk in disks:
+            self.array[:, :, disk, :] = 0
+
+    def rebuild(self, disks: tuple[int, ...]) -> int:
+        """Rebuild failed disks stripe by stripe; returns stripes fixed."""
+        decoder = self.code.algebraic_decoder()
+        for stripe_index in range(self.stripes):
+            decoder.decode(self.array[stripe_index], disks)
+        return self.stripes
+
+    def audit(self) -> bool:
+        return all(
+            self.code.verify_stripe(self.array[s]) for s in range(self.stripes)
+        )
+
+
+def main() -> None:
+    volume = TipVolume(p=11, stripes=24)
+    print(f"volume: {volume.code.name}, {volume.code.n} disks, "
+          f"{volume.capacity_bytes // 1024} KiB usable")
+
+    # Store a deterministic "document corpus".
+    rng = np.random.default_rng(2015)
+    corpus = rng.integers(
+        0, 256, size=volume.capacity_bytes - 1000, dtype=np.uint8
+    ).tobytes()
+    digest_before = hashlib.sha256(corpus).hexdigest()
+    volume.write(corpus)
+    print(f"stored {len(corpus)} bytes, sha256={digest_before[:16]}…")
+    assert volume.audit()
+
+    # Catastrophe: three simultaneous whole-disk failures.
+    failed = (0, 5, 11)
+    volume.fail_disks(failed)
+    print(f"\ndisks {failed} failed — array degraded")
+
+    # Rebuild with the paper's cross-pattern algebraic decoder.
+    stripes = volume.rebuild(failed)
+    print(f"rebuilt {stripes} stripes via syndromes + cross patterns")
+
+    recovered = volume.read()[: len(corpus)]
+    digest_after = hashlib.sha256(recovered).hexdigest()
+    print(f"sha256 after rebuild: {digest_after[:16]}…")
+    assert digest_after == digest_before, "data corruption!"
+    assert volume.audit()
+    print("integrity audit passed: every parity chain verifies")
+
+
+if __name__ == "__main__":
+    main()

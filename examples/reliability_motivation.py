@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Why triple-fault tolerance? The paper's Sec. I motivation, quantified.
+
+Computes the mean time to data loss (MTTDL) of RAID-5 / RAID-6 / 3DFT
+arrays with an exact Markov model, cross-checks it with Monte-Carlo
+failure injection, and shows the regime where two parities stop being
+enough — large arrays with realistic (slow) rebuilds.
+
+Run:  python examples/reliability_motivation.py
+"""
+
+from __future__ import annotations
+
+from repro.reliability import ArrayReliability, simulate_mttdl
+
+
+def main() -> None:
+    mttf = 1_000_000.0  # the "1,000,000 hours" of Schroeder & Gibson's title
+    print("MTTDL in years (disk MTTF 1M hours, 24h rebuild)\n")
+    print(f"{'disks':>6s} {'RAID-5':>12s} {'RAID-6':>12s} {'3DFT':>12s}")
+    for disks in (8, 12, 24, 48, 96):
+        row = []
+        for faults in (1, 2, 3):
+            model = ArrayReliability(
+                disks=disks, faults_tolerated=faults,
+                disk_mttf_hours=mttf, rebuild_hours=24.0,
+            )
+            row.append(model.mttdl_years())
+        print(f"{disks:>6d} " + " ".join(f"{v:12.3e}" for v in row))
+
+    print("\nSlow rebuilds (72h — a loaded multi-TB drive) at 48 disks:")
+    for faults, label in ((1, "RAID-5"), (2, "RAID-6"), (3, "3DFT")):
+        model = ArrayReliability(
+            disks=48, faults_tolerated=faults,
+            disk_mttf_hours=mttf, rebuild_hours=72.0,
+        )
+        print(f"  {label}: {model.mttdl_years():.3e} years "
+              f"(P[loss in a year] = {model.annual_loss_probability():.2e})")
+
+    # Cross-validate the closed form with failure injection on a
+    # configuration that fails fast enough to simulate.
+    exact = ArrayReliability(
+        disks=8, faults_tolerated=1,
+        disk_mttf_hours=2000.0, rebuild_hours=200.0,
+    ).mttdl_hours()
+    sim = simulate_mttdl(
+        8, 1, disk_mttf_hours=2000.0, rebuild_hours=200.0,
+        trials=4000, seed=7,
+    )
+    print(f"\nMonte-Carlo cross-check (8 disks, stress parameters):")
+    print(f"  Markov exact:  {exact:10.1f} h")
+    print(f"  simulated:     {sim.mean_hours:10.1f} h "
+          f"({sim.trials} trials)")
+    error = abs(sim.mean_hours - exact) / exact
+    print(f"  relative error {error:.1%}")
+    assert error < 0.1
+    print("\nConclusion: at datacenter scale, double-fault tolerance "
+          "leaves a non-negligible annual loss probability; a third "
+          "parity buys ~4 orders of magnitude — if its write penalty is "
+          "affordable, which is exactly the problem TIP-code solves.")
+
+
+if __name__ == "__main__":
+    main()

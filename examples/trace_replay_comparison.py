@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Compare the evaluated codes on an enterprise-style workload.
+
+Replays a synthetic MSR-Cambridge-like trace (Table III statistics)
+through (a) the write-cost analyzer and (b) the event-driven disk array
+simulator — a miniature of the paper's Figs. 12-13 pipeline.
+
+Run:  python examples/trace_replay_comparison.py [workload] [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import make_code
+from repro.analysis import synthetic_write_cost
+from repro.disksim import simulate_trace
+from repro.traces import generate_trace, workload_names
+
+FAMILIES = ("tip", "triple-star", "star", "cauchy-rs", "hdd1")
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "src2_0"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+    if workload not in workload_names():
+        raise SystemExit(
+            f"unknown workload {workload!r}; pick one of {workload_names()}"
+        )
+
+    trace = generate_trace(workload, requests=2500, seed=42)
+    stats = trace.stats()
+    print(f"workload {workload}: {stats.requests} requests, "
+          f"{stats.write_fraction:.0%} writes, "
+          f"avg {stats.avg_request_kb:.1f} KB, {stats.iops:.0f} IOPS")
+    print(f"array size n = {n}, chunk = 8 KB\n")
+
+    replay = trace.stretched(4.0)  # moderate utilization for the simulator
+    print(f"{'code':14s} {'elems/write':>12s} {'mean resp (ms)':>15s} "
+          f"{'vs tip':>7s}")
+    baseline = None
+    for family in FAMILIES:
+        code = make_code(family, n)
+        cost = synthetic_write_cost(code, trace)
+        result = simulate_trace(code, replay, seed=1)
+        if family == "tip":
+            baseline = result
+        ratio = result.mean_response_ms / baseline.mean_response_ms
+        print(f"{family:14s} {cost:12.2f} {result.mean_response_ms:15.2f} "
+              f"{ratio:6.2f}x")
+
+    print("\nTIP-code touches the fewest elements per write (optimal "
+          "update complexity), which translates directly into the lowest "
+          "simulated response time under write-heavy load.")
+
+
+if __name__ == "__main__":
+    main()

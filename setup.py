@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This environment has no network access and no ``wheel`` package, so the
+PEP 517 editable-install path (which shells out to ``bdist_wheel``) cannot
+run. Keeping a plain ``setup.py`` lets ``pip install -e .`` fall back to
+the classic ``setup.py develop`` flow. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

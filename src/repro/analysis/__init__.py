@@ -1,0 +1,59 @@
+"""Quantitative analyses behind the paper's evaluation (Sec. V-VI).
+
+* :mod:`repro.analysis.write_cost` — single / partial / full stripe write
+  complexity under a uniform workload (Figs. 10-11, Tables IV-V).
+* :mod:`repro.analysis.trace_cost` — trace-driven synthetic write
+  complexity (Fig. 12) and per-request element I/O expansion.
+* :mod:`repro.analysis.xor_cost` — encoding/decoding XOR complexity
+  (Figs. 14b, 15b) and the optimality bounds of Sec. V.
+* :mod:`repro.analysis.features` — the qualitative feature summary of
+  Table II derived from measured properties.
+"""
+
+from repro.analysis.write_cost import (
+    single_write_cost,
+    partial_write_cost,
+    full_stripe_write_cost,
+    write_cost_for_run,
+    improvement,
+)
+from repro.analysis.xor_cost import (
+    encoding_xor_per_element,
+    decoding_xor_stats,
+    tip_encoding_bound,
+)
+from repro.analysis.trace_cost import synthetic_write_cost, request_write_cost
+from repro.analysis.features import code_features, feature_table
+from repro.analysis.write_path import (
+    WritePlanCost,
+    rmw_cost,
+    rcw_cost,
+    choose_strategy,
+)
+from repro.analysis.recovery_cost import (
+    RecoveryCost,
+    recovery_reads,
+    recovery_cost_stats,
+)
+
+__all__ = [
+    "single_write_cost",
+    "partial_write_cost",
+    "full_stripe_write_cost",
+    "write_cost_for_run",
+    "improvement",
+    "encoding_xor_per_element",
+    "decoding_xor_stats",
+    "tip_encoding_bound",
+    "synthetic_write_cost",
+    "request_write_cost",
+    "code_features",
+    "feature_table",
+    "WritePlanCost",
+    "rmw_cost",
+    "rcw_cost",
+    "choose_strategy",
+    "RecoveryCost",
+    "recovery_reads",
+    "recovery_cost_stats",
+]

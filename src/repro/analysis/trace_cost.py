@@ -1,0 +1,73 @@
+"""Trace-driven synthetic write complexity (Fig. 12, Sec. VI-B.3).
+
+Maps each byte-addressed write request onto the stripes of a given code:
+the stripe's data elements are the unit of striping (one chunk each,
+8 KB in the paper's configuration), logical chunks fill stripes in
+row-major data order, and a request covering chunks ``[a, b]`` becomes one
+consecutive run per stripe. Costs per run come from
+:func:`repro.analysis.write_cost.write_cost_for_run`, so single writes,
+partial-stripe writes, and full-stripe writes are all priced exactly as
+Sec. VI-B.1 defines them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.write_cost import write_cost_for_run
+from repro.codes.base import ArrayCode
+from repro.traces.model import Trace
+
+__all__ = ["request_runs", "request_write_cost", "synthetic_write_cost"]
+
+
+def request_runs(
+    code: ArrayCode, offset: int, length: int, chunk_size: int
+) -> list[tuple[int, int, int]]:
+    """Split a byte request into per-stripe element runs.
+
+    Returns ``(stripe_index, start_element, run_length)`` triples where
+    ``start_element`` is a logical data index within the stripe.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    if length <= 0:
+        return []
+    per_stripe = code.num_data
+    first_chunk = offset // chunk_size
+    last_chunk = (offset + length - 1) // chunk_size
+    runs: list[tuple[int, int, int]] = []
+    chunk = first_chunk
+    while chunk <= last_chunk:
+        stripe, start = divmod(chunk, per_stripe)
+        run = min(per_stripe - start, last_chunk - chunk + 1)
+        runs.append((stripe, start, run))
+        chunk += run
+    return runs
+
+
+def request_write_cost(
+    code: ArrayCode, offset: int, length: int, chunk_size: int
+) -> int:
+    """Modified elements for one write request (may span stripes)."""
+    return sum(
+        write_cost_for_run(code, start, run)
+        for _, start, run in request_runs(code, offset, length, chunk_size)
+    )
+
+
+def synthetic_write_cost(
+    code: ArrayCode, trace: Trace, chunk_size: int = 8 * 1024
+) -> float:
+    """Average modified elements per write request of ``trace`` (Fig. 12).
+
+    Read requests are ignored (they modify nothing); the paper's metric is
+    "average number of I/Os per write request", with the chunk size fixed
+    at 8 KB.
+    """
+    writes = trace.writes
+    if not writes:
+        raise ValueError(f"trace {trace.name!r} contains no writes")
+    total = sum(
+        request_write_cost(code, req.offset, req.length, chunk_size)
+        for req in writes
+    )
+    return total / len(writes)

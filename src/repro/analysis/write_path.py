@@ -1,0 +1,84 @@
+"""Write-path strategies: read-modify-write vs. reconstruct-write.
+
+The paper's cost metric (modified elements) fixes the *write* set; a real
+controller also chooses how to obtain the new parity values:
+
+* **read-modify-write (RMW)** — read the old data and old parities being
+  replaced, XOR the deltas in. Pre-reads = writes. This is what the
+  paper's response-time evaluation models, and the default everywhere.
+* **reconstruct-write (RCW)** — read the *untouched* data of the affected
+  parity chains and recompute the parities from scratch. Cheaper when a
+  run covers most of a stripe.
+
+``choose_strategy`` picks whichever needs fewer pre-reads — the classic
+RAID small-write/large-write threshold — and is exercised by the
+controller's ``write_strategy="auto"`` mode and the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes.base import ArrayCode, Position
+
+__all__ = ["WritePlanCost", "rmw_cost", "rcw_cost", "choose_strategy"]
+
+
+@dataclass(frozen=True)
+class WritePlanCost:
+    """I/O footprint of one write strategy for a run of data elements."""
+
+    strategy: str
+    pre_reads: tuple[Position, ...]
+    writes: tuple[Position, ...]
+
+    @property
+    def total_ios(self) -> int:
+        """Element I/Os issued (reads + writes)."""
+        return len(self.pre_reads) + len(self.writes)
+
+
+def _written_set(
+    code: ArrayCode, positions: list[Position]
+) -> tuple[set[Position], set[Position]]:
+    """Return (data cells written, parity cells written)."""
+    data = set(positions)
+    parities: set[Position] = set()
+    for pos in positions:
+        parities |= code.update_penalty(pos)
+    return data, parities
+
+
+def rmw_cost(code: ArrayCode, positions: list[Position]) -> WritePlanCost:
+    """Read-modify-write: pre-read exactly what will be overwritten."""
+    data, parities = _written_set(code, positions)
+    writes = tuple(sorted(data)) + tuple(sorted(parities))
+    return WritePlanCost("rmw", writes, writes)
+
+
+def rcw_cost(code: ArrayCode, positions: list[Position]) -> WritePlanCost:
+    """Reconstruct-write: pre-read the untouched chain members.
+
+    Every affected parity is recomputed from its expanded (pure-data)
+    chain, so the pre-reads are the union of those chains' data cells
+    minus the cells being written.
+    """
+    data, parities = _written_set(code, positions)
+    needed: set[Position] = set()
+    expanded = code.expanded_chains
+    for parity in parities:
+        needed |= expanded[parity]
+    pre_reads = tuple(sorted(needed - data))
+    writes = tuple(sorted(data)) + tuple(sorted(parities))
+    return WritePlanCost("rcw", pre_reads, writes)
+
+
+def choose_strategy(
+    code: ArrayCode, positions: list[Position]
+) -> WritePlanCost:
+    """The cheaper of RMW and RCW for this run (fewest total I/Os)."""
+    if not positions:
+        raise ValueError("need at least one written position")
+    rmw = rmw_cost(code, positions)
+    rcw = rcw_cost(code, positions)
+    return rcw if rcw.total_ios < rmw.total_ios else rmw

@@ -1,0 +1,38 @@
+"""GF(2) bit-matrix linear algebra and XOR scheduling.
+
+The TIP paper implements every compared code in the *bit matrix* framework
+(Sec. IV): encoding multiplies a generator bit matrix by the data vector,
+decoding solves the linear system defined by the parity-check matrix's
+erased columns. This subpackage provides that machinery:
+
+* :mod:`repro.bitmatrix.ops` — dense GF(2) matrices as numpy uint8 arrays
+  with multiplication, inversion, rank and solving.
+* :mod:`repro.bitmatrix.schedule` — *bit matrix scheduling* (Plank,
+  FAST'08, the paper's [28] and Sec. IV-C1): turning a matrix-vector
+  product into an XOR schedule that reuses intermediate results to lower
+  the XOR count.
+"""
+
+from repro.bitmatrix.ops import (
+    bm_mul,
+    bm_mat_vec,
+    bm_inv,
+    bm_rank,
+    bm_solve,
+    bm_identity,
+    bm_is_invertible,
+)
+from repro.bitmatrix.schedule import XorSchedule, naive_schedule, smart_schedule
+
+__all__ = [
+    "bm_mul",
+    "bm_mat_vec",
+    "bm_inv",
+    "bm_rank",
+    "bm_solve",
+    "bm_identity",
+    "bm_is_invertible",
+    "XorSchedule",
+    "naive_schedule",
+    "smart_schedule",
+]

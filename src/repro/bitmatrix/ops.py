@@ -1,0 +1,146 @@
+"""Dense GF(2) matrix operations on numpy uint8 arrays.
+
+All matrices are 2-D ``numpy.uint8`` arrays containing only 0/1. Addition
+is XOR; multiplication is AND; a matrix product is the ordinary product
+reduced mod 2. Matrices here are small (a stripe has at most a few hundred
+elements), so dense Gaussian elimination is more than fast enough and far
+easier to audit than bit-packing tricks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_bitmatrix",
+    "bm_identity",
+    "bm_mul",
+    "bm_mat_vec",
+    "bm_rank",
+    "bm_inv",
+    "bm_is_invertible",
+    "bm_solve",
+]
+
+
+def as_bitmatrix(matrix: np.ndarray) -> np.ndarray:
+    """Validate and normalize a 0/1 matrix to ``uint8``."""
+    out = np.asarray(matrix, dtype=np.uint8)
+    if out.ndim != 2:
+        raise ValueError(f"bit matrix must be 2-D, got shape {out.shape}")
+    if not np.isin(out, (0, 1)).all():
+        raise ValueError("bit matrix entries must be 0 or 1")
+    return out
+
+
+def bm_identity(size: int) -> np.ndarray:
+    """Return the ``size x size`` identity bit matrix."""
+    return np.eye(size, dtype=np.uint8)
+
+
+def bm_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2)."""
+    a = as_bitmatrix(a)
+    b = as_bitmatrix(b)
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} x {b.shape}")
+    return (a.astype(np.int64) @ b.astype(np.int64) % 2).astype(np.uint8)
+
+
+def bm_mat_vec(a: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Matrix-vector product over GF(2); ``v`` is a 1-D 0/1 vector."""
+    a = as_bitmatrix(a)
+    v = np.asarray(v, dtype=np.int64).ravel()
+    if a.shape[1] != v.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} x {v.shape}")
+    return ((a.astype(np.int64) @ v) % 2).astype(np.uint8)
+
+
+def _eliminate(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Row-reduce a copy of ``matrix``; return (echelon form, pivot cols)."""
+    work = as_bitmatrix(matrix).copy()
+    rows, cols = work.shape
+    pivots: list[int] = []
+    row = 0
+    for col in range(cols):
+        if row >= rows:
+            break
+        pivot = next((r for r in range(row, rows) if work[r, col]), None)
+        if pivot is None:
+            continue
+        if pivot != row:
+            work[[row, pivot]] = work[[pivot, row]]
+        below = [r for r in range(rows) if r != row and work[r, col]]
+        if below:
+            work[below] ^= work[row]
+        pivots.append(col)
+        row += 1
+    return work, pivots
+
+
+def bm_rank(matrix: np.ndarray) -> int:
+    """Rank over GF(2)."""
+    _, pivots = _eliminate(matrix)
+    return len(pivots)
+
+
+def bm_is_invertible(matrix: np.ndarray) -> bool:
+    """True iff ``matrix`` is square and full-rank over GF(2)."""
+    matrix = as_bitmatrix(matrix)
+    return matrix.shape[0] == matrix.shape[1] and bm_rank(matrix) == matrix.shape[0]
+
+
+def bm_inv(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square bit matrix (Gauss-Jordan on ``[M | I]``).
+
+    Raises ValueError if singular. This is the decoder's coefficient-matrix
+    inversion of Fig. 9 in the paper ("A typical algorithm to calculate
+    H'^-1 is presented in [13]").
+    """
+    matrix = as_bitmatrix(matrix)
+    size = matrix.shape[0]
+    if matrix.shape != (size, size):
+        raise ValueError(f"matrix must be square, got {matrix.shape}")
+    work = np.concatenate([matrix.copy(), bm_identity(size)], axis=1)
+    for col in range(size):
+        pivot = next((r for r in range(col, size) if work[r, col]), None)
+        if pivot is None:
+            raise ValueError("bit matrix is singular")
+        if pivot != col:
+            work[[col, pivot]] = work[[pivot, col]]
+        others = [r for r in range(size) if r != col and work[r, col]]
+        if others:
+            work[others] ^= work[col]
+    return work[:, size:].copy()
+
+
+def bm_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``matrix @ x = rhs`` over GF(2) for a square invertible matrix.
+
+    ``rhs`` may be a vector or a matrix of stacked right-hand sides (one
+    per column); the result has the same shape as ``rhs``. Solving via
+    elimination on the augmented system avoids forming the inverse when
+    only one solve is needed.
+    """
+    matrix = as_bitmatrix(matrix)
+    size = matrix.shape[0]
+    if matrix.shape != (size, size):
+        raise ValueError(f"matrix must be square, got {matrix.shape}")
+    rhs_arr = np.asarray(rhs, dtype=np.uint8)
+    vector_input = rhs_arr.ndim == 1
+    if vector_input:
+        rhs_arr = rhs_arr.reshape(-1, 1)
+    if rhs_arr.shape[0] != size:
+        raise ValueError("rhs row count must match matrix size")
+    work = np.concatenate([matrix.copy(), rhs_arr.copy()], axis=1)
+    for col in range(size):
+        pivot = next((r for r in range(col, size) if work[r, col]), None)
+        if pivot is None:
+            raise ValueError("bit matrix is singular")
+        if pivot != col:
+            work[[col, pivot]] = work[[pivot, col]]
+        others = [r for r in range(size) if r != col and work[r, col]]
+        if others:
+            work[others] ^= work[col]
+    solution = work[:, size:]
+    return solution[:, 0].copy() if vector_input else solution.copy()

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — registered code families.
+* ``layout FAMILY N`` — render a code's element grid and key properties.
+* ``verify FAMILY N`` — exhaustive fault-tolerance check + random decode
+  round-trip.
+* ``write-cost FAMILY N [--length L]`` — single/partial write complexity.
+* ``simulate WORKLOAD N [--requests R]`` — trace-driven comparison of all
+  evaluated codes (write cost + simulated response time).
+* ``reliability N [--mttf H] [--rebuild H]`` — MTTDL of 1/2/3-fault
+  arrays at this size (the paper's 3DFT motivation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import (
+    partial_write_cost,
+    single_write_cost,
+    synthetic_write_cost,
+)
+from repro.codes import available_codes, make_code
+from repro.codes.base import Cell
+from repro.codes.registry import EVALUATED_FAMILIES
+from repro.disksim import simulate_trace
+from repro.reliability import ArrayReliability
+from repro.traces import generate_trace, workload_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TIP-code (DSN 2015) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered code families")
+
+    layout = sub.add_parser("layout", help="render a code's element grid")
+    layout.add_argument("family")
+    layout.add_argument("n", type=int)
+
+    verify = sub.add_parser("verify", help="check fault tolerance")
+    verify.add_argument("family")
+    verify.add_argument("n", type=int)
+
+    cost = sub.add_parser("write-cost", help="write complexity analysis")
+    cost.add_argument("family")
+    cost.add_argument("n", type=int)
+    cost.add_argument("--length", type=int, default=1,
+                      help="consecutive elements written (default 1)")
+
+    sim = sub.add_parser("simulate", help="trace-driven code comparison")
+    sim.add_argument("workload", choices=workload_names())
+    sim.add_argument("n", type=int)
+    sim.add_argument("--requests", type=int, default=2000)
+
+    rel = sub.add_parser("reliability", help="MTTDL of 1/2/3-fault arrays")
+    rel.add_argument("n", type=int)
+    rel.add_argument("--mttf", type=float, default=1_000_000.0,
+                     help="disk MTTF in hours")
+    rel.add_argument("--rebuild", type=float, default=24.0,
+                     help="rebuild time in hours")
+    return parser
+
+
+def _cmd_list() -> int:
+    for name in available_codes():
+        print(name)
+    return 0
+
+
+def _cmd_layout(family: str, n: int) -> int:
+    code = make_code(family, n)
+    symbol = {Cell.DATA: ".", Cell.PARITY: "P", Cell.EMPTY: "-"}
+    print(f"{code.name}: {code.rows} rows x {code.cols} disks, "
+          f"{code.num_data} data / {code.num_parity} parity, "
+          f"efficiency {code.storage_efficiency:.1%}, "
+          f"tolerates {code.faults} failures")
+    print("    " + " ".join(f"{c:>2d}" for c in range(code.cols)))
+    for r in range(code.rows):
+        row = " ".join(f" {symbol[code.kind(r, c)]}" for c in range(code.cols))
+        print(f"{r:>3d} {row}")
+    return 0
+
+
+def _cmd_verify(family: str, n: int) -> int:
+    code = make_code(family, n)
+    tolerant = code.is_mds()
+    print(f"{code.name}: all {code.faults}-disk failures decodable: "
+          f"{'yes' if tolerant else 'NO'}")
+    print(f"storage optimal (MDS): "
+          f"{'yes' if code.is_storage_optimal else 'no'}")
+    stripe = code.random_stripe(packet_size=64, seed=1)
+    failed = tuple(range(code.faults))
+    damaged = stripe.copy()
+    code.erase_columns(damaged, failed)
+    code.decode(damaged, failed)
+    roundtrip = bool(np.array_equal(damaged, stripe))
+    print(f"decode round-trip on disks {failed}: "
+          f"{'ok' if roundtrip else 'FAILED'}")
+    return 0 if (tolerant and roundtrip) else 1
+
+
+def _cmd_write_cost(family: str, n: int, length: int) -> int:
+    code = make_code(family, n)
+    if length <= 1:
+        cost = single_write_cost(code)
+        print(f"{code.name}: single write modifies {cost:.3f} elements "
+              f"on average (optimum {code.faults + 1})")
+    else:
+        cost = partial_write_cost(code, length)
+        print(f"{code.name}: writing {length} consecutive elements "
+              f"modifies {cost:.3f} elements on average")
+    return 0
+
+
+def _cmd_simulate(workload: str, n: int, requests: int) -> int:
+    trace = generate_trace(workload, requests=requests, seed=42)
+    replay = trace.stretched(4.0)
+    print(f"workload {workload}, n={n}, {requests} requests")
+    print(f"{'code':14s} {'elems/write':>12s} {'mean resp ms':>14s}")
+    for family in EVALUATED_FAMILIES:
+        try:
+            code = make_code(family, n)
+        except ValueError as exc:
+            print(f"{family:14s} unsupported at n={n}: {exc}")
+            continue
+        cost = synthetic_write_cost(code, trace)
+        result = simulate_trace(code, replay, seed=1)
+        print(f"{family:14s} {cost:12.2f} {result.mean_response_ms:14.2f}")
+    return 0
+
+
+def _cmd_reliability(n: int, mttf: float, rebuild: float) -> int:
+    print(f"{n}-disk array, disk MTTF {mttf:.0f} h, rebuild {rebuild:.0f} h")
+    print(f"{'tolerance':>10s} {'MTTDL (years)':>16s} {'P(loss)/year':>14s}")
+    for faults, label in ((1, "RAID-5"), (2, "RAID-6"), (3, "3DFT")):
+        model = ArrayReliability(
+            disks=n, faults_tolerated=faults,
+            disk_mttf_hours=mttf, rebuild_hours=rebuild,
+        )
+        print(f"{label:>10s} {model.mttdl_years():16.3e} "
+              f"{model.annual_loss_probability():14.3e}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "layout":
+            return _cmd_layout(args.family, args.n)
+        if args.command == "verify":
+            return _cmd_verify(args.family, args.n)
+        if args.command == "write-cost":
+            return _cmd_write_cost(args.family, args.n, args.length)
+        if args.command == "simulate":
+            return _cmd_simulate(args.workload, args.n, args.requests)
+        if args.command == "reliability":
+            return _cmd_reliability(args.n, args.mttf, args.rebuild)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Erasure-code constructions.
+
+The framework (:mod:`repro.codes.base`) expresses every array code as an
+element grid plus parity chains, from which it derives the generator and
+parity-check bit matrices (Sec. IV of the TIP paper), a generic scheduled
+decoder, update-penalty analysis, and MDS verification.
+
+Constructions:
+
+* :mod:`repro.codes.tip` — **TIP-code**, the paper's contribution.
+* :mod:`repro.codes.star` — STAR (Huang & Xu), EVENODD extension.
+* :mod:`repro.codes.triple_star` — Triple-Star (Wang et al.).
+* :mod:`repro.codes.cauchy` — Cauchy Reed-Solomon (Bloemer et al.).
+* :mod:`repro.codes.hdd1` — HDD1 (Tau & Wang), reconstructed.
+* :mod:`repro.codes.evenodd`, :mod:`repro.codes.rdp` — RAID-6 substrates.
+* :mod:`repro.codes.reed_solomon` — classic word-based RS over GF(2^8).
+"""
+
+from repro.codes.base import ArrayCode, Cell, Decoder, shorten
+from repro.codes.registry import make_code, available_codes, CODE_FAMILIES
+
+__all__ = [
+    "ArrayCode",
+    "Cell",
+    "Decoder",
+    "shorten",
+    "make_code",
+    "available_codes",
+    "CODE_FAMILIES",
+]

@@ -1,0 +1,86 @@
+"""Cauchy Reed-Solomon codes projected to bit matrices.
+
+Bloemer et al., "An XOR-based erasure-resilient coding scheme" (ICSI
+TR-95-048) — reference [4] of the TIP paper; the construction Jerasure 2.0
+implements and the paper benchmarks.
+
+A ``m x k`` Cauchy matrix over GF(2^w) (every square submatrix invertible)
+is projected element-wise to a ``mw x kw`` bit matrix; each disk then
+stores a *word* of ``w`` packets and all arithmetic becomes XOR. The
+density of the projected matrix is what gives Cauchy-RS its high update
+complexity: a data packet typically feeds ``~w/2`` parity packets per
+parity disk instead of one.
+
+The row-scaling optimization of Plank & Xu (NCA'06, reference [32]) is
+applied by default to minimize the bit matrix's ones count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.base import ArrayCode, Cell, Position
+from repro.gf import GF2w, cauchy_matrix, gf_matrix_to_bitmatrix
+from repro.gf.matrices import optimize_cauchy_ones
+
+__all__ = ["CauchyRSCode", "make_cauchy_rs", "min_word_size"]
+
+
+def min_word_size(n: int) -> int:
+    """Smallest ``w`` with ``2^w >= n`` (the Cauchy construction needs
+    ``n`` distinct field elements split into two disjoint sets)."""
+    w = 1
+    while (1 << w) < n:
+        w += 1
+    return w
+
+
+class CauchyRSCode(ArrayCode):
+    """Cauchy-RS over ``n`` disks with ``m`` parity disks and word size ``w``.
+
+    Args:
+        n: total disks.
+        m: parity disks (3 for the paper's comparisons).
+        w: word size in packets per disk; defaults to the minimum feasible.
+        optimize: apply the ones-minimizing row scaling of [32].
+    """
+
+    def __init__(
+        self, n: int, m: int = 3, w: int | None = None, optimize: bool = True
+    ) -> None:
+        if m <= 0 or n <= m:
+            raise ValueError(f"need n > m > 0, got n={n} m={m}")
+        w = min_word_size(n) if w is None else w
+        if (1 << w) < n:
+            raise ValueError(f"w={w} too small for n={n}")
+        k = n - m
+        field = GF2w(w)
+        cauchy = cauchy_matrix(field, m, k)
+        if optimize:
+            cauchy = optimize_cauchy_ones(field, cauchy)
+        bits = gf_matrix_to_bitmatrix(field, cauchy)
+        self.w = w
+        self.field = field
+        self.cauchy = cauchy
+        kinds: dict[Position, Cell] = {}
+        chains: dict[Position, tuple[Position, ...]] = {}
+        for a in range(m):
+            for b in range(w):
+                parity: Position = (b, k + a)
+                kinds[parity] = Cell.PARITY
+                members = tuple(
+                    (bit, disk)
+                    for disk in range(k)
+                    for bit in range(w)
+                    if bits[a * w + b, disk * w + bit]
+                )
+                chains[parity] = members
+        super().__init__(
+            name=f"cauchy-rs-n{n}-w{w}", rows=w, cols=n, kinds=kinds,
+            chains=chains, faults=m,
+        )
+
+
+def make_cauchy_rs(n: int, m: int = 3) -> CauchyRSCode:
+    """Cauchy-RS for ``n`` disks with the minimum feasible word size."""
+    return CauchyRSCode(n, m=m)

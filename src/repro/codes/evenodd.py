@@ -1,0 +1,83 @@
+"""EVENODD: the classic double-fault-tolerant horizontal code.
+
+Blaum et al., "EVENODD: an efficient scheme for tolerating double disk
+failures in RAID architectures" (IEEE ToC 1995) — reference [1] of the TIP
+paper. STAR (the paper's main XOR baseline) is the triple-fault extension
+of EVENODD, so this module is both a RAID-6 substrate in its own right and
+the foundation :mod:`repro.codes.star` builds on.
+
+Layout: ``(p-1) x (p+2)`` for a prime ``p``; columns ``0..p-1`` hold data,
+column ``p`` the horizontal parities and column ``p+1`` the diagonal
+parities. The diagonal parities all share the *EVENODD adjuster* ``S``
+(the XOR of the diagonal through the imaginary row), which is why a write
+to an S-diagonal element updates every diagonal parity — the update
+complexity problem TIP-code eliminates.
+"""
+
+from __future__ import annotations
+
+from repro._util import is_prime
+from repro.codes.base import ArrayCode, Cell, Position, shorten
+
+__all__ = ["EvenOddCode", "make_evenodd", "s_diagonal", "anti_s_diagonal"]
+
+
+def s_diagonal(p: int, span: int | None = None) -> tuple[Position, ...]:
+    """Cells of the adjuster diagonal ``S`` (chain ``p-1``, direction ``i-j``).
+
+    ``span`` limits the columns considered (defaults to ``p``); the cell in
+    the imaginary row ``p-1`` is skipped.
+    """
+    span = p if span is None else span
+    return tuple(
+        ((p - 1 - j) % p, j) for j in range(span) if (p - 1 - j) % p != p - 1
+    )
+
+
+def anti_s_diagonal(p: int, span: int | None = None) -> tuple[Position, ...]:
+    """Cells of the anti-diagonal adjuster ``S2`` (chain ``p-1``, ``i+j``)."""
+    span = p if span is None else span
+    return tuple(
+        ((p - 1 + j) % p, j) for j in range(span) if (p - 1 + j) % p != p - 1
+    )
+
+
+class EvenOddCode(ArrayCode):
+    """EVENODD over ``p + 2`` disks (``p`` an odd prime), 2-fault tolerant."""
+
+    def __init__(self, p: int) -> None:
+        if not is_prime(p) or p < 3:
+            raise ValueError(f"EVENODD requires an odd prime p, got {p}")
+        self.p = p
+        rows = p - 1
+        kinds: dict[Position, Cell] = {}
+        chains: dict[Position, tuple[Position, ...]] = {}
+        adjuster = s_diagonal(p)
+        for i in range(rows):
+            kinds[(i, p)] = Cell.PARITY
+            kinds[(i, p + 1)] = Cell.PARITY
+            chains[(i, p)] = tuple((i, j) for j in range(p))
+            diagonal = tuple(
+                ((i - j) % p, j) for j in range(p) if (i - j) % p != p - 1
+            )
+            # C_{i,p+1} = S xor (diagonal i); S and diagonal i are disjoint
+            # (distinct diagonals), so concatenation is the exact XOR set.
+            chains[(i, p + 1)] = diagonal + adjuster
+        super().__init__(
+            name=f"evenodd-p{p}", rows=rows, cols=p + 2, kinds=kinds,
+            chains=chains, faults=2,
+        )
+
+
+def make_evenodd(n: int) -> ArrayCode:
+    """EVENODD for ``n`` disks via shortening of the smallest fitting prime."""
+    if n < 4:
+        raise ValueError(f"EVENODD needs n >= 4, got {n}")
+    p = 3
+    while p + 2 < n or not is_prime(p):
+        p += 2
+    code = EvenOddCode(p)
+    if p + 2 == n:
+        return code
+    removed = tuple(range(n - 2, p))  # drop the highest data columns
+    return shorten(code, removed, name=f"evenodd-n{n}")

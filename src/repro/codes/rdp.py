@@ -1,0 +1,57 @@
+"""RDP: Row-Diagonal Parity (Corbett et al., FAST'04) — RAID-6 substrate.
+
+Reference [8] of the TIP paper. RDP's signature design choice — the
+diagonal parity chains *include the row-parity column* — is the direct
+ancestor of Triple-Star's and Triple-Parity's layouts, and the canonical
+example of the chained-parity update-complexity cost that TIP avoids.
+
+Layout: ``(p-1) x (p+1)`` for a prime ``p``; columns ``0..p-2`` data,
+column ``p-1`` row parity, column ``p`` diagonal parity. Diagonal ``d``
+collects the cells with ``(row + col) mod p == d`` over columns
+``0..p-1``; diagonal ``p-1`` is the missing diagonal.
+"""
+
+from __future__ import annotations
+
+from repro._util import is_prime
+from repro.codes.base import ArrayCode, Cell, Position, shorten
+
+__all__ = ["RdpCode", "make_rdp"]
+
+
+class RdpCode(ArrayCode):
+    """RDP over ``p + 1`` disks (``p`` an odd prime), 2-fault tolerant."""
+
+    def __init__(self, p: int) -> None:
+        if not is_prime(p) or p < 3:
+            raise ValueError(f"RDP requires an odd prime p, got {p}")
+        self.p = p
+        rows = p - 1
+        kinds: dict[Position, Cell] = {}
+        chains: dict[Position, tuple[Position, ...]] = {}
+        for i in range(rows):
+            kinds[(i, p - 1)] = Cell.PARITY
+            kinds[(i, p)] = Cell.PARITY
+            chains[(i, p - 1)] = tuple((i, j) for j in range(p - 1))
+            # Diagonal i spans the row-parity column: the chained layout.
+            chains[(i, p)] = tuple(
+                ((i - j) % p, j) for j in range(p) if (i - j) % p != p - 1
+            )
+        super().__init__(
+            name=f"rdp-p{p}", rows=rows, cols=p + 1, kinds=kinds,
+            chains=chains, faults=2,
+        )
+
+
+def make_rdp(n: int) -> ArrayCode:
+    """RDP for ``n`` disks via shortening of the smallest fitting prime."""
+    if n < 4:
+        raise ValueError(f"RDP needs n >= 4, got {n}")
+    p = 3
+    while p + 1 < n or not is_prime(p):
+        p += 2
+    code = RdpCode(p)
+    if p + 1 == n:
+        return code
+    removed = tuple(range(n - 2, p - 1))
+    return shorten(code, removed, name=f"rdp-n{n}")

@@ -1,0 +1,110 @@
+"""Classic word-based Reed-Solomon over GF(2^8).
+
+Reed & Solomon (1960) — reference [33]. The TIP paper uses RS as the
+example of a code whose *computational* cost (Galois-field multiply per
+byte) rather than I/O cost limits performance; it is excluded from the
+XOR-complexity figures but included here as the library's general-purpose
+``(n, k)`` erasure code and as a correctness oracle for the structured
+codes.
+
+Unlike the :class:`~repro.codes.base.ArrayCode` family this codec works on
+whole per-disk packets (one symbol column per disk) with a systematic
+Vandermonde generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf import GF2w, systematic_vandermonde
+
+__all__ = ["ReedSolomonCode"]
+
+
+class ReedSolomonCode:
+    """Systematic RS over GF(2^8): ``k`` data disks, ``m`` parity disks."""
+
+    def __init__(self, n: int, m: int = 3) -> None:
+        if m <= 0 or n <= m:
+            raise ValueError(f"need n > m > 0, got n={n} m={m}")
+        if n > 255:
+            raise ValueError("GF(2^8) RS supports at most 255 disks")
+        self.n = n
+        self.m = m
+        self.k = n - m
+        self.field = GF2w(8)
+        self.generator = systematic_vandermonde(self.field, n, self.k)
+        self.faults = m
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode ``k`` data packets into ``n`` codeword packets.
+
+        Args:
+            data: ``(k, packet_size)`` uint8 array.
+
+        Returns:
+            ``(n, packet_size)`` uint8 array; rows ``0..k-1`` equal the
+            input (systematic code).
+        """
+        data = np.asarray(data, dtype=np.uint8)
+        if data.ndim != 2 or data.shape[0] != self.k:
+            raise ValueError(f"expected ({self.k}, S) data, got {data.shape}")
+        out = np.zeros((self.n, data.shape[1]), dtype=np.uint8)
+        out[: self.k] = data
+        for row in range(self.k, self.n):
+            acc = out[row]
+            for col in range(self.k):
+                coeff = int(self.generator[row, col])
+                if coeff:
+                    np.bitwise_xor(
+                        acc, self.field.mul_region(coeff, data[col]), out=acc
+                    )
+        return out
+
+    def decode(self, shards: np.ndarray, erased: list[int]) -> np.ndarray:
+        """Reconstruct the full codeword from any ``>= k`` surviving shards.
+
+        Args:
+            shards: ``(n, packet_size)`` array whose ``erased`` rows are
+                garbage/zero.
+            erased: indices of the lost shards (at most ``m``).
+
+        Returns:
+            The repaired ``(n, packet_size)`` codeword array (a new array;
+            the input is not modified).
+        """
+        erased_set = set(erased)
+        if len(erased_set) > self.m:
+            raise ValueError(f"cannot repair {len(erased_set)} > m={self.m} losses")
+        shards = np.asarray(shards, dtype=np.uint8)
+        if shards.ndim != 2 or shards.shape[0] != self.n:
+            raise ValueError(f"expected ({self.n}, S) shards, got {shards.shape}")
+        survivors = [i for i in range(self.n) if i not in erased_set][: self.k]
+        sub = self.generator[survivors, :]
+        inverse = self.field.mat_inv(sub)
+        # data[j] = sum_i inverse[j][i] * shards[survivors[i]]
+        out = shards.copy()
+        data = np.zeros((self.k, shards.shape[1]), dtype=np.uint8)
+        for j in range(self.k):
+            acc = data[j]
+            for i, row in enumerate(survivors):
+                coeff = int(inverse[j, i])
+                if coeff:
+                    np.bitwise_xor(
+                        acc, self.field.mul_region(coeff, shards[row]), out=acc
+                    )
+        out[: self.k] = data
+        for row in range(self.k, self.n):
+            if row in erased_set:
+                acc = np.zeros(shards.shape[1], dtype=np.uint8)
+                for col in range(self.k):
+                    coeff = int(self.generator[row, col])
+                    if coeff:
+                        np.bitwise_xor(
+                            acc, self.field.mul_region(coeff, data[col]), out=acc
+                        )
+                out[row] = acc
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ReedSolomonCode n={self.n} k={self.k} m={self.m} GF(2^8)>"

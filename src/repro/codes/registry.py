@@ -1,0 +1,77 @@
+"""Name-based construction of the codes compared in the paper.
+
+``make_code("tip", n=12)`` returns the TIP instance the evaluation would
+use for a 12-disk array, and likewise for every baseline. Families map to
+the constructors' own size rules (TIP: adjuster shortening; STAR /
+Triple-Star / EVENODD / RDP: plain shortening; Cauchy-RS: any size; HDD1:
+``n = p + 1`` only).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.codes.base import ArrayCode
+from repro.codes.cauchy import make_cauchy_rs
+from repro.codes.evenodd import make_evenodd
+from repro.codes.hdd1 import make_hdd1
+from repro.codes.rdp import make_rdp
+from repro.codes.star import make_star
+from repro.codes.tip import make_tip
+from repro.codes.triple_star import make_triple_star
+from repro.codes.weaver import make_weaver
+from repro.codes.xcode import make_xcode
+
+__all__ = [
+    "CODE_FAMILIES",
+    "EVALUATED_FAMILIES",
+    "make_code",
+    "available_codes",
+    "supports_size",
+]
+
+CODE_FAMILIES: dict[str, Callable[[int], ArrayCode]] = {
+    "tip": make_tip,
+    "star": make_star,
+    "triple-star": make_triple_star,
+    "cauchy-rs": make_cauchy_rs,
+    "hdd1": make_hdd1,
+    "evenodd": make_evenodd,
+    "rdp": make_rdp,
+    "x-code": make_xcode,
+    "weaver": make_weaver,
+}
+
+#: The 3-fault-tolerant codes of the paper's evaluation (Sec. VI-A).
+EVALUATED_FAMILIES: tuple[str, ...] = (
+    "tip", "triple-star", "star", "cauchy-rs", "hdd1",
+)
+
+
+def make_code(family: str, n: int) -> ArrayCode:
+    """Construct a code of ``family`` for an ``n``-disk array.
+
+    Raises KeyError for unknown families and ValueError when the family
+    does not support ``n`` disks (e.g. HDD1 with ``n - 1`` composite).
+    """
+    try:
+        factory = CODE_FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown code family {family!r}; available: {available_codes()}"
+        ) from None
+    return factory(n)
+
+
+def available_codes() -> list[str]:
+    """Names of all registered code families."""
+    return sorted(CODE_FAMILIES)
+
+
+def supports_size(family: str, n: int) -> bool:
+    """True iff ``family`` can be instantiated for ``n`` disks."""
+    try:
+        make_code(family, n)
+    except (ValueError, KeyError):
+        return False
+    return True

@@ -1,0 +1,67 @@
+"""STAR code: EVENODD extended to triple-fault tolerance.
+
+Huang & Xu, "STAR: an efficient coding scheme for correcting triple
+storage node failures" (IEEE ToC 2008) — reference [19] and the primary
+XOR-based MDS baseline of the TIP paper.
+
+Layout: ``(p-1) x (p+3)``; columns ``0..p-1`` data, column ``p``
+horizontal parity, ``p+1`` diagonal parity, ``p+2`` anti-diagonal parity.
+Both the diagonal and anti-diagonal parity columns carry an EVENODD-style
+adjuster (``S1`` and ``S2``, Fig. 1 of the TIP paper): every diagonal
+parity element XORs in the whole ``S1`` diagonal, so a write to an
+S1-diagonal data element dirties *all* ``p-1`` diagonal parities — the
+update-complexity problem quantified in Fig. 1(d).
+"""
+
+from __future__ import annotations
+
+from repro._util import is_prime
+from repro.codes.base import ArrayCode, Cell, Position, shorten
+from repro.codes.evenodd import anti_s_diagonal, s_diagonal
+
+__all__ = ["StarCode", "make_star"]
+
+
+class StarCode(ArrayCode):
+    """STAR over ``p + 3`` disks (``p`` an odd prime), 3-fault tolerant."""
+
+    def __init__(self, p: int) -> None:
+        if not is_prime(p) or p < 3:
+            raise ValueError(f"STAR requires an odd prime p, got {p}")
+        self.p = p
+        rows = p - 1
+        kinds: dict[Position, Cell] = {}
+        chains: dict[Position, tuple[Position, ...]] = {}
+        s1 = s_diagonal(p)
+        s2 = anti_s_diagonal(p)
+        for i in range(rows):
+            kinds[(i, p)] = Cell.PARITY
+            kinds[(i, p + 1)] = Cell.PARITY
+            kinds[(i, p + 2)] = Cell.PARITY
+            chains[(i, p)] = tuple((i, j) for j in range(p))
+            diagonal = tuple(
+                ((i - j) % p, j) for j in range(p) if (i - j) % p != p - 1
+            )
+            chains[(i, p + 1)] = diagonal + s1
+            anti = tuple(
+                ((i + j) % p, j) for j in range(p) if (i + j) % p != p - 1
+            )
+            chains[(i, p + 2)] = anti + s2
+        super().__init__(
+            name=f"star-p{p}", rows=rows, cols=p + 3, kinds=kinds,
+            chains=chains, faults=3,
+        )
+
+
+def make_star(n: int) -> ArrayCode:
+    """STAR for ``n`` disks via shortening of the smallest fitting prime."""
+    if n < 4:
+        raise ValueError(f"STAR needs n >= 4, got {n}")
+    p = 3
+    while p + 3 < n or not is_prime(p):
+        p += 2
+    code = StarCode(p)
+    if p + 3 == n:
+        return code
+    removed = tuple(range(n - 3, p))
+    return shorten(code, removed, name=f"star-n{n}")

@@ -1,0 +1,485 @@
+"""TIP-code: three independent parities for triple-fault tolerance.
+
+Implements Sec. III, IV and VII of the paper:
+
+* :class:`TipCode` — the native ``(p-1) x (p+1)`` layout with horizontal,
+  diagonal and anti-diagonal parities per encoding Eqs. (1)-(3). Every
+  data element belongs to exactly one chain of each kind, which is the
+  *three independent parities* property giving optimal update complexity.
+* :class:`TipAlgebraicDecoder` — the paper's own reconstruction algorithm
+  (Sec. III-C/III-D): the equivalent layout *D* (Fig. 4), the symmetrized
+  matrix *E* (Eq. 9), syndromes, cross patterns (Fig. 6), the 4-tuple →
+  2-tuple reduction with ``k = v/u`` over F_p, and the empty-element
+  starting points. Runs in O(p^2) XORs; tests cross-check it against the
+  generic parity-check decoder.
+* :func:`make_tip` — arbitrary array sizes via codeword shortening with
+  *adjusters* (Sec. VII, Fig. 16).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import is_prime, next_prime
+from repro.codes.base import ArrayCode, Cell, Position
+
+__all__ = ["TipCode", "TipAlgebraicDecoder", "make_tip", "tip_parameters"]
+
+
+def _tip_structure(p: int) -> tuple[dict[Position, Cell], dict[Position, tuple[Position, ...]]]:
+    """Build the kinds and parity chains of the native TIP layout.
+
+    Grid: rows ``0..p-2``, columns ``0..p``. Parity placement:
+    horizontal in column ``p``; diagonal parity of chain ``i`` at
+    ``(i, i+1)``; anti-diagonal parity of chain ``i`` at ``(i, p-1-i)``.
+    """
+    rows = p - 1
+    kinds: dict[Position, Cell] = {}
+    for i in range(rows):
+        kinds[(i, p)] = Cell.PARITY        # horizontal
+        kinds[(i, i + 1)] = Cell.PARITY    # diagonal
+        kinds[(i, p - 1 - i)] = Cell.PARITY  # anti-diagonal
+
+    chains: dict[Position, tuple[Position, ...]] = {}
+    for i in range(rows):
+        # Eq. (1): row i minus the two embedded parity cells.
+        members = tuple(
+            (i, j)
+            for j in range(p)
+            if j != i + 1 and i + j != p - 1
+        )
+        chains[(i, p)] = members
+        # Eq. (2): diagonal chain i — cells (<i-j>_p, j), skipping the
+        # imaginary row p-1 and other diagonal-parity cells.
+        members = tuple(
+            ((i - j) % p, j)
+            for j in range(p)
+            if (i - j) % p != p - 1 and (i - j) % p + 1 != j
+        )
+        chains[(i, i + 1)] = members
+        # Eq. (3): anti-diagonal chain i — cells (<i+j>_p, j), skipping the
+        # imaginary row and other anti-diagonal-parity cells.
+        members = tuple(
+            ((i + j) % p, j)
+            for j in range(p)
+            if (i + j) % p != p - 1 and (i + j) % p + j != p - 1
+        )
+        chains[(i, p - 1 - i)] = members
+    return kinds, chains
+
+
+class TipCode(ArrayCode):
+    """Native TIP-code over ``p + 1`` disks (``p`` an odd prime).
+
+    The layout is a ``(p-1) x (p+1)`` element grid. Column ``p`` holds the
+    horizontal parities; the diagonal and anti-diagonal parities live on
+    the main and anti diagonals of the inner square (columns ``1..p-1``),
+    so parities never participate in other parities — the defining
+    property of the code.
+    """
+
+    def __init__(self, p: int) -> None:
+        if not is_prime(p) or p < 3:
+            raise ValueError(f"TIP-code requires an odd prime p, got {p}")
+        self.p = p
+        kinds, chains = _tip_structure(p)
+        super().__init__(
+            name=f"tip-p{p}", rows=p - 1, cols=p + 1, kinds=kinds,
+            chains=chains, faults=3,
+        )
+
+    def algebraic_decoder(self) -> "TipAlgebraicDecoder":
+        """Return the paper's specialized decoder for this stripe shape."""
+        return TipAlgebraicDecoder(self)
+
+
+def tip_parameters(n: int) -> tuple[int, int]:
+    """Choose ``(p, removed_columns)`` for an ``n``-disk TIP array.
+
+    Uses the smallest odd prime with ``p + 1 >= n``; Sec. VII constrains
+    valid sizes to ``(p+3)/2 <= n <= p+1``, which the smallest such prime
+    always satisfies (Bertrand's postulate).
+    """
+    if n < 4:
+        raise ValueError(f"a 3-fault-tolerant array needs n >= 4, got {n}")
+    p = next_prime(max(n - 1, 3))
+    if n < (p + 3) // 2:  # pragma: no cover - unreachable for smallest p
+        raise ValueError(f"no valid TIP prime for n={n}")
+    return p, p + 1 - n
+
+
+def make_tip(n: int | None = None, p: int | None = None) -> ArrayCode:
+    """Construct a TIP-code for ``n`` disks (or natively for prime ``p``).
+
+    For ``n == p + 1`` this is the native layout; for ``n == p`` column 0
+    (all data) is simply shortened; smaller sizes use the *adjuster*
+    technique of Sec. VII: each diagonal/anti-diagonal parity lost with a
+    removed column is re-homed onto the chain's data element in column
+    ``p - 1`` (the second-to-last column), which then stores the XOR of
+    the chain's surviving data elements.
+    """
+    if (n is None) == (p is None):
+        raise ValueError("pass exactly one of n or p")
+    if n is None:
+        return TipCode(p)  # type: ignore[arg-type]
+    chosen_p, removed = tip_parameters(n)
+    if removed == 0:
+        return TipCode(chosen_p)
+    return _shorten_tip(chosen_p, removed, name=f"tip-n{n}")
+
+
+def _shorten_tip(p: int, removed: int, name: str) -> ArrayCode:
+    """Shorten TIP(p) by its leftmost ``removed`` columns with adjusters."""
+    if removed >= (p + 1) // 2:
+        raise ValueError(
+            f"TIP(p={p}) supports at most {(p - 1) // 2} removed columns"
+        )
+    kinds, chains = _tip_structure(p)
+    removed_cols = set(range(removed))
+
+    # Column 0 is all data; columns 1..removed-1 each contain one diagonal
+    # parity at (c-1, c) and one anti-diagonal parity at (p-1-c, c). Each
+    # such chain gets an adjuster: its member in column p-1.
+    adjusters: dict[Position, Position] = {}  # removed parity -> adjuster
+    for col in range(1, removed):
+        for parity in ((col - 1, col), (p - 1 - col, col)):
+            members = chains[parity]
+            homes = [pos for pos in members if pos[1] == p - 1]
+            if len(homes) != 1:  # pragma: no cover - structural invariant
+                raise RuntimeError(f"chain of {parity} lacks a unique adjuster")
+            adjusters[parity] = homes[0]
+
+    new_kinds: dict[Position, Cell] = {}
+    new_chains: dict[Position, tuple[Position, ...]] = {}
+
+    def survives(pos: Position) -> bool:
+        return pos[1] not in removed_cols
+
+    def shift(pos: Position) -> Position:
+        return (pos[0], pos[1] - removed)
+
+    adjuster_cells = set(adjusters.values())
+    for parity, members in chains.items():
+        kept = tuple(shift(m) for m in members if survives(m))
+        if survives(parity):
+            new_kinds[shift(parity)] = Cell.PARITY
+            new_chains[shift(parity)] = kept
+        else:
+            # Re-home the chain on its adjuster: adjuster = XOR of the
+            # chain's other surviving members (Fig. 16's C1,6 example).
+            home = shift(adjusters[parity])
+            new_kinds[home] = Cell.PARITY
+            new_chains[home] = tuple(m for m in kept if m != home)
+    # Sanity: adjusters must not collide with native parity cells.
+    for cell in adjuster_cells:
+        if kinds.get(cell) == Cell.PARITY:  # pragma: no cover - invariant
+            raise RuntimeError(f"adjuster {cell} collides with a parity cell")
+    return ArrayCode(
+        name=name, rows=p - 1, cols=p + 1 - removed, kinds=new_kinds,
+        chains=new_chains, faults=3,
+    )
+
+
+class TipAlgebraicDecoder:
+    """The paper's reconstruction algorithm for native TIP stripes.
+
+    Handles any three distinct failed columns:
+
+    * **Case 1** (horizontal column ``p`` among the failures, Sec. III-C):
+      the two remaining failures are recovered by zig-zag peeling over the
+      diagonal and anti-diagonal chains of the equivalent layout *D*
+      (the two-sequence construction of Eq. 8), then column ``p`` is
+      re-encoded.
+    * **Case 2** (three failures among columns ``0..p-1``, Sec. III-D):
+      build ``E[i] = D[i] ^ D[p-2-i]``, compute the three syndrome
+      families, combine them in cross patterns (Eq. 13), reduce 4-tuples
+      to 2-tuples with ``k = v/u`` over F_p (Eq. 15), sweep each failed
+      column from its structurally-empty element, then repeat the same
+      sweep on *D* itself using Eq. 16, and finally re-encode the parity
+      cells of the failed columns.
+    """
+
+    def __init__(self, code: TipCode) -> None:
+        if not isinstance(code, TipCode):
+            raise TypeError("TipAlgebraicDecoder requires a native TipCode")
+        self.code = code
+        self.p = code.p
+
+    # ------------------------------------------------------------------
+    def decode(self, stripe: np.ndarray, failed: tuple[int, ...] | list[int]) -> np.ndarray:
+        """Reconstruct up to three failed columns of ``stripe`` in place."""
+        p = self.p
+        failed_key = tuple(sorted(set(failed)))
+        if not failed_key:
+            raise ValueError("need at least one failed column")
+        if len(failed_key) > 3:
+            raise ValueError("TIP-code tolerates at most 3 failures")
+        for col in failed_key:
+            if not 0 <= col <= p:
+                raise ValueError(f"column {col} out of range 0..{p}")
+        self.code.erase_columns(stripe, failed_key)
+        if len(failed_key) < 3:
+            # Fewer erasures are a strict sub-case; the generic scheduled
+            # decoder is already optimal there (Sec. IV-C1).
+            self.code.decode(stripe, failed_key)
+            return stripe
+        if failed_key[-1] == p:
+            self._decode_case1(stripe, failed_key[0], failed_key[1])
+        else:
+            self._decode_case2(stripe, failed_key)
+        return stripe
+
+    # ------------------------------------------------------------------
+    # the equivalent layout D (Fig. 4): rows -1..p-1 stored at index r+1
+    # ------------------------------------------------------------------
+    def _build_d(self, stripe: np.ndarray) -> np.ndarray:
+        """Return D as a ``(p+1, p, packet)`` array (rows -1..p-1, cols 0..p-1).
+
+        Data cells stay in place; the diagonal parity of column ``c``
+        moves to row ``p-1``; the anti-diagonal parity moves to row
+        ``-1``; vacated positions become zero.
+        """
+        p = self.p
+        packet = stripe.shape[2]
+        d_matrix = np.zeros((p + 1, p, packet), dtype=np.uint8)
+        for r in range(p - 1):
+            for c in range(p):
+                kind = self.code.kind(r, c)
+                if kind == Cell.DATA:
+                    d_matrix[r + 1, c] = stripe[r, c]
+        for i in range(p - 1):
+            d_matrix[p, i + 1] = stripe[i, i + 1]          # diagonal -> row p-1
+            d_matrix[0, p - 1 - i] = stripe[i, p - 1 - i]  # anti-diag -> row -1
+        return d_matrix
+
+    @staticmethod
+    def _d_row(d_matrix: np.ndarray, row: int) -> np.ndarray:
+        """Index D by its mathematical row in ``-1..p-1``."""
+        return d_matrix[row + 1]
+
+    # ------------------------------------------------------------------
+    # Case 1: column p failed; peel the two data-side failures over D
+    # ------------------------------------------------------------------
+    def _decode_case1(self, stripe: np.ndarray, f1: int, f2: int) -> None:
+        p = self.p
+        d_matrix = self._build_d(stripe)
+        packet = stripe.shape[2]
+        failed = {f1, f2}
+
+        # Structural zeros of D in the failed columns are known.
+        empties = {
+            (row, col)
+            for col in failed
+            for row in self._empty_rows_of_column(col)
+        }
+        unknown = {
+            (row, col)
+            for col in failed
+            for row in range(-1, p)
+            if (row, col) not in empties
+        }
+
+        # Chains over D: diagonal chains use rows 0..p-1 (Eq. 6),
+        # anti-diagonal chains use rows -1..p-2 (Eq. 7); both sum to zero.
+        chains: list[list[tuple[int, int]]] = []
+        for i in range(p):
+            chains.append([((i - j) % p, j) for j in range(p)])
+            chains.append([(p - 2 - (i - j) % p, j) for j in range(p)])
+
+        values: dict[tuple[int, int], np.ndarray] = {}
+        pending: list[tuple[list[tuple[int, int]], np.ndarray]] = []
+        for chain in chains:
+            acc = np.zeros(packet, dtype=np.uint8)
+            missing: list[tuple[int, int]] = []
+            for row, col in chain:
+                if (row, col) in unknown:
+                    missing.append((row, col))
+                else:
+                    np.bitwise_xor(acc, self._d_row(d_matrix, row)[col], out=acc)
+            pending.append((missing, acc))
+
+        resolved = True
+        while unknown and resolved:
+            resolved = False
+            for missing, acc in pending:
+                live = [pos for pos in missing if pos in unknown]
+                if len(live) != 1:
+                    continue
+                target = live[0]
+                value = acc.copy()
+                for pos in missing:
+                    if pos != target and pos in values:
+                        np.bitwise_xor(value, values[pos], out=value)
+                values[target] = value
+                self._d_row(d_matrix, target[0])[target[1]] = value
+                unknown.discard(target)
+                resolved = True
+        if unknown:  # pragma: no cover - contradicts Theorem 1
+            raise RuntimeError(f"Case-1 peeling stalled with {len(unknown)} unknowns")
+
+        self._write_back_from_d(stripe, d_matrix, failed)
+        self._reencode_columns(stripe, failed | {p})
+
+    def _empty_rows_of_column(self, col: int) -> list[int]:
+        """Rows of D that are structurally zero in ``col`` (0..p-1)."""
+        p = self.p
+        empties: list[int] = []
+        if col == 0:
+            empties.extend([-1, p - 1])  # column 0 has no embedded parities
+        else:
+            empties.append(col - 1)       # vacated diagonal-parity cell
+            empties.append(p - 1 - col)   # vacated anti-diagonal-parity cell
+        return empties
+
+    # ------------------------------------------------------------------
+    # Case 2: three failures among columns 0..p-1 (Sec. III-D)
+    # ------------------------------------------------------------------
+    def _decode_case2(self, stripe: np.ndarray, failed: tuple[int, int, int]) -> None:
+        p = self.p
+        packet = stripe.shape[2]
+        d_matrix = self._build_d(stripe)
+        surviving = [c for c in range(p) if c not in failed]
+
+        # S: XOR of all horizontal parities (Eq. 4).
+        total = np.zeros(packet, dtype=np.uint8)
+        for i in range(p - 1):
+            np.bitwise_xor(total, stripe[i, p], out=total)
+
+        # Step 1: E[i] = D[i] ^ D[p-2-i] for rows 0..p-1 (Eq. 9).
+        e_matrix = np.zeros((p, p, packet), dtype=np.uint8)
+        for i in range(p):
+            e_matrix[i] = self._d_row(d_matrix, i) ^ self._d_row(d_matrix, p - 2 - i)
+
+        # Step 2: the three syndrome families of E. Row chains have known
+        # right-hand sides (Eq. 10); diagonal/anti-diagonal sum to zero.
+        def row_rhs_e(r: int) -> np.ndarray:
+            if r == p - 1:
+                return np.zeros(packet, dtype=np.uint8)
+            rhs = stripe[r, p].copy()
+            np.bitwise_xor(rhs, stripe[p - 2 - r, p], out=rhs)
+            return rhs
+
+        synd = self._syndromes(e_matrix, surviving, row_rhs_e,
+                               lambda i: np.zeros(packet, dtype=np.uint8))
+
+        # Steps 3-5: recover each failed column of E via cross patterns.
+        for middle in failed:
+            others = [c for c in failed if c != middle]
+            self._recover_column(e_matrix, synd, others[0], middle, others[1])
+
+        # Step 7: decode the p x p sub-matrix of D (rows 0..p-1) the same
+        # way; anti-diagonal chains now have RHS E[p-1, p-1-i] (Eq. 16).
+        def row_rhs_d(r: int) -> np.ndarray:
+            if r == p - 1:
+                return total
+            return stripe[r, p]
+
+        def anti_rhs_d(i: int) -> np.ndarray:
+            return e_matrix[p - 1, (p - 1 - i) % p]
+
+        sub_d = d_matrix[1:]  # rows 0..p-1
+        synd_d = self._syndromes(sub_d, surviving, row_rhs_d, anti_rhs_d)
+        for middle in failed:
+            others = [c for c in failed if c != middle]
+            self._recover_column(sub_d, synd_d, others[0], middle, others[1])
+
+        self._write_back_from_d(stripe, d_matrix, set(failed))
+        self._reencode_columns(stripe, set(failed))
+
+    def _syndromes(
+        self,
+        grid: np.ndarray,
+        surviving: list[int],
+        row_rhs,
+        anti_rhs,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Compute (S_{r,0}, S_{r,1}, S_{r,2}) for a p x p chain system.
+
+        Each syndrome equals the XOR of the chain's *erased* elements:
+        the XOR of its surviving elements plus the chain's known RHS.
+        """
+        p = self.p
+        packet = grid.shape[2]
+        s_row = np.zeros((p, packet), dtype=np.uint8)
+        s_diag = np.zeros((p, packet), dtype=np.uint8)
+        s_anti = np.zeros((p, packet), dtype=np.uint8)
+        for r in range(p):
+            np.bitwise_xor(s_row[r], row_rhs(r), out=s_row[r])
+            np.bitwise_xor(s_anti[r], anti_rhs(r), out=s_anti[r])
+        for j in surviving:
+            for r in range(p):
+                np.bitwise_xor(s_row[r], grid[r, j], out=s_row[r])
+                np.bitwise_xor(s_diag[r], grid[(r - j) % p, j], out=s_diag[r])
+                np.bitwise_xor(s_anti[r], grid[(r + j) % p, j], out=s_anti[r])
+        return s_row, s_diag, s_anti
+
+    def _recover_column(
+        self,
+        grid: np.ndarray,
+        synd: tuple[np.ndarray, np.ndarray, np.ndarray],
+        before: int,
+        middle: int,
+        after: int,
+    ) -> None:
+        """Recover ``grid[:, middle]`` with ``before``/``after`` also failed.
+
+        Implements Eqs. 13-15: the cross pattern cancels the two outer
+        columns; accumulating ``k = v/u (mod p)`` consecutive cross
+        patterns cancels two of the four middle-column terms, leaving the
+        2-tuple ``grid[r] ^ grid[r + 2v]``; the sweep starts from the
+        structurally-empty element ``grid[p-1-middle, middle]``.
+        """
+        p = self.p
+        packet = grid.shape[2]
+        s_row, s_diag, s_anti = synd
+        u = (middle - before) % p
+        v = (after - middle) % p
+        # Cross patterns (Eq. 13).
+        cross = np.zeros((p, packet), dtype=np.uint8)
+        for r in range(p):
+            cross[r] = s_row[r].copy()
+            np.bitwise_xor(cross[r], s_row[(r + u + v) % p], out=cross[r])
+            np.bitwise_xor(cross[r], s_diag[(r + after) % p], out=cross[r])
+            np.bitwise_xor(cross[r], s_anti[(r - before) % p], out=cross[r])
+        # 4-tuple -> 2-tuple: k = v / u over F_p (Eq. 15).
+        k = (v * pow(u, p - 2, p)) % p
+        pair = np.zeros((p, packet), dtype=np.uint8)
+        for r in range(p):
+            acc = pair[r]
+            for j in range(k):
+                np.bitwise_xor(acc, cross[(r + j * u) % p], out=acc)
+        # Sweep from the empty element: grid[r] ^ grid[r+2v] = pair[r].
+        start = (p - 1 - middle) % p
+        grid[start, middle] = 0
+        r = start
+        for _ in range(p - 1):
+            nxt = (r + 2 * v) % p
+            grid[nxt, middle] = grid[r, middle] ^ pair[r]
+            r = nxt
+
+    # ------------------------------------------------------------------
+    def _write_back_from_d(
+        self, stripe: np.ndarray, d_matrix: np.ndarray, failed: set[int]
+    ) -> None:
+        """Copy recovered *data* cells of failed columns from D to the stripe."""
+        p = self.p
+        for col in failed:
+            if col >= p:
+                continue
+            for row in range(p - 1):
+                if self.code.kind(row, col) == Cell.DATA:
+                    stripe[row, col] = self._d_row(d_matrix, row)[col]
+
+    def _reencode_columns(self, stripe: np.ndarray, failed: set[int]) -> None:
+        """Recompute every parity cell of the failed columns from its chain.
+
+        All TIP chains contain only data elements, so once the data cells
+        are back this closes the reconstruction.
+        """
+        for parity, members in self.code.chains.items():
+            if parity[1] not in failed:
+                continue
+            acc = stripe[parity[0], parity[1]]
+            acc[:] = 0
+            for row, col in members:
+                np.bitwise_xor(acc, stripe[row, col], out=acc)

@@ -1,0 +1,65 @@
+"""Triple-Star code (Wang et al. 2012) — the Rotary-code triple extension.
+
+Reference [41] of the TIP paper. Unlike STAR there are no S1/S2 adjusters;
+instead the horizontal parity column lies inside the span of both the
+diagonal and anti-diagonal chains, so every horizontal parity update
+cascades into one diagonal and one anti-diagonal parity (Fig. 2(d) of the
+TIP paper: a single write touches 5 parity elements). The patented
+Triple-Parity code [9] is this layout with the two diagonal columns
+swapped, which is why the paper's evaluation treats them as equivalent.
+
+Layout: ``(p-1) x (p+2)``; columns ``0..p-2`` data, column ``p-1``
+horizontal parity, column ``p`` anti-diagonal parity, column ``p+1``
+diagonal parity (matching Fig. 2's examples).
+"""
+
+from __future__ import annotations
+
+from repro._util import is_prime
+from repro.codes.base import ArrayCode, Cell, Position, shorten
+
+__all__ = ["TripleStarCode", "make_triple_star"]
+
+
+class TripleStarCode(ArrayCode):
+    """Triple-Star over ``p + 2`` disks (``p`` an odd prime)."""
+
+    def __init__(self, p: int) -> None:
+        if not is_prime(p) or p < 3:
+            raise ValueError(f"Triple-Star requires an odd prime p, got {p}")
+        self.p = p
+        rows = p - 1
+        kinds: dict[Position, Cell] = {}
+        chains: dict[Position, tuple[Position, ...]] = {}
+        for i in range(rows):
+            kinds[(i, p - 1)] = Cell.PARITY  # horizontal
+            kinds[(i, p)] = Cell.PARITY      # anti-diagonal
+            kinds[(i, p + 1)] = Cell.PARITY  # diagonal
+            chains[(i, p - 1)] = tuple((i, j) for j in range(p - 1))
+            # Both diagonal directions span columns 0..p-1, i.e. they
+            # include the horizontal parity column (the chained layout
+            # inherited from RDP/Rotary-code).
+            chains[(i, p)] = tuple(
+                ((i + j) % p, j) for j in range(p) if (i + j) % p != p - 1
+            )
+            chains[(i, p + 1)] = tuple(
+                ((i - j) % p, j) for j in range(p) if (i - j) % p != p - 1
+            )
+        super().__init__(
+            name=f"triple-star-p{p}", rows=rows, cols=p + 2, kinds=kinds,
+            chains=chains, faults=3,
+        )
+
+
+def make_triple_star(n: int) -> ArrayCode:
+    """Triple-Star for ``n`` disks via shortening."""
+    if n < 4:
+        raise ValueError(f"Triple-Star needs n >= 4, got {n}")
+    p = 3
+    while p + 2 < n or not is_prime(p):
+        p += 2
+    code = TripleStarCode(p)
+    if p + 2 == n:
+        return code
+    removed = tuple(range(n - 3, p - 1))
+    return shorten(code, removed, name=f"triple-star-n{n}")

@@ -1,0 +1,57 @@
+"""X-code: the vertical RAID-6 MDS code with optimal update complexity.
+
+Xu & Bruck, "X-Code: MDS array codes with optimal encoding" (IEEE TIT
+1999) — reference [44]. X-code is the double-fault ancestor of TIP-code's
+design philosophy: parities are placed *inside* the array (two parity
+rows) and no parity ever participates in another parity, so every single
+write touches exactly two parities — the RAID-6 optimum, just as TIP
+achieves the 3DFT optimum.
+
+Layout: ``p x p`` for a prime ``p``. Rows ``0..p-3`` hold data; row
+``p-2`` holds the diagonal parities and row ``p-1`` the anti-diagonal
+parities:
+
+``C[p-2][i] = XOR_k C[k][(i+k+2) mod p]``,
+``C[p-1][i] = XOR_k C[k][(i-k-2) mod p]``  for ``k = 0..p-3``.
+"""
+
+from __future__ import annotations
+
+from repro._util import is_prime
+from repro.codes.base import ArrayCode, Cell, Position
+
+__all__ = ["XCode", "make_xcode"]
+
+
+class XCode(ArrayCode):
+    """X-code over ``p`` disks (``p`` an odd prime), 2-fault tolerant."""
+
+    def __init__(self, p: int) -> None:
+        if not is_prime(p) or p < 5:
+            raise ValueError(f"X-code requires a prime p >= 5, got {p}")
+        self.p = p
+        kinds: dict[Position, Cell] = {}
+        chains: dict[Position, tuple[Position, ...]] = {}
+        for i in range(p):
+            kinds[(p - 2, i)] = Cell.PARITY
+            kinds[(p - 1, i)] = Cell.PARITY
+            chains[(p - 2, i)] = tuple(
+                (k, (i + k + 2) % p) for k in range(p - 2)
+            )
+            chains[(p - 1, i)] = tuple(
+                (k, (i - k - 2) % p) for k in range(p - 2)
+            )
+        super().__init__(
+            name=f"x-code-p{p}", rows=p, cols=p, kinds=kinds, chains=chains,
+            faults=2,
+        )
+
+
+def make_xcode(n: int) -> XCode:
+    """X-code for exactly ``n`` disks; ``n`` must be a prime >= 5.
+
+    X-code is a vertical code: every column carries both data and parity,
+    so plain column shortening is impossible (the same constraint that
+    motivates TIP's adjusters in Sec. VII).
+    """
+    return XCode(n)

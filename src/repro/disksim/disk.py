@@ -1,0 +1,81 @@
+"""Single-disk service model: seek curve, rotational latency, transfer.
+
+The model follows the classic DiskSim decomposition of a request's
+service time:
+
+``service = seek(distance) + rotation + transfer(bytes)``
+
+* seek: zero for sequential access, otherwise a constant settle time plus
+  a square-root curve in the seek distance (the standard approximation of
+  measured seek profiles);
+* rotation: uniform in ``[0, full_revolution)`` drawn from the disk's own
+  deterministic RNG stream;
+* transfer: bytes divided by the sustained media rate.
+
+Addresses are in *chunks* (stripe units); the controller decides the
+chunk size. The disk services one I/O at a time from a FIFO queue — queue
+management lives in the simulator; this class only prices I/Os and tracks
+head position.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+__all__ = ["DiskParameters", "Disk"]
+
+
+@dataclass(frozen=True)
+class DiskParameters:
+    """Mechanical characteristics of one drive.
+
+    Defaults approximate a 7,200 RPM enterprise SATA disk from the era of
+    the Financial/MSR traces (~2002-2007): 8.5 ms full-stroke-average
+    seek, 4.17 ms half-rotation average, ~90 MB/s sustained transfer.
+    """
+
+    rpm: float = 7200.0
+    settle_ms: float = 0.8
+    seek_curve_ms: float = 7.7          # added at full-stroke distance
+    capacity_chunks: int = 2_000_000    # addressable chunks per disk
+    transfer_mb_s: float = 90.0
+    chunk_bytes: int = 8 * 1024
+
+    @property
+    def revolution_ms(self) -> float:
+        """Duration of one full platter revolution in milliseconds."""
+        return 60_000.0 / self.rpm
+
+    def seek_ms(self, distance_chunks: int) -> float:
+        """Seek time for a head movement of ``distance_chunks``."""
+        if distance_chunks <= 0:
+            return 0.0
+        fraction = min(distance_chunks / self.capacity_chunks, 1.0)
+        return self.settle_ms + self.seek_curve_ms * math.sqrt(fraction)
+
+    def transfer_ms(self, num_bytes: int) -> float:
+        """Media transfer time for ``num_bytes``."""
+        return num_bytes / (self.transfer_mb_s * 1e6) * 1e3
+
+
+class Disk:
+    """One drive's dynamic state: head position and its RNG stream."""
+
+    def __init__(self, params: DiskParameters, seed: int = 0) -> None:
+        self.params = params
+        self.head = 0
+        self._rng = random.Random(seed)
+
+    def service_ms(self, lba_chunk: int, num_bytes: int) -> float:
+        """Price one I/O and move the head; returns the service time."""
+        distance = abs(lba_chunk - self.head)
+        seek = self.params.seek_ms(distance)
+        if distance == 0:
+            rotation = 0.0  # sequential hit: no rotational repositioning
+        else:
+            rotation = self._rng.uniform(0.0, self.params.revolution_ms)
+        transfer = self.params.transfer_ms(num_bytes)
+        self.head = lba_chunk + max(num_bytes // self.params.chunk_bytes, 1)
+        return seek + rotation + transfer

@@ -1,0 +1,29 @@
+"""Galois field GF(2^w) arithmetic and structured matrix constructions.
+
+This subpackage is the substrate for the Reed-Solomon family of baselines:
+
+* :class:`repro.gf.field.GF2w` — table-driven field arithmetic for any
+  word size ``1 <= w <= 16``.
+* :mod:`repro.gf.matrices` — Cauchy and Vandermonde matrix constructions
+  over GF(2^w), plus the projection of field elements to ``w x w`` bit
+  matrices used by Cauchy Reed-Solomon coding (Bloemer et al. 1995).
+"""
+
+from repro.gf.field import GF2w, DEFAULT_PRIMITIVE_POLYS
+from repro.gf.matrices import (
+    cauchy_matrix,
+    vandermonde_matrix,
+    systematic_vandermonde,
+    element_to_bitmatrix,
+    gf_matrix_to_bitmatrix,
+)
+
+__all__ = [
+    "GF2w",
+    "DEFAULT_PRIMITIVE_POLYS",
+    "cauchy_matrix",
+    "vandermonde_matrix",
+    "systematic_vandermonde",
+    "element_to_bitmatrix",
+    "gf_matrix_to_bitmatrix",
+]

@@ -1,0 +1,227 @@
+"""Table-driven GF(2^w) finite-field arithmetic.
+
+The field is represented by integers ``0 .. 2^w - 1`` interpreted as
+polynomials over GF(2) modulo a primitive polynomial. Multiplication and
+division go through discrete log / antilog tables, the classic approach
+used by storage erasure-coding libraries (Jerasure, ISA-L).
+
+Only small word sizes are needed here (Cauchy-RS uses the smallest ``w``
+with ``2^w >= n``; classic RS uses ``w = 8``), but the implementation
+supports any ``1 <= w <= 16``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GF2w", "DEFAULT_PRIMITIVE_POLYS"]
+
+# Primitive polynomials for GF(2^w), expressed with the top bit included
+# (e.g. x^8+x^4+x^3+x^2+1 -> 0x11d). These match the Rijndael/Jerasure
+# conventions where applicable.
+DEFAULT_PRIMITIVE_POLYS: dict[int, int] = {
+    1: 0b11,                # x + 1
+    2: 0b111,               # x^2 + x + 1
+    3: 0b1011,              # x^3 + x + 1
+    4: 0b10011,             # x^4 + x + 1
+    5: 0b100101,            # x^5 + x^2 + 1
+    6: 0b1000011,           # x^6 + x + 1
+    7: 0b10001001,          # x^7 + x^3 + 1
+    8: 0x11D,               # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0b1000010001,        # x^9 + x^4 + 1
+    10: 0b10000001001,      # x^10 + x^3 + 1
+    11: 0b100000000101,     # x^11 + x^2 + 1
+    12: 0b1000001010011,    # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011,   # x^13 + x^4 + x^3 + x + 1
+    14: 0b100010001000011,  # x^14 + x^10 + x^6 + x + 1
+    15: 0b1000000000000011,  # x^15 + x + 1
+    16: 0b10001000000001011,  # x^16 + x^12 + x^3 + x + 1
+}
+
+
+class GF2w:
+    """Arithmetic in GF(2^w) with log/antilog tables.
+
+    Instances are cached per ``(w, poly)`` so repeated constructions (one
+    per code instance) share tables.
+    """
+
+    _cache: dict[tuple[int, int], "GF2w"] = {}
+
+    def __new__(cls, w: int, poly: int | None = None) -> "GF2w":
+        if not 1 <= w <= 16:
+            raise ValueError(f"word size w must be in 1..16, got {w}")
+        poly = DEFAULT_PRIMITIVE_POLYS[w] if poly is None else poly
+        key = (w, poly)
+        cached = cls._cache.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        self._init_tables(w, poly)
+        cls._cache[key] = self
+        return self
+
+    def _init_tables(self, w: int, poly: int) -> None:
+        self.w = w
+        self.poly = poly
+        self.size = 1 << w
+        self.max_element = self.size - 1
+        # antilog[i] = alpha^i ; log[antilog[i]] = i
+        antilog = np.zeros(2 * self.size, dtype=np.int64)
+        log = np.zeros(self.size, dtype=np.int64)
+        value = 1
+        for power in range(self.max_element):
+            if power > 0 and value == 1:
+                # alpha's order divides max_element but is smaller: the
+                # polynomial is irreducible-or-worse but not primitive.
+                raise ValueError(
+                    f"polynomial {poly:#x} is not primitive for GF(2^{w})"
+                )
+            antilog[power] = value
+            log[value] = power
+            value <<= 1
+            if value & self.size:
+                value ^= poly
+            if value >= self.size:
+                raise ValueError(
+                    f"polynomial {poly:#x} has degree below {w}"
+                )
+        if value != 1:
+            raise ValueError(
+                f"polynomial {poly:#x} is not primitive for GF(2^{w})"
+            )
+        # Double the antilog table so mul never needs an explicit mod.
+        antilog[self.max_element: 2 * self.max_element] = antilog[: self.max_element]
+        self._antilog = antilog
+        self._log = log
+
+    # ------------------------------------------------------------------
+    # scalar operations
+    # ------------------------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        """Field addition (XOR)."""
+        return a ^ b
+
+    sub = add  # characteristic 2: subtraction is addition
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via log tables."""
+        if a == 0 or b == 0:
+            return 0
+        return int(self._antilog[self._log[a] + self._log[b]])
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``; raises ZeroDivisionError on b == 0."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^w)")
+        if a == 0:
+            return 0
+        return int(
+            self._antilog[self._log[a] - self._log[b] + self.max_element]
+        )
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises ZeroDivisionError on a == 0."""
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(2^w)")
+        return int(self._antilog[self.max_element - self._log[a]])
+
+    def pow(self, a: int, exponent: int) -> int:
+        """Field exponentiation ``a ** exponent`` (exponent may be negative)."""
+        if a == 0:
+            if exponent == 0:
+                return 1
+            if exponent < 0:
+                raise ZeroDivisionError("zero to a negative power")
+            return 0
+        log_a = int(self._log[a]) * exponent
+        return int(self._antilog[log_a % self.max_element])
+
+    def alpha_power(self, exponent: int) -> int:
+        """Return ``alpha^exponent`` for the generator alpha = x."""
+        return int(self._antilog[exponent % self.max_element])
+
+    # ------------------------------------------------------------------
+    # matrix / vector operations (dense int64 numpy arrays of elements)
+    # ------------------------------------------------------------------
+    def mat_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Matrix product over the field. Small matrices; O(n^3) loops."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f"shape mismatch: {a.shape} x {b.shape}")
+        out = np.zeros((a.shape[0], b.shape[1]), dtype=np.int64)
+        for i in range(a.shape[0]):
+            for j in range(b.shape[1]):
+                acc = 0
+                for k in range(a.shape[1]):
+                    acc ^= self.mul(int(a[i, k]), int(b[k, j]))
+                out[i, j] = acc
+        return out
+
+    def mat_vec(self, a: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Matrix-vector product over the field."""
+        return self.mat_mul(a, np.asarray(v, dtype=np.int64).reshape(-1, 1)).ravel()
+
+    def mat_inv(self, a: np.ndarray) -> np.ndarray:
+        """Invert a square matrix over the field (Gauss-Jordan).
+
+        Raises ValueError if the matrix is singular.
+        """
+        a = np.array(a, dtype=np.int64, copy=True)
+        size = a.shape[0]
+        if a.shape != (size, size):
+            raise ValueError(f"matrix must be square, got {a.shape}")
+        inverse = np.eye(size, dtype=np.int64)
+        for col in range(size):
+            pivot = next(
+                (row for row in range(col, size) if a[row, col] != 0), None
+            )
+            if pivot is None:
+                raise ValueError("matrix is singular over GF(2^w)")
+            if pivot != col:
+                a[[col, pivot]] = a[[pivot, col]]
+                inverse[[col, pivot]] = inverse[[pivot, col]]
+            scale = self.inv(int(a[col, col]))
+            for j in range(size):
+                a[col, j] = self.mul(int(a[col, j]), scale)
+                inverse[col, j] = self.mul(int(inverse[col, j]), scale)
+            for row in range(size):
+                if row == col or a[row, col] == 0:
+                    continue
+                factor = int(a[row, col])
+                for j in range(size):
+                    a[row, j] ^= self.mul(factor, int(a[col, j]))
+                    inverse[row, j] ^= self.mul(factor, int(inverse[col, j]))
+        return inverse
+
+    # ------------------------------------------------------------------
+    # bulk packet operations (byte-region multiply-accumulate, w == 8)
+    # ------------------------------------------------------------------
+    def mul_region(self, constant: int, region: np.ndarray) -> np.ndarray:
+        """Multiply every byte of ``region`` by ``constant`` (w == 8 only).
+
+        This is the hot operation of classic word-based Reed-Solomon; the
+        table lookup is vectorized through a 256-entry product table.
+        """
+        if self.w != 8:
+            raise ValueError("mul_region requires w == 8")
+        region = np.asarray(region, dtype=np.uint8)
+        if constant == 0:
+            return np.zeros_like(region)
+        if constant == 1:
+            return region.copy()
+        table = self.mul_table_row(constant)
+        return table[region]
+
+    def mul_table_row(self, constant: int) -> np.ndarray:
+        """Return the 2^w-entry lookup table ``t[x] = constant * x``."""
+        table = np.zeros(self.size, dtype=np.uint8 if self.w <= 8 else np.uint16)
+        if constant:
+            log_c = int(self._log[constant])
+            nonzero = np.arange(1, self.size)
+            table[nonzero] = self._antilog[log_c + self._log[nonzero]]
+        return table
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GF2w(w={self.w}, poly={self.poly:#x})"

@@ -1,0 +1,175 @@
+"""Structured matrices over GF(2^w) and their GF(2) bit-matrix projections.
+
+Cauchy Reed-Solomon coding (Bloemer et al. 1995, the paper's [4]) replaces
+Galois-field multiplications by XORs of whole machine words: every field
+element ``e`` acts on a ``w``-bit column vector as a ``w x w`` bit matrix
+whose ``j``-th column is ``e * x^j``. Projecting a ``m x k`` Cauchy matrix
+element-wise yields an ``mw x kw`` bit matrix whose ones determine the XOR
+cost — which is exactly why Cauchy-RS has high update complexity (Sec. II-A1
+of the TIP paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.field import GF2w
+
+__all__ = [
+    "cauchy_matrix",
+    "vandermonde_matrix",
+    "systematic_vandermonde",
+    "element_to_bitmatrix",
+    "gf_matrix_to_bitmatrix",
+    "optimize_cauchy_ones",
+]
+
+
+def cauchy_matrix(
+    field: GF2w, rows: int, cols: int, xs: list[int] | None = None,
+    ys: list[int] | None = None,
+) -> np.ndarray:
+    """Build a ``rows x cols`` Cauchy matrix ``C[i][j] = 1/(x_i + y_j)``.
+
+    ``xs`` and ``ys`` must be disjoint lists of distinct field elements;
+    by default ``ys = 0..cols-1`` and ``xs = cols..cols+rows-1``, which is
+    the textbook (and Jerasure "original") choice.
+
+    Every square submatrix of a Cauchy matrix is invertible, which makes
+    the systematic code built from it MDS.
+    """
+    if xs is None:
+        xs = list(range(cols, cols + rows))
+    if ys is None:
+        ys = list(range(cols))
+    if len(xs) != rows or len(ys) != cols:
+        raise ValueError("xs/ys lengths must match rows/cols")
+    if rows + cols > field.size:
+        raise ValueError(
+            f"GF(2^{field.w}) too small for a {rows}x{cols} Cauchy matrix"
+        )
+    if set(xs) & set(ys) or len(set(xs)) != rows or len(set(ys)) != cols:
+        raise ValueError("xs and ys must be disjoint sets of distinct elements")
+    out = np.zeros((rows, cols), dtype=np.int64)
+    for i, x in enumerate(xs):
+        for j, y in enumerate(ys):
+            out[i, j] = field.inv(x ^ y)
+    return out
+
+
+def vandermonde_matrix(field: GF2w, rows: int, cols: int) -> np.ndarray:
+    """Build the ``rows x cols`` Vandermonde matrix ``V[i][j] = i^j``.
+
+    Uses evaluation points ``0, 1, ..., rows-1`` (with ``0^0 = 1``).
+    """
+    if rows > field.size:
+        raise ValueError("more rows than field elements")
+    out = np.zeros((rows, cols), dtype=np.int64)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = field.pow(i, j) if (i or not j) else (1 if j == 0 else 0)
+    # fix row 0: 0^0 = 1, 0^j = 0
+    out[0, :] = 0
+    out[0, 0] = 1
+    return out
+
+
+def systematic_vandermonde(field: GF2w, n: int, k: int) -> np.ndarray:
+    """Return an ``n x k`` systematic MDS generator (identity on top).
+
+    Construction: start from an ``n x k`` Vandermonde matrix (any ``k``
+    rows independent for ``n <= 2^w``), then column-reduce so the top
+    ``k x k`` block becomes the identity. Column operations preserve the
+    any-k-rows-invertible property, so the result is an MDS generator with
+    parity rows ``k..n-1`` — the classic RAID Reed-Solomon construction.
+    """
+    if k <= 0 or n <= k:
+        raise ValueError("need n > k > 0")
+    if n > field.size:
+        raise ValueError(f"n={n} exceeds GF(2^{field.w}) size")
+    mat = vandermonde_matrix(field, n, k)
+    # Gauss-Jordan on columns using the top k rows as pivots.
+    for col in range(k):
+        pivot = next(
+            (c for c in range(col, k) if mat[col, c] != 0), None
+        )
+        if pivot is None:  # pragma: no cover - cannot happen for Vandermonde
+            raise ValueError("degenerate Vandermonde matrix")
+        if pivot != col:
+            mat[:, [col, pivot]] = mat[:, [pivot, col]]
+        scale = field.inv(int(mat[col, col]))
+        for row in range(n):
+            mat[row, col] = field.mul(int(mat[row, col]), scale)
+        for other in range(k):
+            if other == col or mat[col, other] == 0:
+                continue
+            factor = int(mat[col, other])
+            for row in range(n):
+                mat[row, other] ^= field.mul(factor, int(mat[row, col]))
+    return mat
+
+
+def element_to_bitmatrix(field: GF2w, element: int) -> np.ndarray:
+    """Project a field element to its ``w x w`` GF(2) multiplication matrix.
+
+    Column ``j`` of the result is the bit representation of
+    ``element * x^j`` — multiplying a bit-vector by this matrix equals
+    field multiplication by ``element``.
+    """
+    w = field.w
+    out = np.zeros((w, w), dtype=np.uint8)
+    for j in range(w):
+        product = field.mul(element, 1 << j)
+        for i in range(w):
+            out[i, j] = (product >> i) & 1
+    return out
+
+
+def gf_matrix_to_bitmatrix(field: GF2w, matrix: np.ndarray) -> np.ndarray:
+    """Project an element matrix to its block bit matrix (Cauchy-RS style)."""
+    matrix = np.asarray(matrix, dtype=np.int64)
+    rows, cols = matrix.shape
+    w = field.w
+    out = np.zeros((rows * w, cols * w), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            out[i * w:(i + 1) * w, j * w:(j + 1) * w] = element_to_bitmatrix(
+                field, int(matrix[i, j])
+            )
+    return out
+
+
+def optimize_cauchy_ones(field: GF2w, cauchy: np.ndarray) -> np.ndarray:
+    """Reduce the popcount of a Cauchy matrix's bit projection.
+
+    Implements the row-scaling heuristic of Plank & Xu ("Optimizing Cauchy
+    Reed-Solomon codes...", NCA'06, the paper's [32]): dividing a whole row
+    of the Cauchy matrix by a nonzero constant keeps every square submatrix
+    invertible; for each row we pick the divisor that minimizes the number
+    of ones in the row's bit projection. Fewer ones = fewer XORs = lower
+    encoding cost (but the update complexity remains far from optimal,
+    which is the TIP paper's point).
+    """
+    cauchy = np.array(cauchy, dtype=np.int64, copy=True)
+    rows, cols = cauchy.shape
+    ones_of: dict[int, int] = {}
+
+    def popcount(element: int) -> int:
+        cached = ones_of.get(element)
+        if cached is None:
+            cached = int(element_to_bitmatrix(field, element).sum())
+            ones_of[element] = cached
+        return cached
+
+    for i in range(rows):
+        best_div, best_ones = 1, sum(popcount(int(e)) for e in cauchy[i])
+        for divisor in range(2, field.size):
+            total = sum(
+                popcount(field.div(int(e), divisor)) for e in cauchy[i]
+            )
+            if total < best_ones:
+                best_div, best_ones = divisor, total
+        if best_div != 1:
+            for j in range(cols):
+                cauchy[i, j] = field.div(int(cauchy[i, j]), best_div)
+    return cauchy

@@ -1,0 +1,18 @@
+"""Array reliability modeling — the quantitative case for 3DFTs.
+
+The paper's introduction motivates triple-fault tolerance with field
+studies showing concurrent disk failures are common at datacenter scale
+[26][35]. This subpackage makes that argument runnable:
+
+* :mod:`repro.reliability.markov` — closed-form MTTDL of an ``n``-disk
+  array tolerating ``m`` failures (absorbing birth-death Markov chain
+  with exponential failure/rebuild times);
+* :mod:`repro.reliability.montecarlo` — discrete-event failure-injection
+  simulation of the same process, cross-validating the Markov model and
+  supporting non-instantaneous rebuild policies.
+"""
+
+from repro.reliability.markov import ArrayReliability, mttdl
+from repro.reliability.montecarlo import simulate_mttdl
+
+__all__ = ["ArrayReliability", "mttdl", "simulate_mttdl"]

@@ -1,0 +1,92 @@
+"""Closed-form MTTDL via an absorbing birth-death Markov chain.
+
+States ``0..m`` count failed disks; state ``m+1`` (data loss) is
+absorbing. From state ``k`` the array fails at rate ``(n-k) * lambda``
+(surviving disks) and repairs at rate ``k * mu`` (failed disks rebuilding
+in parallel; set ``parallel_rebuild=False`` for one-at-a-time rebuild).
+MTTDL is the expected absorption time from state 0, solved exactly from
+the fundamental-matrix linear system — no simulation, no approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ArrayReliability", "mttdl"]
+
+HOURS_PER_YEAR = 24 * 365
+
+
+@dataclass(frozen=True)
+class ArrayReliability:
+    """Reliability parameters of one array configuration.
+
+    Args:
+        disks: number of disks ``n``.
+        faults_tolerated: failures survivable without data loss ``m``.
+        disk_mttf_hours: mean time to failure of one disk (1/lambda).
+        rebuild_hours: mean rebuild time of one disk (1/mu).
+        parallel_rebuild: rebuild all failed disks concurrently.
+    """
+
+    disks: int
+    faults_tolerated: int
+    disk_mttf_hours: float = 1_000_000.0
+    rebuild_hours: float = 24.0
+    parallel_rebuild: bool = True
+
+    def __post_init__(self) -> None:
+        if self.disks <= self.faults_tolerated:
+            raise ValueError("need more disks than tolerated faults")
+        if self.faults_tolerated < 0:
+            raise ValueError("faults_tolerated must be >= 0")
+        if self.disk_mttf_hours <= 0 or self.rebuild_hours <= 0:
+            raise ValueError("MTTF and rebuild time must be positive")
+
+    def mttdl_hours(self) -> float:
+        """Mean time to data loss in hours (exact chain solution)."""
+        m = self.faults_tolerated
+        n = self.disks
+        lam = 1.0 / self.disk_mttf_hours
+        mu = 1.0 / self.rebuild_hours
+        # T[k] = expected time to absorption from state k, k = 0..m.
+        # (rates_out[k]) * T[k] = 1 + fail_rate*T[k+1] + repair_rate*T[k-1]
+        size = m + 1
+        matrix = np.zeros((size, size))
+        rhs = np.ones(size)
+        for k in range(size):
+            fail = (n - k) * lam
+            repair = (k * mu if self.parallel_rebuild else (mu if k else 0.0))
+            matrix[k, k] = fail + repair
+            if k + 1 < size:
+                matrix[k, k + 1] = -fail
+            # k == m: failure leads to absorption (T = 0 contribution)
+            if k > 0:
+                matrix[k, k - 1] = -repair
+        times = np.linalg.solve(matrix, rhs)
+        return float(times[0])
+
+    def mttdl_years(self) -> float:
+        """Mean time to data loss in years."""
+        return self.mttdl_hours() / HOURS_PER_YEAR
+
+    def annual_loss_probability(self) -> float:
+        """Probability of data loss within one year (exponential approx)."""
+        return 1.0 - float(np.exp(-HOURS_PER_YEAR / self.mttdl_hours()))
+
+
+def mttdl(
+    disks: int,
+    faults_tolerated: int,
+    disk_mttf_hours: float = 1_000_000.0,
+    rebuild_hours: float = 24.0,
+) -> float:
+    """Convenience wrapper: MTTDL in hours for the default rebuild model."""
+    return ArrayReliability(
+        disks=disks,
+        faults_tolerated=faults_tolerated,
+        disk_mttf_hours=disk_mttf_hours,
+        rebuild_hours=rebuild_hours,
+    ).mttdl_hours()

@@ -1,0 +1,12 @@
+"""File-backed erasure-coded chunk store.
+
+Everything downstream of the stripe math in a real array: a directory of
+per-disk backing files, stripe layout on those files, a block-device-like
+read/write interface, online disk failure and rebuild, and scrubbing.
+This is the layer the examples use to behave like an actual storage
+system rather than a single-stripe demo.
+"""
+
+from repro.store.array_store import ArrayStore, DiskFailedError
+
+__all__ = ["ArrayStore", "DiskFailedError"]

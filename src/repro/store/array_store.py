@@ -1,0 +1,217 @@
+"""A persistent erasure-coded chunk store over per-disk backing files.
+
+Layout: disk ``d`` is one file of ``stripes * rows`` chunks; element
+``(row, col)`` of stripe ``s`` lives at chunk offset ``s * rows + row`` of
+disk ``col``'s file — the same mapping the simulator's RAID controller
+uses. The public interface is a logical chunk device:
+
+* :meth:`ArrayStore.write_chunks` / :meth:`read_chunks` — logical I/O
+  with parity maintenance (read-modify-write on partial stripes);
+* :meth:`fail_disk` / :meth:`rebuild` — take a disk offline (its file is
+  truncated, like a replaced drive) and reconstruct it from survivors;
+* :meth:`read_degraded` — serve reads while disks are missing, decoding
+  on the fly;
+* :meth:`scrub` — verify every stripe's parity chains.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.codes.base import ArrayCode
+
+__all__ = ["ArrayStore", "DiskFailedError"]
+
+
+class DiskFailedError(RuntimeError):
+    """Raised when an operation needs a disk that is marked failed."""
+
+
+class ArrayStore:
+    """An erasure-coded chunk store persisted as one file per disk.
+
+    Args:
+        code: the array code protecting the store.
+        directory: where the per-disk files live (created if missing).
+        stripes: stripe count; capacity = ``stripes * code.num_data``
+            chunks.
+        chunk_bytes: chunk (element) size in bytes.
+    """
+
+    def __init__(
+        self,
+        code: ArrayCode,
+        directory: str | Path,
+        stripes: int = 16,
+        chunk_bytes: int = 4096,
+    ) -> None:
+        if stripes <= 0 or chunk_bytes <= 0:
+            raise ValueError("stripes and chunk_bytes must be positive")
+        self.code = code
+        self.directory = Path(directory)
+        self.stripes = stripes
+        self.chunk_bytes = chunk_bytes
+        self.failed: set[int] = set()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._disk_bytes = stripes * code.rows * chunk_bytes
+        for disk in range(code.cols):
+            path = self._disk_path(disk)
+            if not path.exists() or path.stat().st_size != self._disk_bytes:
+                path.write_bytes(b"\0" * self._disk_bytes)
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity_chunks(self) -> int:
+        """Logical chunks the store can hold."""
+        return self.stripes * self.code.num_data
+
+    def _disk_path(self, disk: int) -> Path:
+        return self.directory / f"disk{disk:03d}.img"
+
+    def _read_element(self, stripe: int, pos: tuple[int, int]) -> np.ndarray:
+        row, col = pos
+        if col in self.failed:
+            raise DiskFailedError(f"disk {col} is failed")
+        offset = (stripe * self.code.rows + row) * self.chunk_bytes
+        with self._disk_path(col).open("rb") as handle:
+            handle.seek(offset)
+            data = handle.read(self.chunk_bytes)
+        return np.frombuffer(data, dtype=np.uint8).copy()
+
+    def _write_element(
+        self, stripe: int, pos: tuple[int, int], chunk: np.ndarray
+    ) -> None:
+        row, col = pos
+        if col in self.failed:
+            return  # writes to failed disks are dropped, as in a real array
+        offset = (stripe * self.code.rows + row) * self.chunk_bytes
+        with self._disk_path(col).open("r+b") as handle:
+            handle.seek(offset)
+            handle.write(chunk.tobytes())
+
+    def _load_stripe(self, stripe: int) -> np.ndarray:
+        """Read a whole stripe (failed columns come back zeroed)."""
+        out = np.zeros(
+            (self.code.rows, self.code.cols, self.chunk_bytes), dtype=np.uint8
+        )
+        for col in range(self.code.cols):
+            if col in self.failed:
+                continue
+            with self._disk_path(col).open("rb") as handle:
+                handle.seek(stripe * self.code.rows * self.chunk_bytes)
+                raw = handle.read(self.code.rows * self.chunk_bytes)
+            out[:, col, :] = np.frombuffer(raw, dtype=np.uint8).reshape(
+                self.code.rows, self.chunk_bytes
+            )
+        return out
+
+    def _store_stripe(self, stripe: int, data: np.ndarray) -> None:
+        for col in range(self.code.cols):
+            if col in self.failed:
+                continue
+            with self._disk_path(col).open("r+b") as handle:
+                handle.seek(stripe * self.code.rows * self.chunk_bytes)
+                handle.write(data[:, col, :].tobytes())
+
+    # ------------------------------------------------------------------
+    # logical chunk I/O
+    # ------------------------------------------------------------------
+    def write_chunks(self, start: int, chunks: np.ndarray) -> None:
+        """Write consecutive logical chunks starting at index ``start``.
+
+        Partial stripes use read-modify-write over the surviving disks;
+        the affected parities are recomputed from the full stripe content
+        so the store stays consistent even while degraded.
+        """
+        chunks = np.asarray(chunks, dtype=np.uint8)
+        if chunks.ndim != 2 or chunks.shape[1] != self.chunk_bytes:
+            raise ValueError(
+                f"chunks must be (k, {self.chunk_bytes}), got {chunks.shape}"
+            )
+        if start < 0 or start + chunks.shape[0] > self.capacity_chunks:
+            raise ValueError("write beyond store capacity")
+        per_stripe = self.code.num_data
+        index = 0
+        while index < chunks.shape[0]:
+            logical = start + index
+            stripe, within = divmod(logical, per_stripe)
+            run = min(per_stripe - within, chunks.shape[0] - index)
+            grid = self._load_stripe(stripe)
+            if self.failed:
+                # Degraded write: reconstruct the stripe before updating
+                # so parity recomputation sees correct data.
+                self.code.decode(grid, tuple(self.failed))
+            for offset in range(run):
+                row, col = self.code.data_positions[within + offset]
+                grid[row, col] = chunks[index + offset]
+            self.code.encode(grid)
+            self._store_stripe(stripe, grid)
+            index += run
+
+    def read_chunks(self, start: int, count: int) -> np.ndarray:
+        """Read ``count`` logical chunks from ``start`` (degraded-safe)."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if start < 0 or start + count > self.capacity_chunks:
+            raise ValueError("read beyond store capacity")
+        out = np.zeros((count, self.chunk_bytes), dtype=np.uint8)
+        per_stripe = self.code.num_data
+        index = 0
+        while index < count:
+            logical = start + index
+            stripe, within = divmod(logical, per_stripe)
+            run = min(per_stripe - within, count - index)
+            grid = self._load_stripe(stripe)
+            needs_decode = self.failed and any(
+                self.code.data_positions[within + offset][1] in self.failed
+                for offset in range(run)
+            )
+            if needs_decode:
+                self.code.decode(grid, tuple(self.failed))
+            for offset in range(run):
+                row, col = self.code.data_positions[within + offset]
+                out[index + offset] = grid[row, col]
+            index += run
+        return out
+
+    # ------------------------------------------------------------------
+    # failures, rebuild, scrubbing
+    # ------------------------------------------------------------------
+    def fail_disk(self, disk: int) -> None:
+        """Mark ``disk`` failed and wipe its backing file (drive swap)."""
+        if not 0 <= disk < self.code.cols:
+            raise ValueError(f"disk {disk} out of range")
+        if len(self.failed | {disk}) > self.code.faults:
+            raise DiskFailedError(
+                f"failing disk {disk} would exceed the fault budget "
+                f"({self.code.faults})"
+            )
+        self.failed.add(disk)
+        self._disk_path(disk).write_bytes(b"\0" * self._disk_bytes)
+
+    def rebuild(self) -> int:
+        """Reconstruct every failed disk from survivors; returns stripes
+        rebuilt. The store is fully healthy afterwards."""
+        if not self.failed:
+            return 0
+        failed = tuple(sorted(self.failed))
+        for stripe in range(self.stripes):
+            grid = self._load_stripe(stripe)
+            self.code.decode(grid, failed)
+            self.failed.clear()  # allow writes to the rebuilt columns
+            self._store_stripe(stripe, grid)
+            self.failed.update(failed)
+        self.failed.clear()
+        return self.stripes
+
+    def scrub(self) -> list[int]:
+        """Verify all stripes; returns the indices of corrupt stripes."""
+        if self.failed:
+            raise DiskFailedError("cannot scrub a degraded array")
+        return [
+            stripe
+            for stripe in range(self.stripes)
+            if not self.code.verify_stripe(self._load_stripe(stripe))
+        ]

@@ -1,0 +1,32 @@
+"""Block I/O trace infrastructure.
+
+The paper evaluates synthetic write complexity on the MSR Cambridge
+traces [24] and response time on the UMass/SPC Financial traces [12].
+Neither trace set ships with this repository (they are external
+artifacts), so :mod:`repro.traces.synthetic` generates statistically
+matched substitutes: each generator reproduces the published Table III
+statistics (write fraction, average request length, IOPS) with realistic
+request-size and spatial-locality distributions. The analysis and
+simulation layers consume the same :class:`~repro.traces.model.TraceRequest`
+records either way, so real traces can be dropped in via
+:func:`~repro.traces.model.parse_csv_trace`.
+"""
+
+from repro.traces.model import Trace, TraceRequest, TraceStats, parse_csv_trace
+from repro.traces.synthetic import (
+    TABLE3_WORKLOADS,
+    WorkloadSpec,
+    generate_trace,
+    workload_names,
+)
+
+__all__ = [
+    "Trace",
+    "TraceRequest",
+    "TraceStats",
+    "parse_csv_trace",
+    "TABLE3_WORKLOADS",
+    "WorkloadSpec",
+    "generate_trace",
+    "workload_names",
+]

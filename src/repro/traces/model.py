@@ -1,0 +1,154 @@
+"""Trace records, aggregate statistics, and CSV parsing.
+
+A trace is an ordered sequence of block I/O requests. Offsets and lengths
+are in bytes; timestamps in seconds from trace start. The model is
+deliberately minimal — exactly the fields the write-cost analysis
+(Fig. 12) and the disk-array simulator (Fig. 13) need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["TraceRequest", "Trace", "TraceStats", "parse_csv_trace"]
+
+SECTOR = 512
+"""Block device sector size in bytes; offsets/lengths align to it."""
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One block I/O request."""
+
+    timestamp: float
+    offset: int
+    length: int
+    is_write: bool
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError(f"negative timestamp {self.timestamp}")
+        if self.offset < 0:
+            raise ValueError(f"negative offset {self.offset}")
+        if self.length <= 0:
+            raise ValueError(f"non-positive length {self.length}")
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics in the units of the paper's Table III."""
+
+    requests: int
+    duration_s: float
+    iops: float
+    write_fraction: float
+    avg_request_kb: float
+
+
+class Trace:
+    """An ordered sequence of :class:`TraceRequest`, with statistics."""
+
+    def __init__(self, name: str, requests: list[TraceRequest]) -> None:
+        if not requests:
+            raise ValueError("a trace needs at least one request")
+        self.name = name
+        self.requests = sorted(requests, key=lambda r: r.timestamp)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def writes(self) -> list[TraceRequest]:
+        """The write requests, in order."""
+        return [r for r in self.requests if r.is_write]
+
+    def stats(self) -> TraceStats:
+        """Compute Table III-style statistics for this trace."""
+        count = len(self.requests)
+        duration = max(self.requests[-1].timestamp, 1e-9)
+        writes = sum(1 for r in self.requests if r.is_write)
+        total_bytes = sum(r.length for r in self.requests)
+        return TraceStats(
+            requests=count,
+            duration_s=duration,
+            iops=count / duration,
+            write_fraction=writes / count,
+            avg_request_kb=total_bytes / count / 1024.0,
+        )
+
+    def scaled(self, max_requests: int) -> "Trace":
+        """A prefix of the trace with at most ``max_requests`` requests.
+
+        Used to run the full-size workload definitions at laptop scale;
+        the statistical properties are stationary by construction of the
+        synthetic generators.
+        """
+        if max_requests <= 0:
+            raise ValueError("max_requests must be positive")
+        return Trace(self.name, self.requests[:max_requests])
+
+    def stretched(self, factor: float) -> "Trace":
+        """The same requests replayed at ``1/factor`` of the arrival rate.
+
+        Response-time simulations use this to keep the simulated array at
+        moderate utilization when the modeled disks are slower than the
+        hardware a trace was captured on: saturation makes queueing delays
+        diverge and code-to-code ratios meaningless.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return Trace(
+            self.name,
+            [
+                TraceRequest(
+                    timestamp=r.timestamp * factor,
+                    offset=r.offset,
+                    length=r.length,
+                    is_write=r.is_write,
+                )
+                for r in self.requests
+            ],
+        )
+
+
+def parse_csv_trace(path: str | Path, name: str | None = None) -> Trace:
+    """Parse a trace in the UMass/SPC-style CSV format.
+
+    Expected columns per line:
+    ``application_id, device_id, offset_sectors, length_sectors, opcode,
+    timestamp_s`` — ``opcode`` is ``r``/``R`` or ``w``/``W``. Extra
+    columns are ignored; malformed lines raise ValueError with the line
+    number.
+    """
+    path = Path(path)
+    requests: list[TraceRequest] = []
+    with path.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = [f.strip() for f in line.split(",")]
+            if len(fields) < 6:
+                raise ValueError(f"{path}:{lineno}: expected >= 6 fields")
+            try:
+                offset = int(fields[2]) * SECTOR
+                length = int(fields[3]) * SECTOR
+                opcode = fields[4].lower()
+                timestamp = float(fields[5])
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from exc
+            if opcode not in ("r", "w"):
+                raise ValueError(f"{path}:{lineno}: bad opcode {fields[4]!r}")
+            requests.append(
+                TraceRequest(
+                    timestamp=timestamp,
+                    offset=offset,
+                    length=max(length, SECTOR),
+                    is_write=opcode == "w",
+                )
+            )
+    return Trace(name or path.stem, requests)

@@ -1,0 +1,137 @@
+"""Tests for the file-backed erasure-coded chunk store."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_code
+from repro.store import ArrayStore, DiskFailedError
+
+CHUNK = 512
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArrayStore(
+        make_code("tip", 6), tmp_path, stripes=4, chunk_bytes=CHUNK
+    )
+
+
+def random_chunks(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(count, CHUNK), dtype=np.uint8)
+
+
+class TestBasics:
+    def test_files_created(self, store, tmp_path):
+        files = sorted(tmp_path.glob("disk*.img"))
+        assert len(files) == 6
+        expected = 4 * store.code.rows * CHUNK
+        assert all(f.stat().st_size == expected for f in files)
+
+    def test_capacity(self, store):
+        assert store.capacity_chunks == 4 * store.code.num_data
+
+    def test_roundtrip(self, store):
+        data = random_chunks(10, seed=1)
+        store.write_chunks(3, data)
+        assert np.array_equal(store.read_chunks(3, 10), data)
+
+    def test_write_spanning_stripes(self, store):
+        per = store.code.num_data
+        data = random_chunks(per + 5, seed=2)
+        store.write_chunks(per - 3, data)
+        assert np.array_equal(store.read_chunks(per - 3, per + 5), data)
+
+    def test_scrub_clean_after_writes(self, store):
+        store.write_chunks(0, random_chunks(20, seed=3))
+        assert store.scrub() == []
+
+    def test_scrub_detects_corruption(self, store, tmp_path):
+        store.write_chunks(0, random_chunks(8, seed=4))
+        # Flip a byte directly in a backing file (silent corruption).
+        path = tmp_path / "disk002.img"
+        raw = bytearray(path.read_bytes())
+        raw[100] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert store.scrub() == [0]
+
+    def test_bounds_checked(self, store):
+        with pytest.raises(ValueError):
+            store.write_chunks(-1, random_chunks(1))
+        with pytest.raises(ValueError):
+            store.write_chunks(store.capacity_chunks, random_chunks(1))
+        with pytest.raises(ValueError):
+            store.read_chunks(0, 0)
+        with pytest.raises(ValueError):
+            store.read_chunks(store.capacity_chunks - 1, 2)
+
+    def test_chunk_shape_checked(self, store):
+        with pytest.raises(ValueError):
+            store.write_chunks(0, np.zeros((2, CHUNK + 1), dtype=np.uint8))
+
+    def test_persistence_across_instances(self, tmp_path):
+        code = make_code("tip", 6)
+        data = random_chunks(6, seed=5)
+        first = ArrayStore(code, tmp_path, stripes=4, chunk_bytes=CHUNK)
+        first.write_chunks(0, data)
+        second = ArrayStore(code, tmp_path, stripes=4, chunk_bytes=CHUNK)
+        assert np.array_equal(second.read_chunks(0, 6), data)
+
+
+class TestFailures:
+    def test_degraded_read(self, store):
+        data = random_chunks(store.code.num_data, seed=6)
+        store.write_chunks(0, data)
+        store.fail_disk(0)
+        store.fail_disk(3)
+        store.fail_disk(5)
+        assert np.array_equal(
+            store.read_chunks(0, store.code.num_data), data
+        )
+
+    def test_degraded_write_then_rebuild(self, store):
+        initial = random_chunks(store.code.num_data, seed=7)
+        store.write_chunks(0, initial)
+        store.fail_disk(2)
+        update = random_chunks(4, seed=8)
+        store.write_chunks(1, update)
+        rebuilt = store.rebuild()
+        assert rebuilt == store.stripes
+        assert store.failed == set()
+        expected = initial.copy()
+        expected[1:5] = update
+        assert np.array_equal(
+            store.read_chunks(0, store.code.num_data), expected
+        )
+        assert store.scrub() == []
+
+    def test_rebuild_restores_disk_files(self, store, tmp_path):
+        data = random_chunks(8, seed=9)
+        store.write_chunks(0, data)
+        before = (tmp_path / "disk001.img").read_bytes()
+        store.fail_disk(1)
+        assert (tmp_path / "disk001.img").read_bytes() != before
+        store.rebuild()
+        assert (tmp_path / "disk001.img").read_bytes() == before
+
+    def test_fault_budget_enforced(self, store):
+        for disk in (0, 1, 2):
+            store.fail_disk(disk)
+        with pytest.raises(DiskFailedError):
+            store.fail_disk(3)
+
+    def test_fail_disk_bounds(self, store):
+        with pytest.raises(ValueError):
+            store.fail_disk(99)
+
+    def test_scrub_refuses_degraded(self, store):
+        store.fail_disk(0)
+        with pytest.raises(DiskFailedError):
+            store.scrub()
+
+    def test_rebuild_noop_when_healthy(self, store):
+        assert store.rebuild() == 0
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArrayStore(make_code("tip", 6), tmp_path, stripes=0)

@@ -1,0 +1,307 @@
+"""Tests for the ArrayCode framework itself (repro.codes.base)."""
+
+import numpy as np
+import pytest
+
+from repro.bitmatrix import bm_mul
+from repro.codes.base import ArrayCode, Cell, shorten
+from repro.codes.tip import TipCode
+from repro.codes.triple_star import TripleStarCode
+
+
+def tiny_code() -> ArrayCode:
+    """A hand-built 2x3 single-parity code for framework edge cases."""
+    return ArrayCode(
+        name="tiny",
+        rows=2,
+        cols=3,
+        kinds={(0, 2): Cell.PARITY, (1, 2): Cell.PARITY},
+        chains={
+            (0, 2): ((0, 0), (0, 1)),
+            (1, 2): ((1, 0), (1, 1)),
+        },
+        faults=1,
+    )
+
+
+def chained_code() -> ArrayCode:
+    """A code whose second parity depends on the first (tests ordering)."""
+    return ArrayCode(
+        name="chained",
+        rows=1,
+        cols=4,
+        kinds={(0, 2): Cell.PARITY, (0, 3): Cell.PARITY},
+        chains={
+            (0, 2): ((0, 0), (0, 1)),
+            (0, 3): ((0, 1), (0, 2)),  # includes parity (0,2)
+        },
+        faults=1,
+    )
+
+
+class TestValidation:
+    def test_missing_chain_rejected(self):
+        with pytest.raises(ValueError, match="chain/parity mismatch"):
+            ArrayCode("bad", 1, 3, {(0, 2): Cell.PARITY}, {}, faults=1)
+
+    def test_chain_on_data_cell_rejected(self):
+        with pytest.raises(ValueError, match="chain/parity mismatch"):
+            ArrayCode(
+                "bad", 1, 3, {}, {(0, 2): ((0, 0),)}, faults=1
+            )
+
+    def test_self_referencing_chain_rejected(self):
+        with pytest.raises(ValueError, match="references itself"):
+            ArrayCode(
+                "bad", 1, 3, {(0, 2): Cell.PARITY},
+                {(0, 2): ((0, 0), (0, 2))}, faults=1,
+            )
+
+    def test_chain_through_empty_rejected(self):
+        with pytest.raises(ValueError, match="EMPTY"):
+            ArrayCode(
+                "bad", 1, 3,
+                {(0, 2): Cell.PARITY, (0, 1): Cell.EMPTY},
+                {(0, 2): ((0, 0), (0, 1))}, faults=1,
+            )
+
+    def test_cyclic_chains_rejected(self):
+        with pytest.raises(ValueError, match="cyclic"):
+            ArrayCode(
+                "bad", 1, 4,
+                {(0, 2): Cell.PARITY, (0, 3): Cell.PARITY},
+                {(0, 2): ((0, 0), (0, 3)), (0, 3): ((0, 1), (0, 2))},
+                faults=1,
+            )
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ArrayCode(
+                "bad", 1, 3, {(0, 2): Cell.PARITY},
+                {(0, 2): ((0, 0), (0, 0))}, faults=1,
+            )
+
+    def test_faults_bounds(self):
+        with pytest.raises(ValueError):
+            ArrayCode("bad", 1, 3, {}, {}, faults=0)
+        with pytest.raises(ValueError):
+            ArrayCode("bad", 1, 3, {}, {}, faults=3)
+
+    def test_out_of_grid_position_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            ArrayCode("bad", 1, 3, {(5, 0): Cell.PARITY}, {}, faults=1)
+
+
+class TestStructure:
+    def test_counts(self):
+        code = tiny_code()
+        assert code.n == 3
+        assert code.num_data == 4
+        assert code.num_parity == 2
+        assert code.k == 2
+        assert code.storage_efficiency == pytest.approx(4 / 6)
+
+    def test_data_positions_row_major(self):
+        code = tiny_code()
+        assert code.data_positions == ((0, 0), (0, 1), (1, 0), (1, 1))
+
+    def test_nonempty_positions_column_major(self):
+        code = tiny_code()
+        assert code.nonempty_positions == (
+            (0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)
+        )
+
+    def test_encoding_order_respects_dependencies(self):
+        code = chained_code()
+        order = code.encoding_order
+        assert order.index((0, 2)) < order.index((0, 3))
+
+    def test_expanded_chain_cancellation(self):
+        code = chained_code()
+        # (0,3) = (0,1) ^ (0,2) = (0,1) ^ (0,0) ^ (0,1) = (0,0)
+        assert code.expanded_chains[(0, 3)] == frozenset({(0, 0)})
+
+    def test_kind_lookup(self):
+        code = tiny_code()
+        assert code.kind(0, 0) == Cell.DATA
+        assert code.kind(0, 2) == Cell.PARITY
+        with pytest.raises(ValueError):
+            code.kind(9, 9)
+
+
+class TestMatrices:
+    @pytest.mark.parametrize("code_factory", [tiny_code, chained_code,
+                                              lambda: TipCode(5),
+                                              lambda: TripleStarCode(5)])
+    def test_parity_check_annihilates_generator(self, code_factory):
+        code = code_factory()
+        product = bm_mul(code.parity_check_matrix(), code.generator_matrix())
+        assert not product.any()
+
+    def test_generator_has_unit_rows_for_data(self):
+        code = tiny_code()
+        gen = code.generator_matrix()
+        for pos in code.data_positions:
+            row = gen[code.element_index[pos]]
+            assert row.sum() == 1
+            assert row[code.data_index[pos]] == 1
+
+
+class TestStripes:
+    def test_make_stripe_and_verify(self):
+        code = tiny_code()
+        data = np.arange(4 * 8, dtype=np.uint8).reshape(4, 8)
+        stripe = code.make_stripe(data)
+        assert code.verify_stripe(stripe)
+        assert np.array_equal(code.extract_data(stripe), data)
+
+    def test_corrupted_stripe_fails_verify(self):
+        code = tiny_code()
+        stripe = code.random_stripe(seed=1)
+        stripe[0, 0, 0] ^= 0xFF
+        assert not code.verify_stripe(stripe)
+
+    def test_nonzero_empty_cell_fails_verify(self):
+        code = ArrayCode(
+            "with-empty", 1, 4,
+            {(0, 3): Cell.PARITY, (0, 2): Cell.EMPTY},
+            {(0, 3): ((0, 0), (0, 1))}, faults=1,
+        )
+        stripe = code.random_stripe(seed=2)
+        assert code.verify_stripe(stripe)
+        stripe[0, 2, 0] = 1
+        assert not code.verify_stripe(stripe)
+
+    def test_make_stripe_wrong_count(self):
+        with pytest.raises(ValueError):
+            tiny_code().make_stripe(np.zeros((3, 8), dtype=np.uint8))
+
+    def test_chained_encode_order_correct(self):
+        code = chained_code()
+        stripe = code.random_stripe(seed=3)
+        # (0,3) must equal (0,1) ^ (0,2) with (0,2) already encoded.
+        assert np.array_equal(stripe[0, 3], stripe[0, 1] ^ stripe[0, 2])
+
+    def test_erase_columns_bounds(self):
+        code = tiny_code()
+        stripe = code.random_stripe(seed=4)
+        with pytest.raises(ValueError):
+            code.erase_columns(stripe, (7,))
+
+    def test_stripe_shape_checked(self):
+        code = tiny_code()
+        with pytest.raises(ValueError):
+            code.encode(np.zeros((3, 3, 4), dtype=np.uint8))
+
+
+class TestDecoding:
+    def test_single_failure_all_columns(self):
+        code = tiny_code()
+        stripe = code.random_stripe(seed=5)
+        for col in range(code.cols):
+            damaged = stripe.copy()
+            code.erase_columns(damaged, (col,))
+            code.decode(damaged, (col,))
+            assert np.array_equal(damaged, stripe)
+
+    def test_too_many_failures_rejected(self):
+        code = tiny_code()
+        stripe = code.random_stripe(seed=6)
+        with pytest.raises(ValueError):
+            code.decode(stripe, (0, 1))
+
+    def test_empty_failure_set_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_code().decoder_for(())
+
+    def test_decoder_cached(self):
+        code = tiny_code()
+        assert code.decoder_for((1,)) is code.decoder_for([1])
+
+    def test_iterative_equals_direct(self):
+        code = TipCode(5)
+        stripe = code.random_stripe(seed=7)
+        direct = stripe.copy()
+        code.erase_columns(direct, (0, 2, 5))
+        code.decode(direct, (0, 2, 5), iterative=False)
+        iterative = stripe.copy()
+        code.erase_columns(iterative, (0, 2, 5))
+        code.decode(iterative, (0, 2, 5), iterative=True)
+        assert np.array_equal(direct, stripe)
+        assert np.array_equal(iterative, stripe)
+
+    def test_undecodable_failure_raises(self):
+        code = tiny_code()  # single parity per row: cannot lose 2 columns
+        with pytest.raises(ValueError):
+            ArrayCode(
+                "weak", 1, 3, {(0, 2): Cell.PARITY},
+                {(0, 2): ((0, 0),)}, faults=1,
+            ).decoder_for((1,))  # column 1 not covered by any chain
+
+
+class TestUpdatePenalty:
+    def test_direct_membership(self):
+        code = tiny_code()
+        assert code.update_penalty((0, 0)) == frozenset({(0, 2)})
+
+    def test_transitive_closure(self):
+        code = chained_code()
+        # (0,1) feeds (0,2) directly and (0,3) both directly and via (0,2).
+        assert code.update_penalty((0, 1)) == frozenset({(0, 2), (0, 3)})
+        # (0,0) feeds (0,2), which feeds (0,3).
+        assert code.update_penalty((0, 0)) == frozenset({(0, 2), (0, 3)})
+
+    def test_empty_cell_rejected(self):
+        code = ArrayCode(
+            "with-empty", 1, 4,
+            {(0, 3): Cell.PARITY, (0, 2): Cell.EMPTY},
+            {(0, 3): ((0, 0), (0, 1))}, faults=1,
+        )
+        with pytest.raises(ValueError):
+            code.update_penalty((0, 2))
+
+
+class TestShortening:
+    def test_shorten_preserves_decodability(self):
+        code = TripleStarCode(5)
+        short = shorten(code, (0, 1))
+        assert short.cols == code.cols - 2
+        assert short.is_mds()
+        stripe = short.random_stripe(seed=8)
+        damaged = stripe.copy()
+        short.erase_columns(damaged, (0, 2, 4))
+        short.decode(damaged, (0, 2, 4))
+        assert np.array_equal(damaged, stripe)
+
+    def test_shorten_rejects_parity_columns(self):
+        code = TripleStarCode(5)
+        with pytest.raises(ValueError, match="holds parity"):
+            shorten(code, (code.cols - 1,))
+
+    def test_shorten_rejects_too_much(self):
+        code = tiny_code()
+        with pytest.raises(ValueError):
+            shorten(code, (0, 1))
+
+    def test_shorten_out_of_range(self):
+        with pytest.raises(ValueError):
+            shorten(TripleStarCode(5), (99,))
+
+    def test_shortened_equivalence_to_zero_columns(self):
+        """Shortened stripe == full stripe with removed columns zeroed."""
+        code = TripleStarCode(5)
+        short = shorten(code, (0,))
+        rng = np.random.default_rng(9)
+        short_data = rng.integers(
+            0, 256, size=(short.num_data, 4), dtype=np.uint8
+        )
+        short_stripe = short.make_stripe(short_data)
+        # Build the same stripe in the full code with column 0 zeroed.
+        full_data = np.zeros((code.num_data, 4), dtype=np.uint8)
+        index = 0
+        for pos in code.data_positions:
+            if pos[1] != 0:
+                full_data[code.data_index[pos]] = short_data[index]
+                index += 1
+        full_stripe = code.make_stripe(full_data)
+        assert np.array_equal(full_stripe[:, 1:, :], short_stripe)

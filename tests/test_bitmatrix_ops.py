@@ -1,0 +1,109 @@
+"""Tests for GF(2) dense matrix operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitmatrix import (
+    bm_identity,
+    bm_inv,
+    bm_is_invertible,
+    bm_mat_vec,
+    bm_mul,
+    bm_rank,
+    bm_solve,
+)
+from repro.bitmatrix.ops import as_bitmatrix
+
+
+def random_invertible(size: int, rng: np.random.Generator) -> np.ndarray:
+    while True:
+        mat = rng.integers(0, 2, size=(size, size), dtype=np.uint8)
+        if bm_is_invertible(mat):
+            return mat
+
+
+def test_as_bitmatrix_rejects_bad_values():
+    with pytest.raises(ValueError):
+        as_bitmatrix(np.array([[0, 2]]))
+    with pytest.raises(ValueError):
+        as_bitmatrix(np.zeros(3))
+
+
+def test_identity_and_mul():
+    eye = bm_identity(4)
+    mat = np.array([[1, 0, 1, 1]] * 4, dtype=np.uint8)
+    assert np.array_equal(bm_mul(eye, mat), mat)
+    assert np.array_equal(bm_mul(mat, eye), mat)
+
+
+def test_mul_is_mod2():
+    a = np.array([[1, 1]], dtype=np.uint8)
+    b = np.array([[1], [1]], dtype=np.uint8)
+    assert bm_mul(a, b)[0, 0] == 0  # 1+1 = 0 over GF(2)
+
+
+def test_mul_shape_mismatch():
+    with pytest.raises(ValueError):
+        bm_mul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8))
+
+
+def test_rank_examples():
+    assert bm_rank(bm_identity(5)) == 5
+    assert bm_rank(np.zeros((3, 4), dtype=np.uint8)) == 0
+    dup = np.array([[1, 0, 1], [1, 0, 1], [0, 1, 0]], dtype=np.uint8)
+    assert bm_rank(dup) == 2
+
+
+@given(st.integers(1, 8), st.integers(0, 2**32 - 1))
+@settings(max_examples=40)
+def test_inverse_roundtrip(size, seed):
+    rng = np.random.default_rng(seed)
+    mat = random_invertible(size, rng)
+    inv = bm_inv(mat)
+    assert np.array_equal(bm_mul(mat, inv), bm_identity(size))
+    assert np.array_equal(bm_mul(inv, mat), bm_identity(size))
+
+
+def test_inverse_of_singular_raises():
+    singular = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+    with pytest.raises(ValueError):
+        bm_inv(singular)
+    with pytest.raises(ValueError):
+        bm_inv(np.zeros((2, 3), dtype=np.uint8))
+
+
+@given(st.integers(1, 8), st.integers(0, 2**32 - 1))
+@settings(max_examples=40)
+def test_solve_matches_inverse(size, seed):
+    rng = np.random.default_rng(seed)
+    mat = random_invertible(size, rng)
+    rhs = rng.integers(0, 2, size=size, dtype=np.uint8)
+    solution = bm_solve(mat, rhs)
+    assert np.array_equal(bm_mat_vec(mat, solution), rhs)
+
+
+def test_solve_matrix_rhs():
+    rng = np.random.default_rng(3)
+    mat = random_invertible(5, rng)
+    rhs = rng.integers(0, 2, size=(5, 3), dtype=np.uint8)
+    solution = bm_solve(mat, rhs)
+    assert solution.shape == (5, 3)
+    assert np.array_equal(bm_mul(mat, solution), rhs)
+
+
+def test_solve_singular_raises():
+    with pytest.raises(ValueError):
+        bm_solve(np.zeros((2, 2), dtype=np.uint8), np.zeros(2, dtype=np.uint8))
+
+
+def test_solve_rhs_shape_mismatch():
+    mat = bm_identity(3)
+    with pytest.raises(ValueError):
+        bm_solve(mat, np.zeros(4, dtype=np.uint8))
+
+
+def test_mat_vec_basic():
+    mat = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+    vec = np.array([1, 1, 1], dtype=np.uint8)
+    assert np.array_equal(bm_mat_vec(mat, vec), np.array([0, 0], dtype=np.uint8))

@@ -1,0 +1,89 @@
+"""Tests for XOR scheduling (bit matrix scheduling, Sec. IV-C1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitmatrix import bm_mat_vec, naive_schedule, smart_schedule
+
+
+def random_matrix(rows, cols, seed, density=0.5):
+    rng = np.random.default_rng(seed)
+    return (rng.random((rows, cols)) < density).astype(np.uint8)
+
+
+@given(
+    st.integers(1, 10), st.integers(1, 10), st.integers(0, 2**32 - 1)
+)
+@settings(max_examples=60)
+def test_schedules_compute_the_product(rows, cols, seed):
+    matrix = random_matrix(rows, cols, seed)
+    rng = np.random.default_rng(seed ^ 0xFFFF)
+    bits = rng.integers(0, 2, size=cols, dtype=np.uint8)
+    expected = bm_mat_vec(matrix, bits)
+    assert np.array_equal(naive_schedule(matrix).apply_bits(bits), expected)
+    assert np.array_equal(smart_schedule(matrix).apply_bits(bits), expected)
+
+
+@given(st.integers(1, 12), st.integers(1, 12), st.integers(0, 2**32 - 1))
+@settings(max_examples=60)
+def test_smart_never_costs_more_than_naive(rows, cols, seed):
+    matrix = random_matrix(rows, cols, seed)
+    assert smart_schedule(matrix).xor_count <= naive_schedule(matrix).xor_count
+
+
+def test_naive_xor_count_is_ones_minus_rows():
+    matrix = np.array([[1, 1, 1], [1, 0, 0], [0, 0, 0]], dtype=np.uint8)
+    schedule = naive_schedule(matrix)
+    assert schedule.xor_count == (3 - 1) + (1 - 1)
+
+
+def test_smart_exploits_shared_terms():
+    """Rows differing in one position should chain at cost 1."""
+    matrix = np.array(
+        [
+            [1, 1, 1, 1, 0],
+            [1, 1, 1, 1, 1],  # = row 0 plus one term
+            [0, 1, 1, 1, 1],  # = row 1 minus one term
+        ],
+        dtype=np.uint8,
+    )
+    schedule = smart_schedule(matrix)
+    # naive: 3 + 4 + 3 = 10 XORs; smart: 3 (row 0) + 1 + 1 = 5.
+    assert schedule.xor_count == 5
+
+
+def test_apply_on_packets_matches_bits():
+    matrix = random_matrix(6, 8, seed=11)
+    rng = np.random.default_rng(5)
+    packets = [rng.integers(0, 256, size=64, dtype=np.uint8) for _ in range(8)]
+    outputs = smart_schedule(matrix).apply(packets)
+    for row in range(6):
+        expected = np.zeros(64, dtype=np.uint8)
+        for col in range(8):
+            if matrix[row, col]:
+                expected ^= packets[col]
+        assert np.array_equal(outputs[row], expected)
+
+
+def test_apply_wrong_packet_count():
+    matrix = random_matrix(2, 3, seed=1)
+    schedule = naive_schedule(matrix)
+    with pytest.raises(ValueError):
+        schedule.apply([np.zeros(4, dtype=np.uint8)] * 2)
+
+
+def test_zero_rows_produce_zero_packets():
+    matrix = np.zeros((2, 3), dtype=np.uint8)
+    packets = [np.ones(8, dtype=np.uint8) for _ in range(3)]
+    outputs = smart_schedule(matrix).apply(packets)
+    assert all(not out.any() for out in outputs)
+
+
+def test_schedule_does_not_mutate_inputs():
+    matrix = np.array([[1, 1], [1, 0]], dtype=np.uint8)
+    packets = [np.full(4, 7, dtype=np.uint8), np.full(4, 9, dtype=np.uint8)]
+    copies = [p.copy() for p in packets]
+    smart_schedule(matrix).apply(packets)
+    for packet, copy in zip(packets, copies):
+        assert np.array_equal(packet, copy)

@@ -1,0 +1,84 @@
+"""Tests for Cauchy Reed-Solomon bit-matrix codes."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes.cauchy import CauchyRSCode, make_cauchy_rs, min_word_size
+
+
+def test_min_word_size():
+    assert min_word_size(2) == 1
+    assert min_word_size(4) == 2
+    assert min_word_size(5) == 3
+    assert min_word_size(8) == 3
+    assert min_word_size(9) == 4
+    assert min_word_size(16) == 4
+    assert min_word_size(17) == 5
+
+
+class TestStructure:
+    def test_shape(self):
+        code = CauchyRSCode(8, m=3)
+        assert code.cols == 8
+        assert code.rows == code.w == 3
+        assert code.k == 5
+        assert code.num_parity == 3 * 3
+
+    def test_word_size_override(self):
+        code = CauchyRSCode(6, m=3, w=4)
+        assert code.rows == 4
+
+    def test_too_small_word_size(self):
+        with pytest.raises(ValueError):
+            CauchyRSCode(9, m=3, w=3)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            CauchyRSCode(4, m=4)
+        with pytest.raises(ValueError):
+            CauchyRSCode(4, m=0)
+
+    def test_parities_depend_only_on_data(self):
+        code = CauchyRSCode(6, m=3)
+        for members in code.chains.values():
+            for row, col in members:
+                assert col < code.k
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("n,m", [(5, 2), (6, 3), (8, 3)])
+    def test_mds(self, n, m):
+        assert CauchyRSCode(n, m=m).is_mds()
+
+    @pytest.mark.parametrize("n", [6, 8])
+    def test_decode_all_triples(self, n):
+        code = make_cauchy_rs(n)
+        stripe = code.random_stripe(packet_size=4, seed=n)
+        for combo in itertools.combinations(range(code.cols), 3):
+            damaged = stripe.copy()
+            code.erase_columns(damaged, combo)
+            code.decode(damaged, combo)
+            assert np.array_equal(damaged, stripe), combo
+
+    def test_optimization_reduces_chain_weight(self):
+        """The [32] row scaling must not increase total chain length."""
+        plain = CauchyRSCode(8, m=3, optimize=False)
+        tuned = CauchyRSCode(8, m=3, optimize=True)
+        weight = lambda code: sum(len(m) for m in code.chains.values())
+        assert weight(tuned) <= weight(plain)
+        assert tuned.is_mds()
+
+    def test_any_size_supported(self):
+        for n in (4, 5, 7, 9, 11, 13):
+            code = make_cauchy_rs(n)
+            assert code.cols == n
+
+    def test_update_cost_above_tip_optimum(self):
+        """Dense bit-matrix rows: single writes touch > 3 parities on
+        average (the paper's Cauchy-RS critique)."""
+        from repro.analysis import single_write_cost
+
+        code = make_cauchy_rs(12)
+        assert single_write_cost(code) > 4.0

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_list(capsys):
+    code, out, _ = run(capsys, "list")
+    assert code == 0
+    assert "tip" in out.splitlines()
+    assert "cauchy-rs" in out
+
+
+def test_layout(capsys):
+    code, out, _ = run(capsys, "layout", "tip", "6")
+    assert code == 0
+    assert "tip-p5" in out
+    assert "P" in out and "." in out
+
+
+def test_layout_unknown_family(capsys):
+    code, _, err = run(capsys, "layout", "raid0", "6")
+    assert code == 2
+    assert "unknown code family" in err
+
+
+def test_verify_success(capsys):
+    code, out, _ = run(capsys, "verify", "tip", "8")
+    assert code == 0
+    assert "decodable: yes" in out
+    assert "round-trip" in out
+
+
+def test_verify_unsupported_size(capsys):
+    code, _, err = run(capsys, "verify", "hdd1", "9")
+    assert code == 2
+    assert "p + 1" in err
+
+
+def test_write_cost_single(capsys):
+    code, out, _ = run(capsys, "write-cost", "tip", "12")
+    assert code == 0
+    assert "4.000" in out
+
+
+def test_write_cost_partial(capsys):
+    code, out, _ = run(capsys, "write-cost", "tip", "12", "--length", "4")
+    assert code == 0
+    assert "4 consecutive" in out
+
+
+def test_simulate(capsys):
+    code, out, _ = run(capsys, "simulate", "src2_0", "6", "--requests", "120")
+    assert code == 0
+    assert "tip" in out
+    assert "elems/write" in out
+
+
+def test_simulate_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["simulate", "nope", "6"])
+
+
+def test_reliability(capsys):
+    code, out, _ = run(capsys, "reliability", "12")
+    assert code == 0
+    assert "RAID-5" in out and "3DFT" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

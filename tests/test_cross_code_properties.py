@@ -1,0 +1,111 @@
+"""Cross-code property-based tests: invariants every construction shares."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitmatrix import bm_mul
+from repro.codes import make_code
+from repro.codes.registry import CODE_FAMILIES
+
+FAMILIES_N8 = sorted(CODE_FAMILIES)
+
+#: X-code is a vertical code defined only for prime n.
+SIZE_FOR = {"x-code": 7}
+
+
+def code_at_8(family):
+    return make_code(family, SIZE_FOR.get(family, 8))
+
+
+@pytest.mark.parametrize("family", FAMILIES_N8)
+def test_parity_check_annihilates_generator(family):
+    code = code_at_8(family)
+    assert not bm_mul(code.parity_check_matrix(), code.generator_matrix()).any()
+
+
+@pytest.mark.parametrize("family", FAMILIES_N8)
+def test_encoded_stripe_verifies(family):
+    code = code_at_8(family)
+    stripe = code.random_stripe(packet_size=16, seed=1)
+    assert code.verify_stripe(stripe)
+
+
+@pytest.mark.parametrize("family", FAMILIES_N8)
+def test_update_penalty_matches_reencode_diff(family):
+    """Flipping one data element and re-encoding must change exactly the
+    parities in its update-penalty closure — the invariant connecting the
+    write-cost analysis (Figs. 10-12) to the actual encoder."""
+    code = code_at_8(family)
+    stripe = code.random_stripe(packet_size=4, seed=2)
+    pos = code.data_positions[len(code.data_positions) // 2]
+    modified = stripe.copy()
+    modified[pos[0], pos[1], 0] ^= 0xFF
+    code.encode(modified)
+    changed = {
+        parity
+        for parity in code.parity_positions
+        if not np.array_equal(
+            modified[parity[0], parity[1]], stripe[parity[0], parity[1]]
+        )
+    }
+    assert changed == set(code.update_penalty(pos))
+
+
+@pytest.mark.parametrize("family", FAMILIES_N8)
+def test_decode_handles_parity_only_failures(family):
+    """Losing only parity disks must also be repaired (re-encode path)."""
+    code = code_at_8(family)
+    stripe = code.random_stripe(packet_size=8, seed=3)
+    parity_cols = sorted({pos[1] for pos in code.parity_positions})
+    failed = tuple(parity_cols[: code.faults])
+    damaged = stripe.copy()
+    code.erase_columns(damaged, failed)
+    code.decode(damaged, failed)
+    assert np.array_equal(damaged, stripe)
+
+
+@given(
+    family=st.sampled_from(["tip", "star", "triple-star", "cauchy-rs", "hdd1"]),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_random_triple_failure_roundtrip(family, seed):
+    code = code_at_8(family)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(code.num_data, 4), dtype=np.uint8)
+    stripe = code.make_stripe(data)
+    failed = tuple(sorted(rng.choice(code.cols, size=3, replace=False).tolist()))
+    damaged = stripe.copy()
+    code.erase_columns(damaged, failed)
+    code.decode(damaged, failed)
+    assert np.array_equal(damaged, stripe)
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_iterative_reconstruction_equals_direct(seed):
+    rng = np.random.default_rng(seed)
+    family = ["tip", "star", "triple-star"][seed % 3]
+    code = code_at_8(family)
+    data = rng.integers(0, 256, size=(code.num_data, 4), dtype=np.uint8)
+    stripe = code.make_stripe(data)
+    failed = tuple(sorted(rng.choice(code.cols, size=3, replace=False).tolist()))
+    direct = stripe.copy()
+    code.erase_columns(direct, failed)
+    code.decode(direct, failed, iterative=False)
+    iterative = stripe.copy()
+    code.erase_columns(iterative, failed)
+    code.decode(iterative, failed, iterative=True)
+    assert np.array_equal(direct, stripe)
+    assert np.array_equal(iterative, stripe)
+
+
+@pytest.mark.parametrize("family", ["tip", "star", "triple-star", "cauchy-rs", "hdd1"])
+def test_mds_storage_is_k_over_n(family):
+    """MDS property: stored data fraction equals k/n exactly."""
+    code = code_at_8(family)
+    assert code.num_data * code.cols == code.k * code.cols * code.rows * (
+        code.num_data // (code.k * code.rows)
+    ) or code.num_data == code.k * code.rows
+    assert code.storage_efficiency == pytest.approx(code.k / code.n)

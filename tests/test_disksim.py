@@ -1,0 +1,157 @@
+"""Tests for the disk model, RAID controller, and array simulator."""
+
+import pytest
+
+from repro.codes import make_code
+from repro.disksim import (
+    ArraySimulator,
+    DiskParameters,
+    Disk,
+    RaidController,
+    simulate_trace,
+)
+from repro.traces import Trace, TraceRequest, generate_trace
+
+CHUNK = 8 * 1024
+
+
+class TestDiskModel:
+    def test_seek_zero_distance(self):
+        params = DiskParameters()
+        assert params.seek_ms(0) == 0.0
+
+    def test_seek_monotone_in_distance(self):
+        params = DiskParameters()
+        seeks = [params.seek_ms(d) for d in (1, 10, 1000, 100000)]
+        assert all(b >= a for a, b in zip(seeks, seeks[1:]))
+
+    def test_transfer_scales_with_bytes(self):
+        params = DiskParameters(transfer_mb_s=100.0)
+        assert params.transfer_ms(100_000_000) == pytest.approx(1000.0)
+
+    def test_revolution_time(self):
+        assert DiskParameters(rpm=7200).revolution_ms == pytest.approx(8.333, abs=0.01)
+
+    def test_sequential_io_is_fast(self):
+        disk = Disk(DiskParameters(), seed=1)
+        disk.service_ms(100, CHUNK)  # position the head
+        sequential = disk.service_ms(disk.head, CHUNK)
+        far = disk.service_ms(disk.head + 500_000, CHUNK)
+        assert sequential < far
+
+    def test_deterministic_given_seed(self):
+        a = Disk(DiskParameters(), seed=5)
+        b = Disk(DiskParameters(), seed=5)
+        for lba in (10, 5000, 3, 999999):
+            assert a.service_ms(lba, CHUNK) == b.service_ms(lba, CHUNK)
+
+
+class TestController:
+    @pytest.fixture(scope="class")
+    def controller(self):
+        return RaidController(make_code("tip", 8), CHUNK)
+
+    def test_single_chunk_write_is_rmw(self, controller):
+        plan = controller.plan(TraceRequest(0.0, 0, CHUNK, True))
+        # TIP: 1 data + 3 parities, each read then written.
+        assert len(plan.reads) == 4
+        assert len(plan.writes) == 4
+        assert plan.total_ios == 8
+
+    def test_full_stripe_write_has_no_reads(self, controller):
+        code = controller.code
+        plan = controller.plan(
+            TraceRequest(0.0, 0, code.num_data * CHUNK, True)
+        )
+        assert plan.reads == []
+        assert len(plan.writes) == len(code.nonempty_positions)
+
+    def test_read_request_reads_covered_elements(self, controller):
+        plan = controller.plan(TraceRequest(0.0, 0, 3 * CHUNK, False))
+        assert len(plan.reads) == 3
+        assert plan.writes == []
+
+    def test_reads_and_writes_target_same_cells_for_rmw(self, controller):
+        plan = controller.plan(TraceRequest(0.0, CHUNK, 2 * CHUNK, True))
+        read_cells = {(io.disk, io.lba_chunk) for io in plan.reads}
+        write_cells = {(io.disk, io.lba_chunk) for io in plan.writes}
+        assert read_cells == write_cells
+
+    def test_stripe_mapping_lba(self, controller):
+        code = controller.code
+        per_stripe = code.num_data
+        plan = controller.plan(
+            TraceRequest(0.0, per_stripe * CHUNK, CHUNK, False)
+        )
+        (io,) = plan.reads
+        row, col = code.data_positions[0]
+        assert io.disk == col
+        assert io.lba_chunk == code.rows + row  # second stripe
+
+    def test_degraded_read_expands_to_survivors(self):
+        code = make_code("tip", 6)
+        controller = RaidController(code, CHUNK)
+        failed = (0, 1, 2)
+        plan = controller.plan(TraceRequest(0.0, 0, CHUNK, False), failed)
+        # Reconstruction reads every surviving element of the stripe.
+        decoder = code.decoder_for(failed)
+        assert len(plan.reads) == len(decoder.plan.known_positions)
+
+    def test_writes_to_failed_disks_dropped(self):
+        code = make_code("tip", 6)
+        controller = RaidController(code, CHUNK)
+        plan = controller.plan(TraceRequest(0.0, 0, CHUNK, True), failed=(0,))
+        assert all(io.disk != 0 for io in plan.reads + plan.writes)
+
+    def test_chunk_validation(self):
+        with pytest.raises(ValueError):
+            RaidController(make_code("tip", 6), 0)
+
+
+class TestSimulator:
+    def make_trace(self, writes=30, gap=0.2):
+        return Trace(
+            "unit",
+            [
+                TraceRequest(i * gap, i * 3 * CHUNK, CHUNK, True)
+                for i in range(writes)
+            ],
+        )
+
+    def test_results_populated(self):
+        result = simulate_trace(make_code("tip", 6), self.make_trace())
+        assert result.requests == 30
+        assert result.mean_response_ms > 0
+        assert result.p99_response_ms >= result.median_response_ms
+        assert result.total_element_ios == 30 * 8
+
+    def test_deterministic(self):
+        code = make_code("tip", 6)
+        trace = self.make_trace()
+        a = simulate_trace(code, trace, seed=3)
+        b = simulate_trace(code, trace, seed=3)
+        assert a.mean_response_ms == b.mean_response_ms
+
+    def test_fewer_element_ios_is_faster_under_load(self):
+        """The Fig. 13 mechanism: at equal workload, the code that writes
+        fewer elements per request responds faster."""
+        trace = generate_trace("financial_1", requests=800, seed=9)
+        tip = simulate_trace(make_code("tip", 8), trace)
+        hdd1 = simulate_trace(make_code("hdd1", 8), trace)
+        assert tip.total_element_ios < hdd1.total_element_ios
+        assert tip.mean_response_ms < hdd1.mean_response_ms
+
+    def test_normalization(self):
+        trace = self.make_trace()
+        a = simulate_trace(make_code("tip", 6), trace)
+        assert a.normalized_to(a) == pytest.approx(1.0)
+
+    def test_degraded_array_is_slower(self):
+        code = make_code("tip", 6)
+        trace = Trace(
+            "reads",
+            [TraceRequest(i * 0.5, i * CHUNK, CHUNK, False) for i in range(20)],
+        )
+        healthy = ArraySimulator(code).run(trace)
+        degraded = ArraySimulator(code, failed=(0, 1, 2)).run(trace)
+        assert degraded.total_element_ios > healthy.total_element_ios

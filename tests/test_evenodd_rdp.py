@@ -1,0 +1,95 @@
+"""Tests for the RAID-6 substrates EVENODD and RDP."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis import single_write_cost
+from repro.codes.evenodd import EvenOddCode, make_evenodd, s_diagonal
+from repro.codes.rdp import RdpCode, make_rdp
+
+
+class TestEvenOdd:
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_shape_and_mds(self, p):
+        code = EvenOddCode(p)
+        assert code.rows == p - 1
+        assert code.cols == p + 2
+        assert code.faults == 2
+        assert code.is_mds()
+
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_decode_all_pairs(self, p):
+        code = EvenOddCode(p)
+        stripe = code.random_stripe(packet_size=4, seed=p)
+        for combo in itertools.combinations(range(code.cols), 2):
+            damaged = stripe.copy()
+            code.erase_columns(damaged, combo)
+            code.decode(damaged, combo)
+            assert np.array_equal(damaged, stripe), combo
+
+    def test_s_diagonal_cells(self):
+        assert set(s_diagonal(5)) == {(3, 1), (2, 2), (1, 3), (0, 4)}
+
+    def test_s_diagonal_elements_update_all_diagonal_parities(self):
+        code = EvenOddCode(5)
+        penalty = code.update_penalty((3, 1))  # on the S diagonal
+        diag_parities = {(i, 6) for i in range(4)}
+        assert diag_parities <= penalty
+
+    def test_off_s_elements_touch_two_parities(self):
+        code = EvenOddCode(5)
+        assert len(code.update_penalty((0, 0))) == 2
+
+    def test_make_evenodd_sizes(self):
+        for n in (4, 5, 6, 7, 8):
+            assert make_evenodd(n).cols == n
+        with pytest.raises(ValueError):
+            make_evenodd(3)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            EvenOddCode(4)
+
+
+class TestRdp:
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_shape_and_mds(self, p):
+        code = RdpCode(p)
+        assert code.rows == p - 1
+        assert code.cols == p + 1
+        assert code.faults == 2
+        assert code.is_mds()
+
+    @pytest.mark.parametrize("p", [3, 5])
+    def test_decode_all_pairs(self, p):
+        code = RdpCode(p)
+        stripe = code.random_stripe(packet_size=4, seed=p)
+        for combo in itertools.combinations(range(code.cols), 2):
+            damaged = stripe.copy()
+            code.erase_columns(damaged, combo)
+            code.decode(damaged, combo)
+            assert np.array_equal(damaged, stripe), combo
+
+    def test_diagonal_chains_span_row_parity(self):
+        """RDP's defining chained layout."""
+        code = RdpCode(5)
+        row_parity_cells = {(i, 4) for i in range(4)}
+        diag_members = set().union(*(code.chains[(i, 5)] for i in range(4)))
+        assert row_parity_cells & diag_members
+
+    def test_update_cost_above_optimal(self):
+        """The chained layout costs more than the 2-fault optimum of 3."""
+        code = RdpCode(5)
+        assert single_write_cost(code) > 3.0
+
+    def test_make_rdp_sizes(self):
+        for n in (4, 5, 6, 7, 8):
+            assert make_rdp(n).cols == n
+        with pytest.raises(ValueError):
+            make_rdp(3)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            RdpCode(6)

@@ -1,0 +1,47 @@
+"""Tests for the Table II feature derivation."""
+
+import pytest
+
+from repro.analysis import code_features, feature_table
+from repro.codes import make_code
+
+
+@pytest.fixture(scope="module")
+def features_by_family():
+    codes = [
+        make_code(fam, 8)
+        for fam in ("tip", "star", "triple-star", "cauchy-rs", "hdd1")
+    ]
+    return {f.name.split("-n")[0]: f for f in feature_table(codes, seed=1)}
+
+
+def test_tip_row_matches_table2(features_by_family):
+    tip = next(v for k, v in features_by_family.items() if k.startswith("tip"))
+    assert tip.update_complexity == "optimal"
+    assert tip.storage_label == "optimal"
+    assert tip.decoding_label == "low"
+    assert tip.mds
+
+
+def test_baselines_update_complexity_not_optimal(features_by_family):
+    for key, row in features_by_family.items():
+        if key.startswith("tip"):
+            continue
+        assert row.update_complexity in ("medium", "high"), key
+
+
+def test_hdd1_update_complexity_high(features_by_family):
+    hdd1 = next(v for k, v in features_by_family.items() if "hdd1" in k)
+    assert hdd1.update_complexity == "high"
+
+
+def test_all_evaluated_codes_storage_optimal(features_by_family):
+    """Table II: every MDS code has optimal storage efficiency."""
+    for row in features_by_family.values():
+        assert row.storage_label == "optimal"
+        assert row.mds
+
+
+def test_storage_efficiency_value():
+    row = code_features(make_code("tip", 8), decode_samples=5)
+    assert row.storage_efficiency == pytest.approx(5 / 8)

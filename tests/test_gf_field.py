@@ -1,0 +1,143 @@
+"""Unit and property tests for GF(2^w) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gf import GF2w
+
+
+@pytest.fixture(scope="module")
+def gf8():
+    return GF2w(8)
+
+
+def test_instances_are_cached():
+    assert GF2w(8) is GF2w(8)
+    assert GF2w(4) is not GF2w(8)
+
+
+@pytest.mark.parametrize("w", [1, 2, 3, 4, 8, 12, 16])
+def test_tables_are_consistent(w):
+    field = GF2w(w)
+    # alpha^i round-trips through log
+    for exp in range(field.max_element):
+        assert field._log[field.alpha_power(exp)] == exp
+
+
+def test_non_primitive_polynomial_rejected():
+    # x^4 + x^3 + x^2 + x + 1 divides x^5 - 1: order 5, not primitive.
+    with pytest.raises(ValueError):
+        GF2w(4, poly=0b11111)
+
+
+@pytest.mark.parametrize("w", [0, 17, -1])
+def test_invalid_word_size_rejected(w):
+    with pytest.raises(ValueError):
+        GF2w(w)
+
+
+@given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+def test_gf256_field_axioms(a, b, c):
+    field = GF2w(8)
+    # commutativity and associativity of multiplication
+    assert field.mul(a, b) == field.mul(b, a)
+    assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+    # distributivity over XOR-addition
+    assert field.mul(a, b ^ c) == field.mul(a, b) ^ field.mul(a, c)
+    # identities
+    assert field.mul(a, 1) == a
+    assert field.mul(a, 0) == 0
+
+
+@given(st.integers(1, 255))
+def test_gf256_inverse(a):
+    field = GF2w(8)
+    assert field.mul(a, field.inv(a)) == 1
+    assert field.div(1, a) == field.inv(a)
+
+
+@given(st.integers(0, 255), st.integers(1, 255))
+def test_gf256_division_roundtrip(a, b):
+    field = GF2w(8)
+    assert field.mul(field.div(a, b), b) == a
+
+
+def test_zero_division_raises(gf8):
+    with pytest.raises(ZeroDivisionError):
+        gf8.div(5, 0)
+    with pytest.raises(ZeroDivisionError):
+        gf8.inv(0)
+    with pytest.raises(ZeroDivisionError):
+        gf8.pow(0, -1)
+
+
+@given(st.integers(1, 255), st.integers(-10, 10))
+def test_pow_matches_repeated_multiplication(a, e):
+    field = GF2w(8)
+    expected = 1
+    base = a if e >= 0 else field.inv(a)
+    for _ in range(abs(e)):
+        expected = field.mul(expected, base)
+    assert field.pow(a, e) == expected
+
+
+def test_pow_zero_cases(gf8):
+    assert gf8.pow(0, 0) == 1
+    assert gf8.pow(0, 5) == 0
+
+
+def test_mat_inv_roundtrip(gf8):
+    rng = np.random.default_rng(42)
+    for _ in range(10):
+        size = rng.integers(1, 6)
+        while True:
+            mat = rng.integers(0, 256, size=(size, size), dtype=np.int64)
+            try:
+                inv = gf8.mat_inv(mat)
+            except ValueError:
+                continue
+            break
+        identity = gf8.mat_mul(mat, inv)
+        assert np.array_equal(identity, np.eye(size, dtype=np.int64))
+
+
+def test_mat_inv_singular_raises(gf8):
+    singular = np.array([[1, 2], [1, 2]], dtype=np.int64)
+    with pytest.raises(ValueError):
+        gf8.mat_inv(singular)
+
+
+def test_mat_mul_shape_mismatch(gf8):
+    with pytest.raises(ValueError):
+        gf8.mat_mul(np.zeros((2, 3)), np.zeros((2, 3)))
+
+
+def test_mat_vec(gf8):
+    mat = np.array([[1, 2], [3, 4]], dtype=np.int64)
+    vec = np.array([5, 6], dtype=np.int64)
+    expected = np.array(
+        [gf8.mul(1, 5) ^ gf8.mul(2, 6), gf8.mul(3, 5) ^ gf8.mul(4, 6)]
+    )
+    assert np.array_equal(gf8.mat_vec(mat, vec), expected)
+
+
+@given(st.integers(0, 255))
+@settings(max_examples=30)
+def test_mul_region_matches_scalar(constant):
+    field = GF2w(8)
+    region = np.arange(256, dtype=np.uint8)
+    result = field.mul_region(constant, region)
+    for value in (0, 1, 7, 100, 255):
+        assert result[value] == field.mul(constant, value)
+
+
+def test_mul_region_requires_w8():
+    with pytest.raises(ValueError):
+        GF2w(4).mul_region(3, np.zeros(4, dtype=np.uint8))
+
+
+def test_mul_table_row_identity(gf8):
+    table = gf8.mul_table_row(1)
+    assert np.array_equal(table, np.arange(256, dtype=np.uint8))
+    assert not gf8.mul_table_row(0).any()

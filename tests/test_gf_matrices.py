@@ -1,0 +1,112 @@
+"""Tests for Cauchy/Vandermonde constructions and bit-matrix projection."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bitmatrix import bm_mat_vec
+from repro.gf import (
+    GF2w,
+    cauchy_matrix,
+    element_to_bitmatrix,
+    gf_matrix_to_bitmatrix,
+    systematic_vandermonde,
+    vandermonde_matrix,
+)
+from repro.gf.matrices import optimize_cauchy_ones
+
+
+@pytest.fixture(scope="module")
+def gf4():
+    return GF2w(4)
+
+
+def test_cauchy_every_square_submatrix_invertible(gf4):
+    cauchy = cauchy_matrix(gf4, 3, 5)
+    for size in (1, 2, 3):
+        for rows in itertools.combinations(range(3), size):
+            for cols in itertools.combinations(range(5), size):
+                sub = cauchy[np.ix_(rows, cols)]
+                gf4.mat_inv(sub)  # raises if singular
+
+
+def test_cauchy_rejects_overlapping_points(gf4):
+    with pytest.raises(ValueError):
+        cauchy_matrix(gf4, 2, 2, xs=[1, 2], ys=[2, 3])
+    with pytest.raises(ValueError):
+        cauchy_matrix(gf4, 2, 2, xs=[1, 1], ys=[2, 3])
+
+
+def test_cauchy_rejects_field_too_small():
+    with pytest.raises(ValueError):
+        cauchy_matrix(GF2w(2), 3, 3)
+
+
+def test_vandermonde_structure(gf4):
+    mat = vandermonde_matrix(gf4, 5, 3)
+    for i in range(1, 5):
+        for j in range(3):
+            assert mat[i, j] == gf4.pow(i, j)
+    assert mat[0, 0] == 1 and not mat[0, 1:].any()
+
+
+def test_systematic_vandermonde_is_systematic_and_mds(gf4):
+    n, k = 7, 4
+    gen = systematic_vandermonde(gf4, n, k)
+    assert np.array_equal(gen[:k], np.eye(k, dtype=np.int64))
+    # MDS: any k rows invertible
+    for rows in itertools.combinations(range(n), k):
+        gf4.mat_inv(gen[list(rows)])
+
+
+def test_systematic_vandermonde_validation(gf4):
+    with pytest.raises(ValueError):
+        systematic_vandermonde(gf4, 3, 3)
+    with pytest.raises(ValueError):
+        systematic_vandermonde(gf4, 40, 2)
+
+
+def test_element_bitmatrix_is_multiplication(gf4):
+    """The bit matrix of e must act on bit-vectors as 'multiply by e'."""
+    for element in range(16):
+        bits = element_to_bitmatrix(gf4, element)
+        for value in range(16):
+            vector = np.array([(value >> i) & 1 for i in range(4)], dtype=np.uint8)
+            product_bits = bm_mat_vec(bits, vector)
+            product = sum(int(b) << i for i, b in enumerate(product_bits))
+            assert product == gf4.mul(element, value)
+
+
+def test_bitmatrix_projection_is_homomorphic(gf4):
+    """Projection of a product equals the product of projections."""
+    rng = np.random.default_rng(7)
+    a = int(rng.integers(1, 16))
+    b = int(rng.integers(1, 16))
+    from repro.bitmatrix import bm_mul
+
+    left = element_to_bitmatrix(gf4, gf4.mul(a, b))
+    right = bm_mul(element_to_bitmatrix(gf4, a), element_to_bitmatrix(gf4, b))
+    assert np.array_equal(left, right)
+
+
+def test_gf_matrix_projection_blocks(gf4):
+    mat = np.array([[3, 0], [1, 7]], dtype=np.int64)
+    bits = gf_matrix_to_bitmatrix(gf4, mat)
+    assert bits.shape == (8, 8)
+    assert np.array_equal(bits[:4, :4], element_to_bitmatrix(gf4, 3))
+    assert not bits[:4, 4:].any()
+    assert np.array_equal(bits[4:, 4:], element_to_bitmatrix(gf4, 7))
+
+
+def test_optimize_cauchy_reduces_or_keeps_ones(gf4):
+    cauchy = cauchy_matrix(gf4, 3, 4)
+    optimized = optimize_cauchy_ones(gf4, cauchy)
+    before = gf_matrix_to_bitmatrix(gf4, cauchy).sum()
+    after = gf_matrix_to_bitmatrix(gf4, optimized).sum()
+    assert after <= before
+    # Row scaling preserves the MDS property.
+    for size in (1, 2, 3):
+        for rows in itertools.combinations(range(3), size):
+            for cols in itertools.combinations(range(4), size):
+                gf4.mat_inv(optimized[np.ix_(rows, cols)])

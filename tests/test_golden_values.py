@@ -1,0 +1,62 @@
+"""Golden-value regression pins for the deterministic evaluation numbers.
+
+Every value here is analytically determined by the constructions (no
+randomness, no timing), so any drift means a code layout or the cost
+analysis changed. The numbers are the ones recorded in EXPERIMENTS.md and
+results/fig10_single_write.txt.
+"""
+
+import pytest
+
+from repro.analysis import partial_write_cost, single_write_cost
+from repro.analysis.xor_cost import encoding_xor_per_element
+from repro.codes import make_code
+
+#: Fig. 10 series as this reproduction measures it (results/).
+GOLDEN_SINGLE_WRITE = {
+    "tip": {6: 4.0, 8: 4.0, 12: 4.0, 14: 4.0, 18: 4.0, 20: 4.0, 24: 4.0},
+    "star": {6: 4.6667, 8: 5.2, 12: 5.6, 14: 5.6364, 18: 5.75, 20: 5.7647,
+             24: 5.8182},
+    "triple-star": {6: 5.1667, 8: 5.4, 12: 5.6222, 14: 5.6818, 18: 5.7583,
+                    20: 5.7843, 24: 5.8225},
+    "hdd1": {6: 7.6667, 8: 8.4, 12: 9.0222, 14: 9.1818, 18: 9.3833,
+             20: 9.4510, 24: 9.5498},
+    "cauchy-rs": {6: 5.5556, 8: 5.6667, 12: 6.7222, 14: 6.9091},
+}
+
+#: Fig. 14b encoding complexity at n = 12 (XORs per data element).
+GOLDEN_ENCODING_XOR = {
+    "tip": 2.6667,        # = 3 - 3/(11-2)
+    "triple-star": 2.6889,
+    "star": 4.2667,
+    "hdd1": 4.6889,
+}
+
+#: Fig. 11 l=2 values at n = 12.
+GOLDEN_PARTIAL_L2_N12 = {
+    "tip": 7.0111,
+    "triple-star": 8.6444,
+    "star": 9.9556,
+    "hdd1": 13.1556,
+}
+
+
+@pytest.mark.parametrize("family", sorted(GOLDEN_SINGLE_WRITE))
+def test_single_write_golden(family):
+    for n, expected in GOLDEN_SINGLE_WRITE[family].items():
+        measured = single_write_cost(make_code(family, n))
+        assert measured == pytest.approx(expected, abs=2e-4), (family, n)
+
+
+@pytest.mark.parametrize("family", sorted(GOLDEN_ENCODING_XOR))
+def test_encoding_xor_golden(family):
+    measured = encoding_xor_per_element(make_code(family, 12))
+    assert measured == pytest.approx(GOLDEN_ENCODING_XOR[family], abs=2e-4)
+
+
+@pytest.mark.parametrize("family", sorted(GOLDEN_PARTIAL_L2_N12))
+def test_partial_write_l2_golden(family):
+    measured = partial_write_cost(make_code(family, 12), 2)
+    assert measured == pytest.approx(
+        GOLDEN_PARTIAL_L2_N12[family], abs=2e-4
+    )

@@ -1,0 +1,64 @@
+"""Tests for the HDD1 reconstruction (worst-update-complexity baseline)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis import single_write_cost
+from repro.codes.hdd1 import Hdd1Code, make_hdd1
+from repro.codes.registry import make_code
+
+
+class TestStructure:
+    @pytest.mark.parametrize("p", [5, 7, 11])
+    def test_shape(self, p):
+        code = Hdd1Code(p)
+        assert code.rows == p - 1
+        assert code.cols == p + 1
+        assert code.k == p - 2
+        assert code.num_parity == 3 * (p - 1)
+
+    def test_invalid_p(self):
+        for bad in (3, 4, 6, 9):
+            with pytest.raises(ValueError):
+                Hdd1Code(bad)
+
+    def test_only_p_plus_1_sizes(self):
+        """The TIP paper: HDD1 'can only be used with p+1 disks'."""
+        assert make_hdd1(6).cols == 6
+        assert make_hdd1(8).cols == 8
+        for bad in (7, 9, 10, 13, 15):
+            with pytest.raises(ValueError):
+                make_hdd1(bad)
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("p", [5, 7])
+    def test_mds(self, p):
+        assert Hdd1Code(p).is_mds()
+
+    @pytest.mark.parametrize("p", [5, 7])
+    def test_decode_all_triples(self, p):
+        code = Hdd1Code(p)
+        stripe = code.random_stripe(packet_size=4, seed=p)
+        for combo in itertools.combinations(range(code.cols), 3):
+            damaged = stripe.copy()
+            code.erase_columns(damaged, combo)
+            code.decode(damaged, combo)
+            assert np.array_equal(damaged, stripe), combo
+
+    def test_single_write_cost_grows_toward_cascade_limit(self):
+        """The doubled cascade costs ~2 + 8(p-1)/p minus boundary-overlap
+        savings: strictly increasing in p and approaching ~10."""
+        costs = [single_write_cost(Hdd1Code(p)) for p in (5, 7, 11, 13)]
+        assert all(b > a for a, b in zip(costs, costs[1:]))
+        assert 7.0 < costs[0] < 8.0
+        assert 9.0 < costs[-1] < 10.0
+
+    @pytest.mark.parametrize("n", [6, 8, 12])
+    def test_worst_update_complexity_of_evaluated_codes(self, n):
+        """HDD1's defining role in Figs. 10-12: the highest write cost."""
+        hdd1_cost = single_write_cost(make_code("hdd1", n))
+        for family in ("tip", "star", "triple-star", "cauchy-rs"):
+            assert single_write_cost(make_code(family, n)) < hdd1_cost

@@ -1,0 +1,106 @@
+"""End-to-end integration tests spanning the full evaluation pipeline.
+
+These tie the subsystems together the way the benchmarks do — codes →
+analysis → traces → simulator — and pin a handful of headline numbers so
+regressions anywhere in the pipeline surface immediately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    improvement,
+    single_write_cost,
+    synthetic_write_cost,
+)
+from repro.codes import make_code
+from repro.disksim import simulate_trace
+from repro.traces import generate_trace
+
+
+class TestHeadlineNumbers:
+    """The reproduction's anchor points (see EXPERIMENTS.md)."""
+
+    def test_tip_single_write_is_exactly_four_everywhere(self):
+        for n in (6, 8, 12, 14, 18, 20, 24):
+            assert single_write_cost(make_code("tip", n)) == 4.0
+
+    def test_star_closed_form_matches_paper_table4(self):
+        paper = {6: 14.29, 8: 23.08, 12: 28.57, 14: 29.03,
+                 18: 30.43, 20: 30.61, 24: 31.25}
+        for n, expected in paper.items():
+            tip = single_write_cost(make_code("tip", n))
+            star = single_write_cost(make_code("star", n))
+            assert improvement(star, tip) == pytest.approx(expected, abs=0.02)
+
+    def test_tip_encoding_bound_at_every_native_prime(self):
+        from repro.analysis.xor_cost import (
+            encoding_xor_per_element,
+            tip_encoding_bound,
+        )
+        from repro.codes.tip import TipCode
+
+        for p in (5, 7, 11, 13, 17, 19, 23):
+            assert encoding_xor_per_element(TipCode(p)) == pytest.approx(
+                tip_encoding_bound(p)
+            )
+
+
+class TestLargerShortenedSizes:
+    @pytest.mark.parametrize("n", [14, 15, 16])
+    def test_shortened_tip_remains_triple_fault_tolerant(self, n):
+        code = make_code("tip", n)
+        assert code.cols == n
+        assert code.is_mds()
+
+    def test_shortened_tip_decode_spot_checks(self):
+        code = make_code("tip", 15)
+        stripe = code.random_stripe(packet_size=4, seed=15)
+        rng = np.random.default_rng(0)
+        for _ in range(12):
+            failed = tuple(
+                sorted(rng.choice(code.cols, size=3, replace=False).tolist())
+            )
+            damaged = stripe.copy()
+            code.erase_columns(damaged, failed)
+            code.decode(damaged, failed)
+            assert np.array_equal(damaged, stripe), failed
+
+
+class TestTraceToSimulatorConsistency:
+    def test_element_io_count_follows_write_cost(self):
+        """The simulator's total element I/Os for a write-only trace must
+        equal 2x the analyzer's modified-element count (RMW reads +
+        writes), request by request."""
+        from repro.analysis.trace_cost import request_write_cost
+        from repro.traces import Trace, TraceRequest
+
+        code = make_code("tip", 8)
+        chunk = 8 * 1024
+        requests = [
+            TraceRequest(float(i), (i * 7) * chunk, (1 + i % 4) * chunk, True)
+            for i in range(25)
+        ]
+        trace = Trace("consistency", requests)
+        result = simulate_trace(code, trace, chunk_bytes=chunk)
+        expected = sum(
+            2 * request_write_cost(code, r.offset, r.length, chunk)
+            for r in requests
+        )
+        assert result.total_element_ios == expected
+
+    def test_full_pipeline_ordering_holds(self):
+        """One compact run of the Fig. 12 + Fig. 13 pipeline."""
+        trace = generate_trace("financial_1", requests=600, seed=3)
+        replay = trace.stretched(5.0)
+        costs = {}
+        latencies = {}
+        for family in ("tip", "triple-star", "hdd1"):
+            code = make_code(family, 8)
+            costs[family] = synthetic_write_cost(code, trace)
+            latencies[family] = simulate_trace(
+                code, replay, seed=1
+            ).mean_response_ms
+        assert costs["tip"] < costs["triple-star"] < costs["hdd1"]
+        assert latencies["tip"] < latencies["triple-star"]
+        assert latencies["tip"] < latencies["hdd1"]

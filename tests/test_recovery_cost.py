@@ -1,0 +1,52 @@
+"""Tests for rebuild-read analysis."""
+
+import pytest
+
+from repro.analysis import recovery_cost_stats, recovery_reads
+from repro.codes import make_code
+
+
+@pytest.fixture(scope="module")
+def tip8():
+    return make_code("tip", 8)
+
+
+def test_reads_bounded_by_survivors(tip8):
+    for failed in ((0,), (0, 3), (0, 3, 6)):
+        reads = recovery_reads(tip8, failed)
+        survivors = len(tip8.decoder_for(failed).plan.known_positions)
+        assert 0 < reads <= survivors
+
+
+def test_single_failure_cheaper_than_triple(tip8):
+    single = recovery_cost_stats(tip8, failures=1, samples=8, seed=1)
+    triple = recovery_cost_stats(tip8, failures=3, samples=8, seed=1)
+    assert single.mean_reads < triple.mean_reads
+    assert single.mean_read_fraction <= triple.mean_read_fraction + 1e-9
+
+
+def test_rebuilding_a_parityless_raid5_analogue(tip8):
+    """Sanity: recovering one lost TIP disk needs most of the stripe —
+    3DFT codes trade rebuild locality for update optimality."""
+    stats = recovery_cost_stats(tip8, failures=1, samples=8, seed=2)
+    assert stats.mean_read_fraction > 0.5
+
+
+def test_stats_shape(tip8):
+    stats = recovery_cost_stats(tip8, failures=2, samples=5, seed=3)
+    assert stats.patterns == 5
+    assert stats.mean_reads_per_recovered > 0
+
+
+def test_failure_count_validation(tip8):
+    with pytest.raises(ValueError):
+        recovery_cost_stats(tip8, failures=0)
+    with pytest.raises(ValueError):
+        recovery_cost_stats(tip8, failures=4)
+
+
+def test_all_families_have_finite_recovery_cost():
+    for family in ("tip", "star", "triple-star", "cauchy-rs", "hdd1"):
+        code = make_code(family, 8)
+        stats = recovery_cost_stats(code, failures=1, samples=8, seed=4)
+        assert 0 < stats.mean_read_fraction <= 1.0, family

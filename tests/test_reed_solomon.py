@@ -1,0 +1,93 @@
+"""Tests for the classic word-based Reed-Solomon codec."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codes.reed_solomon import ReedSolomonCode
+
+
+@pytest.fixture(scope="module")
+def rs():
+    return ReedSolomonCode(n=8, m=3)
+
+
+def test_systematic(rs):
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 256, size=(rs.k, 16), dtype=np.uint8)
+    shards = rs.encode(data)
+    assert np.array_equal(shards[: rs.k], data)
+
+
+def test_all_triple_erasures(rs):
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 256, size=(rs.k, 8), dtype=np.uint8)
+    shards = rs.encode(data)
+    for combo in itertools.combinations(range(rs.n), 3):
+        damaged = shards.copy()
+        for row in combo:
+            damaged[row] = 0
+        repaired = rs.decode(damaged, list(combo))
+        assert np.array_equal(repaired, shards), combo
+
+
+def test_fewer_erasures(rs):
+    rng = np.random.default_rng(2)
+    data = rng.integers(0, 256, size=(rs.k, 8), dtype=np.uint8)
+    shards = rs.encode(data)
+    for combo in itertools.combinations(range(rs.n), 2):
+        damaged = shards.copy()
+        for row in combo:
+            damaged[row] = 0
+        assert np.array_equal(rs.decode(damaged, list(combo)), shards)
+
+
+def test_too_many_erasures(rs):
+    shards = np.zeros((rs.n, 4), dtype=np.uint8)
+    with pytest.raises(ValueError):
+        rs.decode(shards, [0, 1, 2, 3])
+
+
+def test_input_validation(rs):
+    with pytest.raises(ValueError):
+        rs.encode(np.zeros((rs.k + 1, 4), dtype=np.uint8))
+    with pytest.raises(ValueError):
+        rs.decode(np.zeros((rs.n + 1, 4), dtype=np.uint8), [0])
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ReedSolomonCode(3, m=3)
+    with pytest.raises(ValueError):
+        ReedSolomonCode(300, m=3)
+
+
+def test_decode_does_not_mutate_input(rs):
+    rng = np.random.default_rng(3)
+    data = rng.integers(0, 256, size=(rs.k, 4), dtype=np.uint8)
+    shards = rs.encode(data)
+    damaged = shards.copy()
+    damaged[0] = 0
+    snapshot = damaged.copy()
+    rs.decode(damaged, [0])
+    assert np.array_equal(damaged, snapshot)
+
+
+@given(
+    st.integers(0, 2**32 - 1),
+    st.integers(6, 12),
+    st.integers(1, 3),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_roundtrip(seed, n, erasures):
+    rs = ReedSolomonCode(n=n, m=3)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(rs.k, 8), dtype=np.uint8)
+    shards = rs.encode(data)
+    lost = sorted(rng.choice(n, size=erasures, replace=False).tolist())
+    damaged = shards.copy()
+    for row in lost:
+        damaged[row] = 0
+    assert np.array_equal(rs.decode(damaged, lost), shards)

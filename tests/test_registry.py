@@ -1,0 +1,61 @@
+"""Tests for the code registry and public API surface."""
+
+import pytest
+
+import repro
+from repro.codes.registry import (
+    CODE_FAMILIES,
+    EVALUATED_FAMILIES,
+    available_codes,
+    make_code,
+    supports_size,
+)
+
+
+def test_available_codes_sorted_and_complete():
+    names = available_codes()
+    assert names == sorted(names)
+    assert set(names) == {
+        "tip", "star", "triple-star", "cauchy-rs", "hdd1", "evenodd", "rdp",
+        "x-code", "weaver",
+    }
+
+
+def test_evaluated_families_are_registered():
+    for family in EVALUATED_FAMILIES:
+        assert family in CODE_FAMILIES
+
+
+def test_make_code_unknown_family():
+    with pytest.raises(KeyError, match="unknown code family"):
+        make_code("raid0", 6)
+
+
+@pytest.mark.parametrize("family", sorted(CODE_FAMILIES))
+def test_make_code_n8(family):
+    n = 7 if family == "x-code" else 8  # X-code needs a prime disk count
+    code = make_code(family, n)
+    assert code.cols == n
+
+
+def test_supports_size():
+    assert supports_size("tip", 9)
+    assert supports_size("hdd1", 8)
+    assert not supports_size("hdd1", 9)   # 8 is not prime
+    assert not supports_size("tip", 3)
+    assert not supports_size("nope", 8)
+
+
+def test_paper_evaluation_sizes_all_supported():
+    """The n values of Tables IV-V were chosen so every family fits."""
+    for n in (6, 8, 12, 14, 18, 20, 24):
+        for family in EVALUATED_FAMILIES:
+            assert supports_size(family, n), (family, n)
+
+
+def test_top_level_exports():
+    assert repro.make_code is make_code
+    code = repro.make_tip(6)
+    assert isinstance(code, repro.TipCode)
+    assert isinstance(repro.make_star(6), repro.ArrayCode)
+    assert repro.__version__

@@ -1,0 +1,92 @@
+"""Tests for the MTTDL models (Markov closed form + Monte Carlo)."""
+
+import pytest
+
+from repro.reliability import ArrayReliability, mttdl, simulate_mttdl
+
+
+class TestMarkov:
+    def test_raid0_mttdl_is_first_failure(self):
+        """m=0: MTTDL = MTTF / n (minimum of n exponentials)."""
+        model = ArrayReliability(
+            disks=10, faults_tolerated=0, disk_mttf_hours=1000.0
+        )
+        assert model.mttdl_hours() == pytest.approx(100.0)
+
+    def test_known_raid5_formula(self):
+        """Classic approximation: MTTDL ~ MTTF^2 / (n(n-1) * MTTR) when
+        mu >> lambda; exact solution must be within 1%."""
+        n, mttf, mttr = 8, 1_000_000.0, 24.0
+        approx = mttf**2 / (n * (n - 1) * mttr)
+        exact = mttdl(n, 1, mttf, mttr)
+        assert exact == pytest.approx(approx, rel=0.01)
+
+    def test_extra_parity_multiplies_mttdl(self):
+        """The 3DFT motivation: each tolerated fault buys orders of
+        magnitude (roughly MTTF / (n * MTTR) per step)."""
+        values = [mttdl(12, m) for m in (0, 1, 2, 3)]
+        for weaker, stronger in zip(values, values[1:]):
+            assert stronger > weaker * 1000
+
+    def test_more_disks_less_reliable(self):
+        assert mttdl(24, 3) < mttdl(8, 3)
+
+    def test_faster_rebuild_more_reliable(self):
+        assert mttdl(12, 2, rebuild_hours=6.0) > mttdl(12, 2, rebuild_hours=48.0)
+
+    def test_serial_rebuild_weaker(self):
+        parallel = ArrayReliability(12, 3, parallel_rebuild=True)
+        serial = ArrayReliability(12, 3, parallel_rebuild=False)
+        assert serial.mttdl_hours() < parallel.mttdl_hours()
+
+    def test_annual_loss_probability_bounds(self):
+        model = ArrayReliability(12, 3)
+        prob = model.annual_loss_probability()
+        assert 0.0 < prob < 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayReliability(disks=3, faults_tolerated=3)
+        with pytest.raises(ValueError):
+            ArrayReliability(disks=4, faults_tolerated=-1)
+        with pytest.raises(ValueError):
+            ArrayReliability(disks=4, faults_tolerated=1, rebuild_hours=0.0)
+
+
+class TestMonteCarlo:
+    def test_agrees_with_markov_raid0(self):
+        exact = mttdl(6, 0, disk_mttf_hours=1000.0)
+        sim = simulate_mttdl(
+            6, 0, disk_mttf_hours=1000.0, trials=3000, seed=1
+        )
+        assert sim.mean_hours == pytest.approx(exact, rel=0.1)
+
+    def test_agrees_with_markov_raid5(self):
+        """Use a fast-failing configuration so trials are cheap."""
+        exact = mttdl(6, 1, disk_mttf_hours=500.0, rebuild_hours=100.0)
+        sim = simulate_mttdl(
+            6, 1, disk_mttf_hours=500.0, rebuild_hours=100.0,
+            trials=2000, seed=2,
+        )
+        assert sim.mean_hours == pytest.approx(exact, rel=0.12)
+
+    def test_deterministic_given_seed(self):
+        a = simulate_mttdl(6, 1, trials=20, seed=9,
+                           disk_mttf_hours=100.0, rebuild_hours=50.0)
+        b = simulate_mttdl(6, 1, trials=20, seed=9,
+                           disk_mttf_hours=100.0, rebuild_hours=50.0)
+        assert a.mean_hours == b.mean_hours
+
+    def test_deterministic_rebuild_mode(self):
+        result = simulate_mttdl(
+            6, 1, disk_mttf_hours=200.0, rebuild_hours=100.0,
+            trials=500, seed=3, deterministic_rebuild=True,
+        )
+        assert result.mean_hours > 0
+        assert result.min_hours <= result.mean_hours <= result.max_hours
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_mttdl(3, 3)
+        with pytest.raises(ValueError):
+            simulate_mttdl(6, 1, trials=0)

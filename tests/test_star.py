@@ -1,0 +1,96 @@
+"""Tests for the STAR code (paper's Fig. 1 and baseline behaviour)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis import single_write_cost
+from repro.codes.base import Cell
+from repro.codes.star import StarCode, make_star
+
+
+class TestStructure:
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_shape(self, p):
+        code = StarCode(p)
+        assert code.rows == p - 1
+        assert code.cols == p + 3
+        assert code.k == p
+        assert code.num_parity == 3 * (p - 1)
+
+    def test_invalid_p(self):
+        for bad in (2, 4, 9):
+            with pytest.raises(ValueError):
+                StarCode(bad)
+
+
+class TestFig1Examples:
+    """The worked examples of the TIP paper's Fig. 1 (p = 5)."""
+
+    def test_horizontal(self):
+        code = StarCode(5)
+        assert set(code.chains[(0, 5)]) == {(0, j) for j in range(5)}
+
+    def test_diagonal_with_s1(self):
+        # C0,6 = C0,0 ^ C3,2 ^ C2,3 ^ C1,4 ^ S1,
+        # S1 = C3,1 ^ C2,2 ^ C1,3 ^ C0,4.
+        code = StarCode(5)
+        expected = {(0, 0), (3, 2), (2, 3), (1, 4)} | {
+            (3, 1), (2, 2), (1, 3), (0, 4)
+        }
+        assert set(code.chains[(0, 6)]) == expected
+
+    def test_anti_diagonal_with_s2(self):
+        # C0,7 = C0,0 ^ C1,1 ^ C2,2 ^ C3,3 ^ S2,
+        # S2 = C0,1 ^ C1,2 ^ C2,3 ^ C3,4.
+        code = StarCode(5)
+        expected = {(0, 0), (1, 1), (2, 2), (3, 3)} | {
+            (0, 1), (1, 2), (2, 3), (3, 4)
+        }
+        assert set(code.chains[(0, 7)]) == expected
+
+    def test_fig1d_update_example(self):
+        """Writing C2,2 (on the S1 diagonal) must modify the horizontal
+        parity C2,5, the anti-diagonal parity C0,7, and ALL four diagonal
+        parities — six parities total (Fig. 1(d))."""
+        code = StarCode(5)
+        penalty = code.update_penalty((2, 2))
+        assert (2, 5) in penalty
+        assert (0, 7) in penalty
+        for i in range(4):
+            assert (i, 6) in penalty
+        assert len(penalty) == 6
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("p", [3, 5])
+    def test_mds(self, p):
+        assert StarCode(p).is_mds()
+
+    @pytest.mark.parametrize("p", [3, 5])
+    def test_decode_all_triples(self, p):
+        code = StarCode(p)
+        stripe = code.random_stripe(packet_size=4, seed=p)
+        for combo in itertools.combinations(range(code.cols), 3):
+            damaged = stripe.copy()
+            code.erase_columns(damaged, combo)
+            code.decode(damaged, combo)
+            assert np.array_equal(damaged, stripe), combo
+
+    @pytest.mark.parametrize("p", [3, 5, 7, 11])
+    def test_single_write_cost_formula(self, p):
+        """Derived closed form: 2 + 4(p-1)/p modified elements on the
+        native layout (matches Table IV, e.g. 4.667 at p=3 / n=6)."""
+        code = StarCode(p)
+        assert single_write_cost(code) == pytest.approx(2 + 4 * (p - 1) / p)
+
+    def test_make_star_sizes(self):
+        for n in (4, 5, 6, 7, 8, 9, 10):
+            code = make_star(n)
+            assert code.cols == n
+        with pytest.raises(ValueError):
+            make_star(3)
+
+    def test_shortened_star_still_mds(self):
+        assert make_star(7).is_mds()

@@ -1,0 +1,93 @@
+"""Stateful property test: the ArrayStore against an in-memory model.
+
+Hypothesis drives random sequences of writes, reads, disk failures and
+rebuilds; the store must always agree with a plain numpy reference array,
+regardless of interleaving — including reads and writes issued while the
+array is degraded.
+"""
+
+import shutil
+import tempfile
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.codes import make_code
+from repro.store import ArrayStore
+
+CHUNK = 64
+STRIPES = 3
+
+
+class StoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.directory = tempfile.mkdtemp(prefix="store-machine-")
+        self.code = make_code("tip", 6)
+        self.store = ArrayStore(
+            self.code, self.directory, stripes=STRIPES, chunk_bytes=CHUNK
+        )
+        self.model = np.zeros(
+            (self.store.capacity_chunks, CHUNK), dtype=np.uint8
+        )
+        self.counter = 0
+
+    def teardown(self):
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+    @rule(
+        start=st.integers(0, 35),
+        count=st.integers(1, 12),
+    )
+    def write(self, start, count):
+        capacity = self.store.capacity_chunks
+        start = min(start, capacity - 1)
+        count = min(count, capacity - start)
+        self.counter += 1
+        data = np.full((count, CHUNK), self.counter % 256, dtype=np.uint8)
+        data[:, 0] = np.arange(count, dtype=np.uint8)
+        self.store.write_chunks(start, data)
+        self.model[start: start + count] = data
+
+    @rule(start=st.integers(0, 35), count=st.integers(1, 12))
+    def read(self, start, count):
+        capacity = self.store.capacity_chunks
+        start = min(start, capacity - 1)
+        count = min(count, capacity - start)
+        assert np.array_equal(
+            self.store.read_chunks(start, count),
+            self.model[start: start + count],
+        )
+
+    @precondition(lambda self: len(self.store.failed) < 3)
+    @rule(disk=st.integers(0, 5))
+    def fail_disk(self, disk):
+        if disk in self.store.failed:
+            return
+        self.store.fail_disk(disk)
+
+    @precondition(lambda self: self.store.failed)
+    @rule()
+    def rebuild(self):
+        self.store.rebuild()
+        assert self.store.failed == set()
+        assert self.store.scrub() == []
+
+    @invariant()
+    def data_always_readable(self):
+        sample = self.store.read_chunks(0, 4)
+        assert np.array_equal(sample, self.model[:4])
+
+
+TestStoreMachine = StoreMachine.TestCase
+TestStoreMachine.settings = settings(
+    max_examples=12, stateful_step_count=18, deadline=None
+)

@@ -1,0 +1,201 @@
+"""Tests for TIP-code structure, encoding, shortening (Sec. III, V, VII)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis import single_write_cost
+from repro.analysis.xor_cost import encoding_xor_per_element, tip_encoding_bound
+from repro.codes.base import Cell
+from repro.codes.tip import TipCode, make_tip, tip_parameters
+
+
+class TestStructure:
+    @pytest.mark.parametrize("p", [3, 5, 7, 11])
+    def test_shape_and_counts(self, p):
+        code = TipCode(p)
+        assert code.rows == p - 1
+        assert code.cols == p + 1
+        assert code.num_parity == 3 * (p - 1)
+        assert code.num_data == (p - 1) * (p - 2)
+        assert code.k == p - 2
+
+    def test_parity_placement_p5(self):
+        """Fig. 3's layout: horizontal col p, diagonals on the two
+        diagonals of the inner square."""
+        code = TipCode(5)
+        for i in range(4):
+            assert code.kind(i, 5) == Cell.PARITY          # horizontal
+            assert code.kind(i, i + 1) == Cell.PARITY      # diagonal
+            assert code.kind(i, 4 - i) == Cell.PARITY      # anti-diagonal
+        assert code.kind(0, 0) == Cell.DATA
+
+    def test_every_row_has_one_parity_of_each_kind(self):
+        code = TipCode(7)
+        for i in range(code.rows):
+            kinds = [code.kind(i, j) for j in range(code.cols)]
+            assert kinds.count(Cell.PARITY) == 3
+
+    def test_no_empty_cells(self):
+        code = TipCode(7)
+        assert len(code.nonempty_positions) == code.rows * code.cols
+
+    def test_invalid_p_rejected(self):
+        for bad in (2, 4, 9, 15, 1):
+            with pytest.raises(ValueError):
+                TipCode(bad)
+
+
+class TestEncodingEquations:
+    """The worked examples of Fig. 3 (p = 5)."""
+
+    def test_horizontal_example(self):
+        code = TipCode(5)
+        assert set(code.chains[(0, 5)]) == {(0, 0), (0, 2), (0, 3)}
+
+    def test_diagonal_example(self):
+        code = TipCode(5)
+        assert set(code.chains[(0, 1)]) == {(0, 0), (3, 2), (1, 4)}
+
+    def test_anti_diagonal_example(self):
+        code = TipCode(5)
+        assert set(code.chains[(0, 4)]) == {(0, 0), (1, 1), (3, 3)}
+
+    def test_chains_contain_only_data(self):
+        """The 'three independent parities' property: no chain touches a
+        parity element."""
+        for p in (3, 5, 7, 11):
+            code = TipCode(p)
+            for members in code.chains.values():
+                for row, col in members:
+                    assert code.kind(row, col) == Cell.DATA
+
+    def test_every_data_element_in_exactly_three_chains(self):
+        for p in (5, 7):
+            code = TipCode(p)
+            counts = {pos: 0 for pos in code.data_positions}
+            for members in code.chains.values():
+                for pos in members:
+                    counts[pos] += 1
+            assert set(counts.values()) == {3}
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("p", [3, 5, 7, 11, 13])
+    def test_optimal_update_complexity(self, p):
+        """Sec. V-A: every single write touches exactly 3 parities."""
+        code = TipCode(p)
+        for pos in code.data_positions:
+            assert len(code.update_penalty(pos)) == 3
+        assert single_write_cost(code) == 4.0
+
+    @pytest.mark.parametrize("p", [5, 7, 11, 13])
+    def test_optimal_encoding_complexity(self, p):
+        """Sec. V-B: encoding costs exactly 3 - 3/(p-2) XORs/element."""
+        code = TipCode(p)
+        assert encoding_xor_per_element(code) == pytest.approx(
+            tip_encoding_bound(p)
+        )
+
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_mds(self, p):
+        assert TipCode(p).is_mds()
+
+    def test_storage_efficiency_is_mds_optimal(self):
+        code = TipCode(7)
+        assert code.storage_efficiency == pytest.approx(code.k / code.n)
+
+
+class TestDecodeRoundtrip:
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_all_triple_failures(self, p):
+        code = TipCode(p)
+        stripe = code.random_stripe(packet_size=8, seed=p)
+        for combo in itertools.combinations(range(code.cols), 3):
+            damaged = stripe.copy()
+            code.erase_columns(damaged, combo)
+            code.decode(damaged, combo)
+            assert np.array_equal(damaged, stripe), combo
+
+    def test_single_and_double_failures(self):
+        code = TipCode(5)
+        stripe = code.random_stripe(packet_size=8, seed=1)
+        for combo in itertools.combinations(range(code.cols), 2):
+            damaged = stripe.copy()
+            code.erase_columns(damaged, combo)
+            code.decode(damaged, combo)
+            assert np.array_equal(damaged, stripe)
+
+
+class TestParameters:
+    def test_native_sizes(self):
+        assert tip_parameters(6) == (5, 0)
+        assert tip_parameters(8) == (7, 0)
+        assert tip_parameters(12) == (11, 0)
+
+    def test_shortened_sizes(self):
+        assert tip_parameters(7) == (7, 1)   # n = p
+        assert tip_parameters(9) == (11, 3)
+        assert tip_parameters(11) == (11, 1)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            tip_parameters(3)
+
+    def test_make_tip_argument_validation(self):
+        with pytest.raises(ValueError):
+            make_tip()
+        with pytest.raises(ValueError):
+            make_tip(n=6, p=5)
+
+
+class TestShorteningWithAdjusters:
+    def test_fig16_adjuster_example(self):
+        """Sec. VII / Fig. 16: shortening TIP(p=7) to 6 disks re-homes the
+        chain of the removed diagonal parity C0,1 onto adjuster C1,6:
+        C1,6 = C5,2 xor C4,3 xor C2,5 (columns shifted by 2 after removal)."""
+        from repro.codes.tip import _shorten_tip
+
+        code = _shorten_tip(7, 2, name="tip-6of7")
+        # Original adjuster position (1, 6) -> (1, 4) after removing 2 cols.
+        assert code.kind(1, 4) == Cell.PARITY
+        members = set(code.chains[(1, 4)])
+        assert members == {(5, 0), (4, 1), (2, 3)}  # shifted by 2
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 7, 9, 10, 11, 13])
+    def test_shortened_is_mds(self, n):
+        code = make_tip(n)
+        assert code.cols == n
+        assert code.is_mds()
+
+    @pytest.mark.parametrize("n", [5, 9, 10])
+    def test_shortened_decode_roundtrip(self, n):
+        code = make_tip(n)
+        stripe = code.random_stripe(packet_size=4, seed=n)
+        for combo in itertools.combinations(range(code.cols), 3):
+            damaged = stripe.copy()
+            code.erase_columns(damaged, combo)
+            code.decode(damaged, combo)
+            assert np.array_equal(damaged, stripe), combo
+
+    def test_adjusters_only_when_parity_removed(self):
+        """n = p removes only the all-data column 0: no adjusters, so
+        update complexity stays optimal."""
+        code = make_tip(7)  # p = 7, one column removed
+        for pos in code.data_positions:
+            assert len(code.update_penalty(pos)) == 3
+
+    def test_adjusters_raise_update_cost_of_feeding_elements(self):
+        """With adjusters, elements in a re-homed chain pay extra parity
+        updates — the documented price of Sec. VII."""
+        code = make_tip(9)  # p = 11, 3 removed columns -> adjusters exist
+        costs = {len(code.update_penalty(pos)) for pos in code.data_positions}
+        assert 3 in costs        # most elements stay optimal
+        assert max(costs) > 3    # adjuster-feeding elements pay more
+
+    def test_oversized_shortening_rejected(self):
+        from repro.codes.tip import _shorten_tip
+
+        with pytest.raises(ValueError):
+            _shorten_tip(7, 4, name="too-short")

@@ -1,0 +1,67 @@
+"""Structural invariants of TIP's adjuster shortening (Sec. VII),
+checked across every legal (p, removed-columns) combination up to p=19.
+
+These pin the construction itself, complementing the end-to-end MDS and
+decode tests: each removed parity chain gets exactly one adjuster, all
+adjusters live on the second-to-last column, and no two chains share one.
+"""
+
+import pytest
+
+from repro._util import primes_up_to
+from repro.codes.base import Cell
+from repro.codes.tip import TipCode, _shorten_tip
+
+CASES = [
+    (p, removed)
+    for p in primes_up_to(19)
+    if p >= 5
+    for removed in range(1, (p + 1) // 2)
+]
+
+
+@pytest.mark.parametrize("p,removed", CASES)
+def test_adjuster_structure(p, removed):
+    native = TipCode(p)
+    code = _shorten_tip(p, removed, name=f"tip-{p}-{removed}")
+    assert code.cols == p + 1 - removed
+    # Parity count is conserved: every removed parity is re-homed.
+    assert code.num_parity == native.num_parity
+    # Adjusters = cells that are parity here but data in the native code
+    # (after undoing the column shift); all must sit on column p-1.
+    adjusters = [
+        pos
+        for pos in code.parity_positions
+        if native.kind(pos[0], pos[1] + removed) == Cell.DATA
+    ]
+    expected = 2 * max(removed - 1, 0)  # column 0 holds no parities
+    assert len(adjusters) == expected
+    for row, col in adjusters:
+        assert col + removed == p - 1, (row, col)
+    # One adjuster per re-homed chain, never shared.
+    assert len(set(adjusters)) == len(adjusters)
+
+
+@pytest.mark.parametrize("p,removed", [(7, 2), (11, 3), (13, 5)])
+def test_adjuster_chains_are_pure_data(p, removed):
+    """An adjuster's own chain must contain only data cells (it is
+    computed first, from data, exactly as Sec. VII prescribes)."""
+    native = TipCode(p)
+    code = _shorten_tip(p, removed, name=f"tip-{p}-{removed}")
+    for pos in code.parity_positions:
+        if native.kind(pos[0], pos[1] + removed) == Cell.DATA:
+            for member in code.chains[pos]:
+                assert code.kind(*member) == Cell.DATA, (pos, member)
+
+
+@pytest.mark.parametrize("p,removed", [(7, 2), (11, 2), (11, 4), (13, 3)])
+def test_shortened_encoding_order_puts_adjusters_first(p, removed):
+    """Chains that reference an adjuster must encode after it."""
+    native = TipCode(p)
+    code = _shorten_tip(p, removed, name=f"tip-{p}-{removed}")
+    order = {pos: i for i, pos in enumerate(code.encoding_order)}
+    for parity, members in code.chains.items():
+        for member in members:
+            if code.kind(*member) == Cell.PARITY:
+                assert order[member] < order[parity], (member, parity)
+    del native

@@ -1,0 +1,120 @@
+"""Tests for the paper's specialized TIP decoder (Sec. III-C/III-D)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codes.tip import TipAlgebraicDecoder, TipCode, make_tip
+
+
+@pytest.fixture(scope="module", params=[3, 5, 7])
+def code(request):
+    return TipCode(request.param)
+
+
+def test_requires_native_tip():
+    shortened = make_tip(9)
+    with pytest.raises(TypeError):
+        TipAlgebraicDecoder(shortened)  # type: ignore[arg-type]
+
+
+def test_case2_all_data_side_triples(code):
+    """Three failures among columns 0..p-1: the cross-pattern path."""
+    p = code.p
+    stripe = code.random_stripe(packet_size=8, seed=p * 11)
+    decoder = code.algebraic_decoder()
+    for combo in itertools.combinations(range(p), 3):
+        damaged = stripe.copy()
+        decoder.decode(damaged, combo)
+        assert np.array_equal(damaged, stripe), combo
+
+
+def test_case1_horizontal_column_failed(code):
+    """Failures including column p: the peeling path."""
+    p = code.p
+    stripe = code.random_stripe(packet_size=8, seed=p * 13)
+    decoder = code.algebraic_decoder()
+    for pair in itertools.combinations(range(p), 2):
+        damaged = stripe.copy()
+        decoder.decode(damaged, pair + (p,))
+        assert np.array_equal(damaged, stripe), pair
+
+
+def test_fewer_failures_delegate(code):
+    stripe = code.random_stripe(packet_size=8, seed=3)
+    decoder = code.algebraic_decoder()
+    for combo in itertools.combinations(range(code.cols), 2):
+        damaged = stripe.copy()
+        decoder.decode(damaged, combo)
+        assert np.array_equal(damaged, stripe)
+    for col in range(code.cols):
+        damaged = stripe.copy()
+        decoder.decode(damaged, (col,))
+        assert np.array_equal(damaged, stripe)
+
+
+def test_decoder_erases_before_decoding(code):
+    """The decoder must not trust garbage in failed columns."""
+    stripe = code.random_stripe(packet_size=8, seed=4)
+    damaged = stripe.copy()
+    damaged[:, 0, :] = 0xAA  # garbage, not zeros
+    damaged[:, 1, :] = 0x55
+    damaged[:, 2, :] = 0x33
+    code.algebraic_decoder().decode(damaged, (0, 1, 2))
+    assert np.array_equal(damaged, stripe)
+
+
+def test_validation(code):
+    stripe = code.random_stripe(packet_size=8, seed=5)
+    decoder = code.algebraic_decoder()
+    with pytest.raises(ValueError):
+        decoder.decode(stripe, ())
+    with pytest.raises(ValueError):
+        decoder.decode(stripe, (0, 1, 2, 3))
+    with pytest.raises(ValueError):
+        decoder.decode(stripe, (0, 1, code.cols))
+
+
+def test_agrees_with_generic_decoder(code):
+    """Both decoders must produce identical stripes for every triple."""
+    stripe = code.random_stripe(packet_size=8, seed=6)
+    algebraic = code.algebraic_decoder()
+    for combo in itertools.combinations(range(code.cols), 3):
+        via_alg = stripe.copy()
+        algebraic.decode(via_alg, combo)
+        via_gen = stripe.copy()
+        code.erase_columns(via_gen, combo)
+        code.decode(via_gen, combo)
+        assert np.array_equal(via_alg, via_gen), combo
+
+
+@given(
+    data=st.data(),
+    p=st.sampled_from([5, 7]),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_data_random_failures(data, p):
+    code = TipCode(p)
+    payload = data.draw(
+        st.lists(
+            st.integers(0, 255),
+            min_size=code.num_data,
+            max_size=code.num_data,
+        )
+    )
+    failed = tuple(
+        sorted(
+            data.draw(
+                st.sets(
+                    st.integers(0, code.cols - 1), min_size=3, max_size=3
+                )
+            )
+        )
+    )
+    packets = np.array(payload, dtype=np.uint8).reshape(code.num_data, 1)
+    stripe = code.make_stripe(packets)
+    damaged = stripe.copy()
+    code.algebraic_decoder().decode(damaged, failed)
+    assert np.array_equal(damaged, stripe)

@@ -1,0 +1,199 @@
+"""Verify the paper's algebraic identities on the equivalent layout D
+and the symmetrized matrix E (Sec. III-C/III-D, Eqs. 4-16).
+
+These are the lemmas Theorem 1's proof rests on; testing them directly on
+random stripes pins the implementation to the paper's mathematics rather
+than just to end-to-end decode success.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codes.tip import TipCode
+
+
+def build_d(code, stripe):
+    """The D layout as a dict keyed by mathematical row -1..p-1."""
+    decoder = code.algebraic_decoder()
+    d_matrix = decoder._build_d(stripe)
+    return {row: d_matrix[row + 1] for row in range(-1, code.p)}
+
+
+@pytest.fixture(scope="module", params=[5, 7, 11])
+def setup(request):
+    code = TipCode(request.param)
+    stripe = code.random_stripe(packet_size=8, seed=request.param)
+    return code, stripe, build_d(code, stripe)
+
+
+def xor_all(packets):
+    acc = np.zeros_like(packets[0])
+    for packet in packets:
+        acc = acc ^ packet
+    return acc
+
+
+class TestEquivalentLayoutD:
+    def test_eq4_s_is_sum_of_horizontal_parities(self, setup):
+        """Eq. 4: S = XOR of all horizontal parities = XOR of all data."""
+        code, stripe, d = setup
+        p = code.p
+        s_from_parities = xor_all([stripe[i, p] for i in range(p - 1)])
+        data_cells = [
+            stripe[r, c]
+            for (r, c) in code.data_positions
+        ]
+        assert np.array_equal(s_from_parities, xor_all(data_cells))
+
+    def test_eq5_row_sums(self, setup):
+        """Eq. 5: row i of D sums to D[i,p] for 0<=i<=p-2, and rows -1 and
+        p-1 (the moved parities) sum to S."""
+        code, stripe, d = setup
+        p = code.p
+        s_total = xor_all([stripe[i, p] for i in range(p - 1)])
+        for i in range(p - 1):
+            row_sum = xor_all([d[i][j] for j in range(p)])
+            assert np.array_equal(row_sum, stripe[i, p]), i
+        for i in (-1, p - 1):
+            row_sum = xor_all([d[i][j] for j in range(p)])
+            assert np.array_equal(row_sum, s_total), i
+
+    def test_eq6_diagonal_chains_vanish(self, setup):
+        """Eq. 6: XOR_j D[<i-j>_p, j] = 0 over rows 0..p-1."""
+        code, stripe, d = setup
+        p = code.p
+        for i in range(p):
+            chain = xor_all([d[(i - j) % p][j] for j in range(p)])
+            assert not chain.any(), i
+
+    def test_eq7_anti_diagonal_chains_vanish(self, setup):
+        """Eq. 7: XOR_j D[p-2-<i-j>_p, j] = 0 over rows -1..p-2."""
+        code, stripe, d = setup
+        p = code.p
+        for i in range(p):
+            chain = xor_all(
+                [d[p - 2 - (i - j) % p][j] for j in range(p)]
+            )
+            assert not chain.any(), i
+
+    def test_empty_elements_of_d(self, setup):
+        """Each column j of D has structural zeros at the vacated parity
+        positions (rows j-1 and p-1-j, with column 0 using rows -1, p-1)."""
+        code, stripe, d = setup
+        decoder = code.algebraic_decoder()
+        for col in range(code.p):
+            for row in decoder._empty_rows_of_column(col):
+                assert not d[row][col].any(), (row, col)
+
+
+class TestMatrixE:
+    @staticmethod
+    def build_e(code, d):
+        p = code.p
+        return {i: d[i] ^ d[p - 2 - i] for i in range(p)}
+
+    def test_eq10_row_chains(self, setup):
+        """Eq. 10: row i of E sums to D[i,p] ^ D[p-2-i,p] (0 for i=p-1)."""
+        code, stripe, d = setup
+        p = code.p
+        e = self.build_e(code, d)
+        for i in range(p - 1):
+            row_sum = xor_all([e[i][j] for j in range(p)])
+            expected = stripe[i, p] ^ stripe[p - 2 - i, p]
+            assert np.array_equal(row_sum, expected), i
+        assert not xor_all([e[p - 1][j] for j in range(p)]).any()
+
+    def test_eq11_eq12_diagonals_vanish(self, setup):
+        """Eqs. 11-12: E's diagonal and anti-diagonal chains sum to 0."""
+        code, stripe, d = setup
+        p = code.p
+        e = self.build_e(code, d)
+        for i in range(p):
+            diag = xor_all([e[(i - j) % p][j] for j in range(p)])
+            anti = xor_all([e[(i + j) % p][j] for j in range(p)])
+            assert not diag.any(), ("diag", i)
+            assert not anti.any(), ("anti", i)
+
+    def test_e_symmetry(self, setup):
+        """Eq. 9's consequence: E[p-2-i] == E[i]."""
+        code, stripe, d = setup
+        p = code.p
+        e = self.build_e(code, d)
+        for i in range(p):
+            assert np.array_equal(e[i], e[(p - 2 - i) % p]), i
+
+    def test_empty_elements_of_e(self, setup):
+        """Sec. III-D step 5: E[i, p-1-i] is structurally zero."""
+        code, stripe, d = setup
+        p = code.p
+        e = self.build_e(code, d)
+        for i in range(p):
+            assert not e[i][(p - 1 - i) % p].any(), i
+
+    def test_eq16_sub_d_anti_chains(self, setup):
+        """Eq. 16: over the p x p sub-matrix of D (rows 0..p-1),
+        XOR_j D[<i+j>_p, j] = E[p-1, p-1-i]."""
+        code, stripe, d = setup
+        p = code.p
+        e = self.build_e(code, d)
+        for i in range(p):
+            chain = xor_all([d[(i + j) % p][j] for j in range(p)])
+            assert np.array_equal(chain, e[p - 1][(p - 1 - i) % p]), i
+
+
+class TestCrossPattern:
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_eq13_eq14_cross_pattern_identity(self, seed):
+        """Eq. 13/14: the XOR of the four syndromes in a cross pattern
+        equals the XOR of the corresponding 4-tuple of the middle column,
+        for random failures and random rows."""
+        rng = np.random.default_rng(seed)
+        p = 7
+        code = TipCode(p)
+        stripe = code.random_stripe(packet_size=4, seed=seed % 1000)
+        d_full = code.algebraic_decoder()._build_d(stripe)
+        e = np.zeros((p, p, 4), dtype=np.uint8)
+        for i in range(p):
+            e[i] = d_full[i + 1] ^ d_full[p - 1 - i]
+        f1, f2, f3 = sorted(rng.choice(p, size=3, replace=False).tolist())
+        u, v = f2 - f1, f3 - f2
+        surviving = [c for c in range(p) if c not in (f1, f2, f3)]
+
+        def srow(r):
+            rhs = (
+                stripe[r, p] ^ stripe[p - 2 - r, p]
+                if r != p - 1
+                else np.zeros(4, dtype=np.uint8)
+            )
+            for j in surviving:
+                rhs = rhs ^ e[r, j]
+            return rhs
+
+        def sdiag(r):
+            acc = np.zeros(4, dtype=np.uint8)
+            for j in surviving:
+                acc = acc ^ e[(r - j) % p, j]
+            return acc
+
+        def santi(r):
+            acc = np.zeros(4, dtype=np.uint8)
+            for j in surviving:
+                acc = acc ^ e[(r + j) % p, j]
+            return acc
+
+        for r in range(p):
+            cross = (
+                srow(r)
+                ^ srow((r + u + v) % p)
+                ^ sdiag((r + f3) % p)
+                ^ santi((r - f1) % p)
+            )
+            four_tuple = (
+                e[r, f2]
+                ^ e[(r + v) % p, f2]
+                ^ e[(r + u) % p, f2]
+                ^ e[(r + u + v) % p, f2]
+            )
+            assert np.array_equal(cross, four_tuple), r

@@ -1,0 +1,113 @@
+"""Tests for trace-driven write complexity (Fig. 12 machinery)."""
+
+import pytest
+
+from repro.analysis import synthetic_write_cost
+from repro.analysis.trace_cost import request_runs, request_write_cost
+from repro.analysis.write_cost import (
+    full_stripe_write_cost,
+    single_write_cost,
+)
+from repro.codes import make_code
+from repro.traces import Trace, TraceRequest, generate_trace
+
+CHUNK = 8 * 1024
+
+
+@pytest.fixture(scope="module")
+def tip8():
+    return make_code("tip", 8)
+
+
+class TestRequestRuns:
+    def test_single_chunk(self, tip8):
+        runs = request_runs(tip8, 0, CHUNK, CHUNK)
+        assert runs == [(0, 0, 1)]
+
+    def test_sub_chunk_request_touches_one_element(self, tip8):
+        assert request_runs(tip8, 100, 200, CHUNK) == [(0, 0, 1)]
+
+    def test_unaligned_request_spans_two_chunks(self, tip8):
+        runs = request_runs(tip8, CHUNK // 2, CHUNK, CHUNK)
+        assert runs == [(0, 0, 2)]
+
+    def test_stripe_spanning_request(self, tip8):
+        per_stripe = tip8.num_data
+        offset = (per_stripe - 1) * CHUNK
+        runs = request_runs(tip8, offset, 2 * CHUNK, CHUNK)
+        assert runs == [(0, per_stripe - 1, 1), (1, 0, 1)]
+
+    def test_full_stripe_run(self, tip8):
+        runs = request_runs(tip8, 0, tip8.num_data * CHUNK, CHUNK)
+        assert runs == [(0, 0, tip8.num_data)]
+
+    def test_zero_length(self, tip8):
+        assert request_runs(tip8, 0, 0, CHUNK) == []
+
+    def test_chunk_size_validation(self, tip8):
+        with pytest.raises(ValueError):
+            request_runs(tip8, 0, 512, 0)
+
+
+class TestRequestCost:
+    def test_single_chunk_write_cost_is_optimal_for_tip(self, tip8):
+        assert request_write_cost(tip8, 0, CHUNK, CHUNK) == 4
+
+    def test_full_stripe_cost(self, tip8):
+        cost = request_write_cost(tip8, 0, tip8.num_data * CHUNK, CHUNK)
+        assert cost == full_stripe_write_cost(tip8)
+
+    def test_spanning_request_sums_per_stripe_costs(self, tip8):
+        per_stripe = tip8.num_data
+        offset = (per_stripe - 1) * CHUNK
+        cost = request_write_cost(tip8, offset, 2 * CHUNK, CHUNK)
+        assert cost == 8  # two isolated single writes of 4 each
+
+
+class TestSyntheticWriteCost:
+    def test_single_chunk_trace_equals_single_write_cost(self, tip8):
+        requests = [
+            TraceRequest(float(i), i * CHUNK, CHUNK, True) for i in range(50)
+        ]
+        trace = Trace("all-singles", requests)
+        assert synthetic_write_cost(tip8, trace, CHUNK) == pytest.approx(
+            single_write_cost(tip8), abs=0.5
+        )
+
+    def test_reads_are_ignored(self, tip8):
+        requests = [
+            TraceRequest(0.0, 0, CHUNK, True),
+            TraceRequest(1.0, 0, 64 * CHUNK, False),
+        ]
+        assert synthetic_write_cost(tip8, Trace("t", requests), CHUNK) == 4
+
+    def test_write_free_trace_rejected(self, tip8):
+        trace = Trace("reads", [TraceRequest(0.0, 0, CHUNK, False)])
+        with pytest.raises(ValueError):
+            synthetic_write_cost(tip8, trace, CHUNK)
+
+    def test_fig12_tip_wins_on_every_msr_workload(self):
+        """Fig. 12's headline: TIP has the fewest I/Os per write request
+        on the MSR-like workloads, with the gain growing with array size.
+        At n=6 STAR's tiny stripe (p=3) turns many requests into cheap
+        full-stripe writes, so TIP is only required to be within 5% there.
+        """
+        for name in ("prxy_0", "src2_0", "stg_0", "usr_0"):
+            trace = generate_trace(name, requests=1500, seed=11)
+            for n in (8, 12):
+                tip_cost = synthetic_write_cost(make_code("tip", n), trace)
+                for family in ("star", "triple-star", "hdd1"):
+                    other = synthetic_write_cost(make_code(family, n), trace)
+                    assert tip_cost < other, (name, n, family)
+            tip6 = synthetic_write_cost(make_code("tip", 6), trace)
+            for family in ("star", "triple-star", "hdd1"):
+                other = synthetic_write_cost(make_code(family, 6), trace)
+                assert tip6 < other * 1.10, (name, family)
+
+    def test_larger_requests_cost_more_but_amortize(self, tip8):
+        small = Trace("s", [TraceRequest(0.0, 0, CHUNK, True)])
+        large = Trace("l", [TraceRequest(0.0, 0, 6 * CHUNK, True)])
+        cost_small = synthetic_write_cost(tip8, small, CHUNK)
+        cost_large = synthetic_write_cost(tip8, large, CHUNK)
+        assert cost_large > cost_small
+        assert cost_large / 6 < cost_small

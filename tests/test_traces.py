@@ -1,0 +1,140 @@
+"""Tests for the trace model and the Table III synthetic generators."""
+
+import pytest
+
+from repro.traces import (
+    TABLE3_WORKLOADS,
+    Trace,
+    TraceRequest,
+    generate_trace,
+    parse_csv_trace,
+    workload_names,
+)
+
+
+class TestModel:
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            TraceRequest(-1.0, 0, 512, True)
+        with pytest.raises(ValueError):
+            TraceRequest(0.0, -512, 512, True)
+        with pytest.raises(ValueError):
+            TraceRequest(0.0, 0, 0, True)
+
+    def test_trace_sorts_by_timestamp(self):
+        trace = Trace(
+            "t",
+            [
+                TraceRequest(2.0, 0, 512, True),
+                TraceRequest(1.0, 512, 512, False),
+            ],
+        )
+        assert [r.timestamp for r in trace] == [1.0, 2.0]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("empty", [])
+
+    def test_stats(self):
+        trace = Trace(
+            "t",
+            [
+                TraceRequest(0.0, 0, 1024, True),
+                TraceRequest(2.0, 0, 3072, False),
+            ],
+        )
+        stats = trace.stats()
+        assert stats.requests == 2
+        assert stats.write_fraction == 0.5
+        assert stats.avg_request_kb == pytest.approx(2.0)
+        assert stats.iops == pytest.approx(1.0)
+
+    def test_writes_filter(self):
+        trace = Trace(
+            "t",
+            [
+                TraceRequest(0.0, 0, 512, True),
+                TraceRequest(1.0, 0, 512, False),
+            ],
+        )
+        assert len(trace.writes) == 1
+
+    def test_scaled(self):
+        trace = generate_trace("src2_0", requests=100, seed=0)
+        assert len(trace.scaled(10)) == 10
+        with pytest.raises(ValueError):
+            trace.scaled(0)
+
+
+class TestCsvParsing:
+    def test_parse_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "# comment\n"
+            "0,0,100,8,W,0.5\n"
+            "0,0,200,16,r,1.5\n"
+        )
+        trace = parse_csv_trace(path)
+        assert len(trace) == 2
+        first = trace.requests[0]
+        assert first.offset == 100 * 512
+        assert first.length == 8 * 512
+        assert first.is_write
+        assert not trace.requests[1].is_write
+
+    def test_parse_rejects_bad_opcode(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,0,1,1,x,0.0\n")
+        with pytest.raises(ValueError, match="opcode"):
+            parse_csv_trace(path)
+
+    def test_parse_rejects_short_lines(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("0,0,1\n")
+        with pytest.raises(ValueError, match="fields"):
+            parse_csv_trace(path)
+
+
+class TestSyntheticGenerators:
+    def test_all_table3_workloads_present(self):
+        assert workload_names() == sorted(
+            ["financial_1", "financial_2", "prxy_0", "src2_0", "stg_0", "usr_0"]
+        )
+
+    @pytest.mark.parametrize("name", sorted(TABLE3_WORKLOADS))
+    def test_statistics_match_table3(self, name):
+        """Each generator must land within tolerance of the published
+        write fraction, average request size, and IOPS."""
+        spec = TABLE3_WORKLOADS[name]
+        stats = generate_trace(name, requests=8000, seed=42).stats()
+        assert stats.write_fraction == pytest.approx(
+            spec.write_fraction, abs=0.02
+        )
+        assert stats.avg_request_kb == pytest.approx(
+            spec.avg_request_kb, rel=0.10
+        )
+        assert stats.iops == pytest.approx(spec.iops, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        a = generate_trace("stg_0", requests=200, seed=7)
+        b = generate_trace("stg_0", requests=200, seed=7)
+        assert a.requests == b.requests
+
+    def test_different_seeds_differ(self):
+        a = generate_trace("stg_0", requests=200, seed=7)
+        b = generate_trace("stg_0", requests=200, seed=8)
+        assert a.requests != b.requests
+
+    def test_sector_alignment(self):
+        trace = generate_trace("usr_0", requests=500, seed=1)
+        for req in trace:
+            assert req.length % 512 == 0
+            assert req.offset % 512 == 0
+
+    def test_request_count_validation(self):
+        with pytest.raises(ValueError):
+            generate_trace("stg_0", requests=0)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            generate_trace("no_such_trace", requests=10)

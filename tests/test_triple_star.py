@@ -1,0 +1,88 @@
+"""Tests for Triple-Star (paper's Fig. 2 and baseline behaviour)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes.base import Cell
+from repro.codes.triple_star import TripleStarCode, make_triple_star
+
+
+class TestStructure:
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_shape(self, p):
+        code = TripleStarCode(p)
+        assert code.rows == p - 1
+        assert code.cols == p + 2
+        assert code.k == p - 1
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            TripleStarCode(4)
+
+
+class TestFig2Examples:
+    """The worked examples of the TIP paper's Fig. 2 (p = 5)."""
+
+    def test_horizontal(self):
+        code = TripleStarCode(5)
+        assert set(code.chains[(0, 4)]) == {(0, 0), (0, 1), (0, 2), (0, 3)}
+
+    def test_anti_diagonal(self):
+        # C0,5 = C0,0 ^ C1,1 ^ C2,2 ^ C3,3
+        code = TripleStarCode(5)
+        assert set(code.chains[(0, 5)]) == {(0, 0), (1, 1), (2, 2), (3, 3)}
+
+    def test_diagonal(self):
+        # C0,6 = C0,0 ^ C3,2 ^ C2,3 ^ C1,4 (includes horizontal col 4)
+        code = TripleStarCode(5)
+        assert set(code.chains[(0, 6)]) == {(0, 0), (3, 2), (2, 3), (1, 4)}
+
+    def test_horizontal_parity_inside_diagonal_chains(self):
+        """The chained-layout property motivating TIP."""
+        code = TripleStarCode(5)
+        horizontal_cells = {(i, 4) for i in range(4)}
+        diag_members = set().union(
+            *(code.chains[(i, 6)] for i in range(4))
+        )
+        anti_members = set().union(
+            *(code.chains[(i, 5)] for i in range(4))
+        )
+        assert horizontal_cells & diag_members
+        assert horizontal_cells & anti_members
+
+    def test_fig2d_update_example(self):
+        """Writing C1,0 modifies the horizontal parity C1,4, the
+        anti-diagonal parities C1,5 and C2,5, and the diagonal parities
+        C0,6 and C1,6 — five parities total (Fig. 2(d))."""
+        code = TripleStarCode(5)
+        penalty = code.update_penalty((1, 0))
+        assert penalty == frozenset(
+            {(1, 4), (1, 5), (2, 5), (0, 6), (1, 6)}
+        )
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_mds(self, p):
+        assert TripleStarCode(p).is_mds()
+
+    @pytest.mark.parametrize("p", [3, 5])
+    def test_decode_all_triples(self, p):
+        code = TripleStarCode(p)
+        stripe = code.random_stripe(packet_size=4, seed=p)
+        for combo in itertools.combinations(range(code.cols), 3):
+            damaged = stripe.copy()
+            code.erase_columns(damaged, combo)
+            code.decode(damaged, combo)
+            assert np.array_equal(damaged, stripe), combo
+
+    def test_make_triple_star_sizes(self):
+        for n in (4, 5, 6, 7, 8, 9):
+            assert make_triple_star(n).cols == n
+        with pytest.raises(ValueError):
+            make_triple_star(3)
+
+    def test_shortened_still_mds(self):
+        assert make_triple_star(6).is_mds()

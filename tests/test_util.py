@@ -1,0 +1,74 @@
+"""Unit tests for repro._util (primality and validation helpers)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util import (
+    check_positive,
+    is_prime,
+    mod,
+    next_prime,
+    primes_up_to,
+)
+
+KNOWN_PRIMES = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+
+
+def test_is_prime_small_values():
+    for value in range(-5, 50):
+        assert is_prime(value) == (value in KNOWN_PRIMES)
+
+
+def test_is_prime_squares_of_primes_are_composite():
+    for p in (3, 5, 7, 11, 13):
+        assert not is_prime(p * p)
+
+
+def test_next_prime_from_prime_is_identity():
+    for p in (2, 3, 5, 7, 23, 101):
+        assert next_prime(p) == p
+
+
+def test_next_prime_skips_composites():
+    assert next_prime(8) == 11
+    assert next_prime(9) == 11
+    assert next_prime(24) == 29
+    assert next_prime(-7) == 2
+    assert next_prime(0) == 2
+
+
+def test_primes_up_to():
+    assert primes_up_to(1) == []
+    assert primes_up_to(2) == [2]
+    assert primes_up_to(30) == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+
+@given(st.integers(min_value=2, max_value=10_000))
+def test_next_prime_is_prime_and_minimal(value):
+    p = next_prime(value)
+    assert p >= value
+    assert is_prime(p)
+    assert not any(is_prime(q) for q in range(value, p))
+
+
+def test_check_positive_accepts_positive_ints():
+    assert check_positive("x", 3) == 3
+
+
+@pytest.mark.parametrize("bad", [0, -1, -100])
+def test_check_positive_rejects_non_positive(bad):
+    with pytest.raises(ValueError):
+        check_positive("x", bad)
+
+
+@pytest.mark.parametrize("bad", [1.5, "3", None, True])
+def test_check_positive_rejects_non_ints(bad):
+    with pytest.raises((TypeError, ValueError)):
+        check_positive("x", bad)
+
+
+@given(st.integers(-1000, 1000), st.integers(1, 97))
+def test_mod_always_in_range(value, modulus):
+    result = mod(value, modulus)
+    assert 0 <= result < modulus
+    assert (result - value) % modulus == 0

@@ -1,0 +1,112 @@
+"""Tests for the write-complexity analysis (Figs. 10-11, Tables IV-V)."""
+
+import pytest
+
+from repro.analysis import (
+    full_stripe_write_cost,
+    improvement,
+    partial_write_cost,
+    single_write_cost,
+    write_cost_for_run,
+)
+from repro.codes import make_code
+from repro.codes.tip import TipCode
+
+
+class TestSingleWrite:
+    def test_tip_is_optimal_for_all_sizes(self):
+        for n in (6, 8, 12, 14):
+            assert single_write_cost(make_code("tip", n)) == 4.0
+
+    def test_paper_table4_star_improvement_n6(self):
+        """Table IV: TIP improves single-write over STAR by 14.29% at n=6."""
+        tip = single_write_cost(make_code("tip", 6))
+        star = single_write_cost(make_code("star", 6))
+        assert improvement(star, tip) == pytest.approx(14.29, abs=0.01)
+
+    def test_paper_table4_star_improvement_n8(self):
+        """Table IV: 23.08% over STAR at n=8."""
+        tip = single_write_cost(make_code("tip", 8))
+        star = single_write_cost(make_code("star", 8))
+        assert improvement(star, tip) == pytest.approx(23.08, abs=0.01)
+
+    def test_ordering_matches_fig10(self):
+        """Fig. 10's ordering at every evaluated size: TIP < STAR and all
+        other baselines, HDD1 worst."""
+        for n in (6, 8, 12, 14):
+            costs = {
+                fam: single_write_cost(make_code(fam, n))
+                for fam in ("tip", "star", "triple-star", "cauchy-rs", "hdd1")
+            }
+            assert costs["tip"] == min(costs.values())
+            assert costs["hdd1"] == max(costs.values())
+            assert costs["tip"] < costs["star"] < costs["hdd1"]
+
+
+class TestPartialWrite:
+    def test_run_of_full_stripe_is_full_stripe_cost(self):
+        code = TipCode(5)
+        assert (
+            write_cost_for_run(code, 0, code.num_data)
+            == full_stripe_write_cost(code)
+        )
+        assert (
+            write_cost_for_run(code, 3, code.num_data + 5)
+            == full_stripe_write_cost(code)
+        )
+
+    def test_zero_length_run_costs_nothing(self):
+        assert write_cost_for_run(TipCode(5), 0, 0) == 0
+
+    def test_run_cost_counts_union_of_parities(self):
+        """Two same-row consecutive TIP elements share the horizontal
+        parity: 2 data + 1 horizontal + 2 diagonal + 2 anti = 7."""
+        code = TipCode(5)
+        # positions 0 and 1 are (0,0) and (0,2): same row.
+        assert write_cost_for_run(code, 0, 2) == 7
+
+    def test_partial_cost_between_bounds(self):
+        for family in ("tip", "star", "triple-star"):
+            code = make_code(family, 8)
+            for length in (2, 3, 4, 5):
+                cost = partial_write_cost(code, length)
+                assert length < cost <= full_stripe_write_cost(code)
+
+    def test_partial_length_one_equals_single(self):
+        code = make_code("tip", 8)
+        assert partial_write_cost(code, 1) == single_write_cost(code)
+
+    def test_amortization_per_element_decreases(self):
+        """Longer runs amortize parity updates: cost/l shrinks with l."""
+        code = make_code("tip", 12)
+        per_element = [partial_write_cost(code, l) / l for l in (1, 2, 4, 8)]
+        assert all(b < a for a, b in zip(per_element, per_element[1:]))
+
+    def test_fig11_tip_beats_triple_star_l2(self):
+        for n in (6, 8, 12):
+            tip = partial_write_cost(make_code("tip", n), 2)
+            ts = partial_write_cost(make_code("triple-star", n), 2)
+            assert tip < ts
+
+
+class TestFullStripe:
+    def test_counts_all_stored_elements(self):
+        code = TipCode(5)
+        assert full_stripe_write_cost(code) == 24  # 12 data + 12 parity
+
+    def test_mds_codes_share_full_stripe_cost_per_data(self):
+        """MDS codes with the same geometry parameters write the same
+        parity volume for a full stripe (the non-MDS disadvantage the
+        paper cites does not apply here)."""
+        tip = make_code("tip", 8)
+        assert full_stripe_write_cost(tip) == tip.num_data + 3 * tip.rows
+
+
+class TestImprovement:
+    def test_improvement_formula(self):
+        assert improvement(8.0, 4.0) == pytest.approx(50.0)
+        assert improvement(4.0, 4.0) == 0.0
+
+    def test_improvement_rejects_bad_baseline(self):
+        with pytest.raises(ValueError):
+            improvement(0.0, 1.0)

@@ -1,0 +1,101 @@
+"""Tests for RMW vs RCW write-path strategy selection."""
+
+import pytest
+
+from repro.analysis import choose_strategy, rcw_cost, rmw_cost
+from repro.codes import make_code
+
+
+@pytest.fixture(scope="module")
+def tip8():
+    return make_code("tip", 8)
+
+
+class TestRmw:
+    def test_prereads_equal_writes(self, tip8):
+        positions = list(tip8.data_positions[:3])
+        plan = rmw_cost(tip8, positions)
+        assert plan.strategy == "rmw"
+        assert plan.pre_reads == plan.writes
+
+    def test_single_element_cost(self, tip8):
+        plan = rmw_cost(tip8, [tip8.data_positions[0]])
+        # TIP: 1 data + 3 parities, read and written.
+        assert len(plan.writes) == 4
+        assert plan.total_ios == 8
+
+
+class TestRcw:
+    def test_prereads_exclude_written_cells(self, tip8):
+        positions = list(tip8.data_positions[:2])
+        plan = rcw_cost(tip8, positions)
+        assert plan.strategy == "rcw"
+        assert not set(plan.pre_reads) & set(positions)
+
+    def test_prereads_are_data_cells_only(self, tip8):
+        from repro.codes.base import Cell
+
+        plan = rcw_cost(tip8, [tip8.data_positions[0]])
+        for row, col in plan.pre_reads:
+            assert tip8.kind(row, col) == Cell.DATA
+
+    def test_near_full_stripe_prefers_rcw(self, tip8):
+        """Writing all but one data element: RCW reads just the leftover,
+        RMW would re-read everything it writes."""
+        positions = list(tip8.data_positions[:-1])
+        rcw = rcw_cost(tip8, positions)
+        rmw = rmw_cost(tip8, positions)
+        assert rcw.total_ios < rmw.total_ios
+        assert len(rcw.pre_reads) <= tip8.num_data - len(positions) + 2
+
+
+class TestChoose:
+    def test_small_write_prefers_rmw(self, tip8):
+        plan = choose_strategy(tip8, [tip8.data_positions[0]])
+        assert plan.strategy == "rmw"
+
+    def test_large_write_prefers_rcw(self, tip8):
+        plan = choose_strategy(tip8, list(tip8.data_positions[:-1]))
+        assert plan.strategy == "rcw"
+
+    def test_chooser_is_minimal(self, tip8):
+        for count in (1, 2, 5, 10, tip8.num_data - 1):
+            positions = list(tip8.data_positions[:count])
+            chosen = choose_strategy(tip8, positions)
+            assert chosen.total_ios == min(
+                rmw_cost(tip8, positions).total_ios,
+                rcw_cost(tip8, positions).total_ios,
+            )
+
+    def test_empty_positions_rejected(self, tip8):
+        with pytest.raises(ValueError):
+            choose_strategy(tip8, [])
+
+    def test_same_writes_either_way(self, tip8):
+        """Strategy changes pre-reads, never the written set."""
+        positions = list(tip8.data_positions[:4])
+        assert (
+            rmw_cost(tip8, positions).writes
+            == rcw_cost(tip8, positions).writes
+        )
+
+
+class TestControllerIntegration:
+    def test_auto_strategy_never_issues_more_ios(self):
+        from repro.disksim import RaidController
+        from repro.traces import TraceRequest
+
+        code = make_code("tip", 8)
+        rmw = RaidController(code, 8192, write_strategy="rmw")
+        auto = RaidController(code, 8192, write_strategy="auto")
+        for chunks in (1, 3, 8, code.num_data - 1):
+            request = TraceRequest(0.0, 0, chunks * 8192, True)
+            assert (
+                auto.plan(request).total_ios <= rmw.plan(request).total_ios
+            )
+
+    def test_invalid_strategy_rejected(self):
+        from repro.disksim import RaidController
+
+        with pytest.raises(ValueError):
+            RaidController(make_code("tip", 6), 8192, write_strategy="nope")

@@ -1,0 +1,109 @@
+"""Tests for X-code (vertical RAID-6) and WEAVER (non-MDS 3DFT)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis import single_write_cost
+from repro.codes.weaver import WeaverCode, make_weaver
+from repro.codes.xcode import XCode, make_xcode
+
+
+class TestXCode:
+    @pytest.mark.parametrize("p", [5, 7, 11])
+    def test_shape_and_mds(self, p):
+        code = XCode(p)
+        assert code.rows == code.cols == p
+        assert code.num_data == p * (p - 2)
+        assert code.is_mds()
+        assert code.is_storage_optimal
+
+    @pytest.mark.parametrize("p", [5, 7])
+    def test_decode_all_pairs(self, p):
+        code = XCode(p)
+        stripe = code.random_stripe(packet_size=4, seed=p)
+        for combo in itertools.combinations(range(code.cols), 2):
+            damaged = stripe.copy()
+            code.erase_columns(damaged, combo)
+            code.decode(damaged, combo)
+            assert np.array_equal(damaged, stripe), combo
+
+    @pytest.mark.parametrize("p", [5, 7, 11])
+    def test_optimal_update_complexity(self, p):
+        """X-code's defining property: exactly 2 parities per write —
+        the RAID-6 analogue of TIP's three independent parities."""
+        code = XCode(p)
+        for pos in code.data_positions:
+            assert len(code.update_penalty(pos)) == 2
+        assert single_write_cost(code) == 3.0
+
+    def test_paper_equations(self):
+        """C[p-2][i] = XOR_k C[k][(i+k+2) mod p] for p=5, i=0."""
+        code = XCode(5)
+        assert set(code.chains[(3, 0)]) == {(0, 2), (1, 3), (2, 4)}
+        assert set(code.chains[(4, 0)]) == {(0, 3), (1, 2), (2, 1)}
+
+    def test_invalid_p(self):
+        for bad in (3, 4, 6, 9):
+            with pytest.raises(ValueError):
+                XCode(bad)
+
+    def test_make_xcode(self):
+        assert make_xcode(7).cols == 7
+
+
+class TestWeaver:
+    @pytest.mark.parametrize("n", [6, 7, 8, 10, 12])
+    def test_triple_fault_tolerant(self, n):
+        code = WeaverCode(n)
+        assert code.is_mds()  # decodability of every triple
+
+    @pytest.mark.parametrize("n", [6, 8, 10])
+    def test_decode_all_triples(self, n):
+        code = WeaverCode(n)
+        stripe = code.random_stripe(packet_size=4, seed=n)
+        for combo in itertools.combinations(range(code.cols), 3):
+            damaged = stripe.copy()
+            code.erase_columns(damaged, combo)
+            code.decode(damaged, combo)
+            assert np.array_equal(damaged, stripe), combo
+
+    def test_fifty_percent_efficiency(self):
+        code = WeaverCode(10)
+        assert code.storage_efficiency == pytest.approx(0.5)
+        assert not code.is_storage_optimal  # the non-MDS trade-off
+
+    def test_weaver6_is_trivially_mds(self):
+        """At n=6, 50% efficiency coincides with the MDS point (k=3)."""
+        assert WeaverCode(6).is_storage_optimal
+
+    def test_optimal_update_complexity(self):
+        """WEAVER's Table II entry: update complexity optimal."""
+        code = WeaverCode(10)
+        for pos in code.data_positions:
+            assert len(code.update_penalty(pos)) == 3
+
+    def test_full_stripe_write_penalty_vs_mds(self):
+        """The paper's non-MDS critique: a full-stripe write on WEAVER
+        moves twice the data volume of an MDS code's parity overhead."""
+        from repro.analysis import full_stripe_write_cost
+        from repro.codes import make_code
+
+        weaver = WeaverCode(12)
+        tip = make_code("tip", 12)
+        weaver_overhead = full_stripe_write_cost(weaver) / weaver.num_data
+        tip_overhead = full_stripe_write_cost(tip) / tip.num_data
+        assert weaver_overhead > tip_overhead
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            WeaverCode(5)
+
+    def test_bad_offsets_trigger_search(self):
+        code = WeaverCode(8, offsets=(1, 2, 3))  # not 3-fault tolerant
+        assert code.is_mds()
+        assert code.offsets != (1, 2, 3)
+
+    def test_make_weaver(self):
+        assert make_weaver(9).cols == 9

@@ -1,0 +1,96 @@
+"""Tests for encoding/decoding XOR complexity (Figs. 14b, 15b)."""
+
+import pytest
+
+from repro.analysis.xor_cost import (
+    decoding_xor_stats,
+    encoding_xor_per_element,
+    encoding_xor_total,
+    tip_encoding_bound,
+)
+from repro.codes import make_code
+from repro.codes.tip import TipCode
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("p", [5, 7, 11, 13])
+    def test_tip_attains_lower_bound(self, p):
+        assert encoding_xor_per_element(TipCode(p)) == pytest.approx(
+            tip_encoding_bound(p)
+        )
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            tip_encoding_bound(2)
+
+    def test_total_counts_chain_sizes(self):
+        code = TipCode(5)
+        expected = sum(len(m) - 1 for m in code.chains.values())
+        assert encoding_xor_total(code) == expected
+
+    def test_tip_has_lowest_encoding_complexity(self):
+        """Fig. 14b's ordering: TIP lowest at every evaluated size."""
+        for n in (6, 8, 12):
+            tip = encoding_xor_per_element(make_code("tip", n))
+            for family in ("star", "triple-star", "cauchy-rs", "hdd1"):
+                assert tip < encoding_xor_per_element(make_code(family, n))
+
+
+class TestDecoding:
+    def test_stats_shape(self):
+        stats = decoding_xor_stats(make_code("tip", 6), samples=10, seed=1)
+        assert stats.patterns == 10
+        assert stats.mean_xors_per_data_element > 0
+        assert (
+            stats.worst_xors_per_data_element
+            >= stats.mean_xors_per_data_element
+        )
+
+    def test_enumerates_when_few_patterns(self):
+        code = make_code("tip", 6)  # C(6,3) = 20 patterns
+        stats = decoding_xor_stats(code, samples=100)
+        assert stats.patterns == 20
+
+    def test_fewer_failures_cost_less(self):
+        code = make_code("tip", 8)
+        triple = decoding_xor_stats(code, failures=3, samples=15, seed=2)
+        single = decoding_xor_stats(code, failures=1, samples=15, seed=2)
+        assert (
+            single.mean_xors_per_data_element
+            < triple.mean_xors_per_data_element
+        )
+
+    def test_iterative_never_worse(self):
+        for family in ("tip", "star"):
+            code = make_code(family, 8)
+            plain = decoding_xor_stats(
+                code, samples=12, seed=3, iterative=False
+            )
+            iterative = decoding_xor_stats(
+                code, samples=12, seed=3, iterative=True
+            )
+            assert (
+                iterative.mean_xors_per_data_element
+                <= plain.mean_xors_per_data_element + 1e-9
+            )
+
+    def test_failure_count_validation(self):
+        code = make_code("tip", 6)
+        with pytest.raises(ValueError):
+            decoding_xor_stats(code, failures=0)
+        with pytest.raises(ValueError):
+            decoding_xor_stats(code, failures=4)
+
+    def test_tip_decoding_among_cheapest(self):
+        """Fig. 15b: TIP's recovery XOR count beats the chained/adjuster
+        baselines (Cauchy-RS with its tiny word size is the one close
+        competitor, as in the paper)."""
+        for n in (6, 8):
+            tip = decoding_xor_stats(
+                make_code("tip", n), samples=20, seed=4
+            ).mean_xors_per_data_element
+            for family in ("star", "triple-star", "hdd1"):
+                other = decoding_xor_stats(
+                    make_code(family, n), samples=20, seed=4
+                ).mean_xors_per_data_element
+                assert tip < other * 1.35
