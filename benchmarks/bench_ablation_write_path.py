@@ -3,15 +3,26 @@
 The paper's response-time evaluation models RMW throughout; this ablation
 quantifies what the classic large-write optimization would add on top of
 TIP, and confirms the auto strategy never issues more element I/Os.
+
+It also measures the same trade-off *end to end* on the file-backed
+``ArrayStore``: the delta small-write fast path against the naive
+full-stripe path, in both chunk I/Os (metered by the store's counters)
+and wall-clock time.
 """
 
+import tempfile
+import time
+
+import numpy as np
 from _common import code_for, emit, format_table
 
-from repro.disksim import RaidController, simulate_trace, ArraySimulator
+from repro.disksim import ArraySimulator, RaidController
+from repro.store import ArrayStore
 from repro.traces import TraceRequest, generate_trace
 
 CHUNK = 8 * 1024
 STRATEGIES = ("rmw", "rcw", "auto")
+STORE_MODES = ("delta", "stripe")
 
 
 def io_counts_by_run_length(n: int = 12):
@@ -57,6 +68,79 @@ def test_ablation_write_path_io_counts(benchmark):
     last = max(table)
     assert table[first]["rmw"] <= table[first]["rcw"]
     assert table[last]["rcw"] < table[last]["rmw"]
+
+
+def store_delta_vs_full(
+    n: int = 8,
+    stripes: int = 4,
+    chunk_bytes: int = 4096,
+    writes: int = 200,
+):
+    """Single-chunk writes through the real file-backed store."""
+    results = {}
+    rng = np.random.default_rng(7)
+    for mode in STORE_MODES:
+        with tempfile.TemporaryDirectory(prefix=f"store-{mode}-") as tmp:
+            store = ArrayStore(
+                code_for("tip", n),
+                tmp,
+                stripes=stripes,
+                chunk_bytes=chunk_bytes,
+                write_mode=mode,
+            )
+            store.write_chunks(
+                0,
+                rng.integers(
+                    0,
+                    256,
+                    size=(store.capacity_chunks, chunk_bytes),
+                    dtype=np.uint8,
+                ),
+            )
+            payloads = rng.integers(
+                0, 256, size=(writes, 1, chunk_bytes), dtype=np.uint8
+            )
+            targets = rng.integers(0, store.capacity_chunks, size=writes)
+            before = store.io.snapshot()
+            start = time.perf_counter()
+            for target, payload in zip(targets, payloads):
+                store.write_chunks(int(target), payload)
+            elapsed = time.perf_counter() - start
+            delta_io = store.io - before
+            assert store.scrub() == []
+            results[mode] = {
+                "seconds": elapsed,
+                "chunk_ios": delta_io.total_chunks,
+                "parity_writes": delta_io.parity_chunks_written,
+                "us_per_write": elapsed / writes * 1e6,
+            }
+    return results
+
+
+def test_ablation_store_delta_path(benchmark):
+    """The delta fast path must beat full-stripe on single-chunk writes,
+    in both chunk I/Os and wall-clock time."""
+    results = benchmark.pedantic(store_delta_vs_full, rounds=1, iterations=1)
+    rows = [
+        [
+            mode,
+            str(results[mode]["chunk_ios"]),
+            str(results[mode]["parity_writes"]),
+            f"{results[mode]['us_per_write']:.0f}",
+        ]
+        for mode in STORE_MODES
+    ]
+    emit(
+        "ablation_store_delta_path",
+        format_table(
+            ["mode", "chunk I/Os", "parity chunk writes", "us/write"], rows
+        ),
+    )
+    delta, stripe = results["delta"], results["stripe"]
+    # TIP's optimal footprint: 8 chunk I/Os per single-chunk write
+    # (1 data + 3 parity, read and written), vs a whole stripe both ways.
+    assert delta["chunk_ios"] < stripe["chunk_ios"] / 3
+    assert delta["seconds"] < stripe["seconds"]
 
 
 def test_ablation_write_path_response_time(benchmark):

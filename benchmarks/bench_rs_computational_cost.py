@@ -11,7 +11,6 @@ vs. pure XOR schedules (TIP), at the same (n, k).
 import time
 
 import numpy as np
-import pytest
 from _common import emit, format_table
 
 from repro.codec import measure_encode_throughput

@@ -28,6 +28,7 @@ from repro.analysis.write_path import (
     WritePlanCost,
     rmw_cost,
     rcw_cost,
+    full_stripe_cost,
     choose_strategy,
 )
 from repro.analysis.recovery_cost import (
@@ -52,6 +53,7 @@ __all__ = [
     "WritePlanCost",
     "rmw_cost",
     "rcw_cost",
+    "full_stripe_cost",
     "choose_strategy",
     "RecoveryCost",
     "recovery_reads",

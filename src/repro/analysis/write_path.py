@@ -21,7 +21,13 @@ from dataclasses import dataclass
 
 from repro.codes.base import ArrayCode, Position
 
-__all__ = ["WritePlanCost", "rmw_cost", "rcw_cost", "choose_strategy"]
+__all__ = [
+    "WritePlanCost",
+    "rmw_cost",
+    "rcw_cost",
+    "full_stripe_cost",
+    "choose_strategy",
+]
 
 
 @dataclass(frozen=True)
@@ -71,6 +77,19 @@ def rcw_cost(code: ArrayCode, positions: list[Position]) -> WritePlanCost:
     pre_reads = tuple(sorted(needed - data))
     writes = tuple(sorted(data)) + tuple(sorted(parities))
     return WritePlanCost("rcw", pre_reads, writes)
+
+
+def full_stripe_cost(code: ArrayCode) -> WritePlanCost:
+    """The naive load / re-encode / store path: every stored element once.
+
+    This is reconstruct-write taken to stripe granularity — what
+    :class:`repro.store.ArrayStore` does when no fast path applies — and
+    the baseline a delta small-write must beat. Independent of the run
+    being written: the whole stripe is read and the whole stripe is
+    written back.
+    """
+    cells = tuple(code.nonempty_positions)
+    return WritePlanCost("full-stripe", cells, cells)
 
 
 def choose_strategy(

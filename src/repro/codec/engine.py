@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bitmatrix import smart_schedule
-from repro.codes.base import ArrayCode, Cell
+from repro.codes.base import ArrayCode
 
 __all__ = [
     "StripeCodec",
@@ -60,12 +60,44 @@ class StripeCodec:
         """Packet XORs per stripe encode (after scheduling)."""
         return self._encode_schedule.xor_count
 
+    @staticmethod
+    def _check_packets(
+        packets: list[np.ndarray], expected: int, what: str
+    ) -> None:
+        """Validate packet count, dtype and mutual shape up front.
+
+        The XOR schedules broadcast packets against each other, so a
+        mismatched width would otherwise surface as a cryptic numpy
+        broadcast error deep inside ``XorSchedule.apply``; fail here with
+        a message naming the offending packet instead.
+        """
+        if len(packets) != expected:
+            raise ValueError(
+                f"expected {expected} {what} packets, got {len(packets)}"
+            )
+        shape: tuple[int, ...] | None = None
+        for i, packet in enumerate(packets):
+            if not isinstance(packet, np.ndarray):
+                raise ValueError(
+                    f"{what} packet {i} must be a numpy uint8 array, got "
+                    f"{type(packet).__name__}"
+                )
+            if packet.dtype != np.uint8:
+                raise ValueError(
+                    f"{what} packet {i} must have dtype uint8, got "
+                    f"{packet.dtype}"
+                )
+            if shape is None:
+                shape = packet.shape
+            elif packet.shape != shape:
+                raise ValueError(
+                    f"{what} packet {i} has shape {packet.shape} but "
+                    f"packet 0 has shape {shape}; all packets must match"
+                )
+
     def encode_packets(self, data: list[np.ndarray]) -> list[np.ndarray]:
         """Compute all parity packets for logical data packets."""
-        if len(data) != self.code.num_data:
-            raise ValueError(
-                f"expected {self.code.num_data} packets, got {len(data)}"
-            )
+        self._check_packets(data, self.code.num_data, "data")
         return self._encode_schedule.apply(data)
 
     def decode_packets(
@@ -77,6 +109,9 @@ class StripeCodec:
         of ``Decoder.plan.known_positions``.
         """
         decoder = self.code.decoder_for(failed)
+        self._check_packets(
+            known, len(decoder.plan.known_positions), "survivor"
+        )
         return decoder.plan.schedule.apply(known)
 
 

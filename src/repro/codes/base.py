@@ -480,6 +480,36 @@ class ArrayCode:
                 out.setdefault(member, []).append(parity)
         return {pos: tuple(parents) for pos, parents in out.items()}
 
+    @cached_property
+    def parity_dependents(self) -> dict[Position, tuple[Position, ...]]:
+        """For each data cell, the parity cells whose *value* depends on it.
+
+        Read straight off the generator matrix (Fig. 7): parity ``p``
+        depends on data cell ``d`` iff the generator row of ``p`` has a one
+        in column ``d``. This is the exact set a delta write must XOR
+        through — change ``d`` by ``Δ`` and precisely these parities change
+        (each by ``Δ`` as well, since the code is XOR-based).
+
+        Subtly different from :meth:`update_penalty`: the penalty closure
+        follows *direct chain membership* transitively, so a data element
+        that reaches a chained parity an even number of times is still
+        counted there, while it cancels out of the generator row (the
+        parity's value does not actually change). Delta writes must use
+        this map; the penalty closure is the paper's rewrite-cost metric.
+        For independent-parity codes like TIP the two coincide.
+        """
+        dependents: dict[Position, list[Position]] = {
+            pos: [] for pos in self.data_positions
+        }
+        generator = self.generator_matrix()
+        index = self.element_index
+        data_positions = self.data_positions
+        for parity in self.parity_positions:
+            row = generator[index[parity]]
+            for data_idx in np.flatnonzero(row):
+                dependents[data_positions[data_idx]].append(parity)
+        return {pos: tuple(parities) for pos, parities in dependents.items()}
+
     def update_penalty(self, pos: Position) -> frozenset[Position]:
         """Parity elements that must be rewritten when ``pos`` changes.
 

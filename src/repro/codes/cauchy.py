@@ -17,8 +17,6 @@ applied by default to minimize the bit matrix's ones count.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.codes.base import ArrayCode, Cell, Position
 from repro.gf import GF2w, cauchy_matrix, gf_matrix_to_bitmatrix
 from repro.gf.matrices import optimize_cauchy_ones

@@ -3,10 +3,19 @@
 Everything downstream of the stripe math in a real array: a directory of
 per-disk backing files, stripe layout on those files, a block-device-like
 read/write interface, online disk failure and rebuild, and scrubbing.
+The write path mirrors the paper's update-complexity story: small writes
+take a delta read-modify-write fast path that touches exactly the
+generator-matrix-dependent parity chunks (3 for TIP), with chunk-level
+I/O counters (:class:`IoCounters`) proving the footprint per operation.
 This is the layer the examples use to behave like an actual storage
 system rather than a single-stripe demo.
 """
 
-from repro.store.array_store import ArrayStore, DiskFailedError
+from repro.store.array_store import (
+    WRITE_MODES,
+    ArrayStore,
+    DiskFailedError,
+    IoCounters,
+)
 
-__all__ = ["ArrayStore", "DiskFailedError"]
+__all__ = ["ArrayStore", "DiskFailedError", "IoCounters", "WRITE_MODES"]

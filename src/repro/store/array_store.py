@@ -6,27 +6,100 @@ disk ``col``'s file — the same mapping the simulator's RAID controller
 uses. The public interface is a logical chunk device:
 
 * :meth:`ArrayStore.write_chunks` / :meth:`read_chunks` — logical I/O
-  with parity maintenance (read-modify-write on partial stripes);
+  with parity maintenance;
 * :meth:`fail_disk` / :meth:`rebuild` — take a disk offline (its file is
-  truncated, like a replaced drive) and reconstruct it from survivors;
-* :meth:`read_degraded` — serve reads while disks are missing, decoding
-  on the fly;
+  zeroed, like a replaced drive) and reconstruct it from survivors;
 * :meth:`scrub` — verify every stripe's parity chains.
+
+Write path (the paper's headline property, Sec. III / Table 2): a small
+write takes the **delta read-modify-write fast path** — read the old data
+chunk and the parity chunks that depend on it (``ArrayCode.
+parity_dependents``, derived from the generator matrix), XOR the data
+delta through each, write back. On TIP that is exactly 1 data + 3 parity
+chunks read and written, the provable optimum; chained codes (STAR,
+Triple-Star) touch more. Runs for which RMW would cost more element I/Os
+than the naive path — and all degraded writes — fall back to the
+**full-stripe path** (load, re-encode, store), i.e. reconstruct-write at
+stripe granularity. Selection reuses the RMW cost model of
+``repro.analysis.write_path``.
+
+Every operation is metered: :attr:`ArrayStore.io` accumulates chunk
+reads/writes split by data/parity for the store's lifetime, and
+:attr:`ArrayStore.last_io` holds the same counters for the most recent
+public operation — this is how tests and the write-path ablation prove
+the per-write I/O footprint rather than assume it.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from pathlib import Path
+from typing import BinaryIO
 
 import numpy as np
 
-from repro.codes.base import ArrayCode
+from repro.analysis.write_path import full_stripe_cost, rmw_cost
+from repro.codes.base import ArrayCode, Cell, Decoder
 
-__all__ = ["ArrayStore", "DiskFailedError"]
+__all__ = ["ArrayStore", "DiskFailedError", "IoCounters", "WRITE_MODES"]
+
+#: Valid ``write_mode`` arguments: ``auto`` picks per run via the cost
+#: model, ``delta``/``stripe`` force one path (degraded writes always use
+#: the stripe path regardless).
+WRITE_MODES = ("auto", "delta", "stripe")
 
 
 class DiskFailedError(RuntimeError):
     """Raised when an operation needs a disk that is marked failed."""
+
+
+@dataclass
+class IoCounters:
+    """Chunk-granularity I/O accounting, split by element role.
+
+    Counts chunks actually transferred to/from backing files. EMPTY
+    (structural-zero) elements are not counted: they carry no information
+    and no real layout would allocate them.
+    """
+
+    data_chunks_read: int = 0
+    parity_chunks_read: int = 0
+    data_chunks_written: int = 0
+    parity_chunks_written: int = 0
+
+    @property
+    def chunks_read(self) -> int:
+        """Total chunks read (data + parity)."""
+        return self.data_chunks_read + self.parity_chunks_read
+
+    @property
+    def chunks_written(self) -> int:
+        """Total chunks written (data + parity)."""
+        return self.data_chunks_written + self.parity_chunks_written
+
+    @property
+    def total_chunks(self) -> int:
+        """Total chunk I/Os (reads + writes)."""
+        return self.chunks_read + self.chunks_written
+
+    def reset(self) -> None:
+        """Zero all counters in place."""
+        self.data_chunks_read = 0
+        self.parity_chunks_read = 0
+        self.data_chunks_written = 0
+        self.parity_chunks_written = 0
+
+    def snapshot(self) -> "IoCounters":
+        """An independent copy of the current counts."""
+        return replace(self)
+
+    def __sub__(self, other: "IoCounters") -> "IoCounters":
+        return IoCounters(
+            self.data_chunks_read - other.data_chunks_read,
+            self.parity_chunks_read - other.parity_chunks_read,
+            self.data_chunks_written - other.data_chunks_written,
+            self.parity_chunks_written - other.parity_chunks_written,
+        )
 
 
 class ArrayStore:
@@ -38,6 +111,14 @@ class ArrayStore:
         stripes: stripe count; capacity = ``stripes * code.num_data``
             chunks.
         chunk_bytes: chunk (element) size in bytes.
+        write_mode: ``"auto"`` (default) picks delta RMW vs full-stripe
+            per run by element-I/O cost; ``"delta"`` / ``"stripe"`` force
+            one path (delta still falls back while degraded).
+
+    Reopening a directory whose backing files don't match the requested
+    geometry raises ``ValueError`` rather than destroying the contents.
+    Backing files are kept open (unbuffered) for the store's lifetime;
+    call :meth:`close` or use the store as a context manager.
     """
 
     def __init__(
@@ -46,20 +127,78 @@ class ArrayStore:
         directory: str | Path,
         stripes: int = 16,
         chunk_bytes: int = 4096,
+        write_mode: str = "auto",
     ) -> None:
         if stripes <= 0 or chunk_bytes <= 0:
             raise ValueError("stripes and chunk_bytes must be positive")
+        if write_mode not in WRITE_MODES:
+            raise ValueError(
+                f"write_mode must be one of {WRITE_MODES}, got {write_mode!r}"
+            )
         self.code = code
         self.directory = Path(directory)
         self.stripes = stripes
         self.chunk_bytes = chunk_bytes
+        self.write_mode = write_mode
         self.failed: set[int] = set()
+        self.io = IoCounters()
+        self.last_io = IoCounters()
+        #: Stripe-runs served by the delta fast path / full-stripe path.
+        self.fast_path_writes = 0
+        self.slow_path_writes = 0
         self.directory.mkdir(parents=True, exist_ok=True)
         self._disk_bytes = stripes * code.rows * chunk_bytes
+        self._handles: dict[int, BinaryIO] = {}
+        self._decoder: Decoder | None = None
+        self._plan_cache: dict[tuple[int, int], bool] = {}
+        self._full_stripe_ios = full_stripe_cost(code).total_ios
+        # Chunks a whole-column transfer moves, split (data, parity) —
+        # EMPTY cells carry no information and are not metered.
+        self._col_profile = [
+            (
+                sum(
+                    1
+                    for r in range(code.rows)
+                    if code.kind(r, c) == Cell.DATA
+                ),
+                sum(
+                    1
+                    for r in range(code.rows)
+                    if code.kind(r, c) == Cell.PARITY
+                ),
+            )
+            for c in range(code.cols)
+        ]
         for disk in range(code.cols):
             path = self._disk_path(disk)
-            if not path.exists() or path.stat().st_size != self._disk_bytes:
+            if path.exists():
+                actual = path.stat().st_size
+                if actual != self._disk_bytes:
+                    raise ValueError(
+                        f"{path} holds {actual} bytes but the requested "
+                        f"geometry (stripes={stripes}, rows={code.rows}, "
+                        f"chunk_bytes={chunk_bytes}) needs "
+                        f"{self._disk_bytes}; refusing to wipe an existing "
+                        f"store — reopen with the original geometry or use "
+                        f"a fresh directory"
+                    )
+            else:
                 path.write_bytes(b"\0" * self._disk_bytes)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close all backing-file handles (reopened lazily if reused)."""
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()
+
+    def __enter__(self) -> "ArrayStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     @property
@@ -70,14 +209,63 @@ class ArrayStore:
     def _disk_path(self, disk: int) -> Path:
         return self.directory / f"disk{disk:03d}.img"
 
+    def _handle(self, disk: int) -> BinaryIO:
+        """The disk's persistent unbuffered file handle (opened once)."""
+        handle = self._handles.get(disk)
+        if handle is None or handle.closed:
+            handle = self._disk_path(disk).open("r+b", buffering=0)
+            self._handles[disk] = handle
+        return handle
+
+    def _read_span(self, disk: int, offset: int, length: int) -> bytes:
+        handle = self._handle(disk)
+        handle.seek(offset)
+        parts = []
+        remaining = length
+        while remaining:
+            piece = handle.read(remaining)
+            if not piece:
+                raise IOError(
+                    f"short read on disk {disk} at offset {offset}"
+                )
+            parts.append(piece)
+            remaining -= len(piece)
+        return b"".join(parts) if len(parts) > 1 else parts[0]
+
+    def _count(self, data: int, parity: int, *, wrote: bool) -> None:
+        for counters in (self.io, self.last_io):
+            if wrote:
+                counters.data_chunks_written += data
+                counters.parity_chunks_written += parity
+            else:
+                counters.data_chunks_read += data
+                counters.parity_chunks_read += parity
+
+    def _count_element(self, pos: tuple[int, int], *, wrote: bool) -> None:
+        kind = self.code.kind(*pos)
+        if kind == Cell.EMPTY:
+            return
+        is_parity = kind == Cell.PARITY
+        self._count(int(not is_parity), int(is_parity), wrote=wrote)
+
+    def _current_decoder(self) -> Decoder:
+        """The decoder for the present failure set, reused across stripes
+        and operations (the algebra is solved once per ``(code, failed)``)."""
+        key = tuple(sorted(self.failed))
+        if self._decoder is None or self._decoder.failed != key:
+            self._decoder = self.code.decoder_for(key)
+        return self._decoder
+
+    # ------------------------------------------------------------------
+    # element / stripe I/O
+    # ------------------------------------------------------------------
     def _read_element(self, stripe: int, pos: tuple[int, int]) -> np.ndarray:
         row, col = pos
         if col in self.failed:
             raise DiskFailedError(f"disk {col} is failed")
         offset = (stripe * self.code.rows + row) * self.chunk_bytes
-        with self._disk_path(col).open("rb") as handle:
-            handle.seek(offset)
-            data = handle.read(self.chunk_bytes)
+        data = self._read_span(col, offset, self.chunk_bytes)
+        self._count_element(pos, wrote=False)
         return np.frombuffer(data, dtype=np.uint8).copy()
 
     def _write_element(
@@ -87,33 +275,45 @@ class ArrayStore:
         if col in self.failed:
             return  # writes to failed disks are dropped, as in a real array
         offset = (stripe * self.code.rows + row) * self.chunk_bytes
-        with self._disk_path(col).open("r+b") as handle:
-            handle.seek(offset)
-            handle.write(chunk.tobytes())
+        handle = self._handle(col)
+        handle.seek(offset)
+        handle.write(chunk.tobytes())
+        self._count_element(pos, wrote=True)
 
     def _load_stripe(self, stripe: int) -> np.ndarray:
         """Read a whole stripe (failed columns come back zeroed)."""
         out = np.zeros(
             (self.code.rows, self.code.cols, self.chunk_bytes), dtype=np.uint8
         )
+        span = self.code.rows * self.chunk_bytes
         for col in range(self.code.cols):
             if col in self.failed:
                 continue
-            with self._disk_path(col).open("rb") as handle:
-                handle.seek(stripe * self.code.rows * self.chunk_bytes)
-                raw = handle.read(self.code.rows * self.chunk_bytes)
+            raw = self._read_span(col, stripe * span, span)
             out[:, col, :] = np.frombuffer(raw, dtype=np.uint8).reshape(
                 self.code.rows, self.chunk_bytes
             )
+            data, parity = self._col_profile[col]
+            self._count(data, parity, wrote=False)
         return out
 
-    def _store_stripe(self, stripe: int, data: np.ndarray) -> None:
+    def _store_stripe(
+        self,
+        stripe: int,
+        data: np.ndarray,
+        writable: frozenset[int] | set[int] = frozenset(),
+    ) -> None:
+        """Write a stripe back; ``writable`` overrides the failed-column
+        skip for columns being rebuilt."""
+        span = self.code.rows * self.chunk_bytes
         for col in range(self.code.cols):
-            if col in self.failed:
+            if col in self.failed and col not in writable:
                 continue
-            with self._disk_path(col).open("r+b") as handle:
-                handle.seek(stripe * self.code.rows * self.chunk_bytes)
-                handle.write(data[:, col, :].tobytes())
+            handle = self._handle(col)
+            handle.seek(stripe * span)
+            handle.write(data[:, col, :].tobytes())
+            data_cells, parity_cells = self._col_profile[col]
+            self._count(data_cells, parity_cells, wrote=True)
 
     # ------------------------------------------------------------------
     # logical chunk I/O
@@ -121,9 +321,11 @@ class ArrayStore:
     def write_chunks(self, start: int, chunks: np.ndarray) -> None:
         """Write consecutive logical chunks starting at index ``start``.
 
-        Partial stripes use read-modify-write over the surviving disks;
-        the affected parities are recomputed from the full stripe content
-        so the store stays consistent even while degraded.
+        Each per-stripe run goes through either the delta read-modify-
+        write fast path (small runs, healthy array) or the full-stripe
+        load/re-encode/store path (large runs, or while degraded — the
+        stripe is reconstructed first so parity recomputation sees
+        correct data).
         """
         chunks = np.asarray(chunks, dtype=np.uint8)
         if chunks.ndim != 2 or chunks.shape[1] != self.chunk_bytes:
@@ -132,23 +334,87 @@ class ArrayStore:
             )
         if start < 0 or start + chunks.shape[0] > self.capacity_chunks:
             raise ValueError("write beyond store capacity")
+        self.last_io = IoCounters()
         per_stripe = self.code.num_data
         index = 0
         while index < chunks.shape[0]:
             logical = start + index
             stripe, within = divmod(logical, per_stripe)
             run = min(per_stripe - within, chunks.shape[0] - index)
-            grid = self._load_stripe(stripe)
-            if self.failed:
-                # Degraded write: reconstruct the stripe before updating
-                # so parity recomputation sees correct data.
-                self.code.decode(grid, tuple(self.failed))
-            for offset in range(run):
-                row, col = self.code.data_positions[within + offset]
-                grid[row, col] = chunks[index + offset]
-            self.code.encode(grid)
-            self._store_stripe(stripe, grid)
+            if self._use_delta(within, run):
+                self._delta_write(stripe, within, chunks[index : index + run])
+                self.fast_path_writes += 1
+            else:
+                self._full_stripe_write(
+                    stripe, within, chunks[index : index + run]
+                )
+                self.slow_path_writes += 1
             index += run
+
+    def _use_delta(self, within: int, run: int) -> bool:
+        """Pick the write path for a run of ``run`` chunks at ``within``.
+
+        Degraded arrays always reconstruct (a delta against unknown old
+        data on a failed column is impossible); otherwise ``write_mode``
+        forces a path or ``auto`` compares RMW element I/Os against the
+        full-stripe baseline, caching the verdict per ``(within, run)``.
+        """
+        if self.failed:
+            return False
+        if self.write_mode != "auto":
+            return self.write_mode == "delta"
+        key = (within, run)
+        verdict = self._plan_cache.get(key)
+        if verdict is None:
+            positions = [
+                self.code.data_positions[within + offset]
+                for offset in range(run)
+            ]
+            verdict = (
+                rmw_cost(self.code, positions).total_ios
+                < self._full_stripe_ios
+            )
+            self._plan_cache[key] = verdict
+        return verdict
+
+    def _delta_write(
+        self, stripe: int, within: int, chunks: np.ndarray
+    ) -> None:
+        """Delta RMW: read old data + dependent parities only, XOR the
+        data delta through each dependent chain, write back."""
+        code = self.code
+        parity_deltas: dict[tuple[int, int], np.ndarray] = {}
+        for offset in range(chunks.shape[0]):
+            pos = code.data_positions[within + offset]
+            new = chunks[offset]
+            old = self._read_element(stripe, pos)
+            delta = np.bitwise_xor(old, new)
+            self._write_element(stripe, pos, new)
+            for parity in code.parity_dependents[pos]:
+                acc = parity_deltas.get(parity)
+                if acc is None:
+                    # copy: the same delta buffer feeds several parities
+                    parity_deltas[parity] = delta.copy()
+                else:
+                    np.bitwise_xor(acc, delta, out=acc)
+        for parity in sorted(parity_deltas):
+            old = self._read_element(stripe, parity)
+            np.bitwise_xor(old, parity_deltas[parity], out=old)
+            self._write_element(stripe, parity, old)
+
+    def _full_stripe_write(
+        self, stripe: int, within: int, chunks: np.ndarray
+    ) -> None:
+        grid = self._load_stripe(stripe)
+        if self.failed:
+            # Degraded write: reconstruct the stripe before updating
+            # so parity recomputation sees correct data.
+            self._current_decoder().decode_columns(grid)
+        for offset in range(chunks.shape[0]):
+            row, col = self.code.data_positions[within + offset]
+            grid[row, col] = chunks[offset]
+        self.code.encode(grid)
+        self._store_stripe(stripe, grid)
 
     def read_chunks(self, start: int, count: int) -> np.ndarray:
         """Read ``count`` logical chunks from ``start`` (degraded-safe)."""
@@ -156,6 +422,7 @@ class ArrayStore:
             raise ValueError("count must be positive")
         if start < 0 or start + count > self.capacity_chunks:
             raise ValueError("read beyond store capacity")
+        self.last_io = IoCounters()
         out = np.zeros((count, self.chunk_bytes), dtype=np.uint8)
         per_stripe = self.code.num_data
         index = 0
@@ -163,16 +430,22 @@ class ArrayStore:
             logical = start + index
             stripe, within = divmod(logical, per_stripe)
             run = min(per_stripe - within, count - index)
-            grid = self._load_stripe(stripe)
-            needs_decode = self.failed and any(
-                self.code.data_positions[within + offset][1] in self.failed
+            positions = [
+                self.code.data_positions[within + offset]
                 for offset in range(run)
+            ]
+            needs_decode = self.failed and any(
+                col in self.failed for _, col in positions
             )
-            if needs_decode:
-                self.code.decode(grid, tuple(self.failed))
-            for offset in range(run):
-                row, col = self.code.data_positions[within + offset]
-                out[index + offset] = grid[row, col]
+            if self.failed:
+                grid = self._load_stripe(stripe)
+                if needs_decode:
+                    self._current_decoder().decode_columns(grid)
+                for offset, (row, col) in enumerate(positions):
+                    out[index + offset] = grid[row, col]
+            else:
+                for offset, pos in enumerate(positions):
+                    out[index + offset] = self._read_element(stripe, pos)
             index += run
         return out
 
@@ -189,20 +462,29 @@ class ArrayStore:
                 f"({self.code.faults})"
             )
         self.failed.add(disk)
-        self._disk_path(disk).write_bytes(b"\0" * self._disk_bytes)
+        handle = self._handle(disk)
+        handle.seek(0)
+        handle.write(b"\0" * self._disk_bytes)
 
     def rebuild(self) -> int:
         """Reconstruct every failed disk from survivors; returns stripes
-        rebuilt. The store is fully healthy afterwards."""
+        rebuilt. The store is fully healthy afterwards.
+
+        Exception-safe: ``failed`` stays marked until *every* stripe has
+        been decoded and stored, so an error partway through (I/O,
+        decode) leaves the store correctly degraded — reads keep
+        reconstructing on the fly and a later :meth:`rebuild` can retry —
+        instead of a "healthy" array whose rebuilt columns hold zeros.
+        """
         if not self.failed:
             return 0
-        failed = tuple(sorted(self.failed))
+        self.last_io = IoCounters()
+        failed = frozenset(self.failed)
+        decoder = self._current_decoder()
         for stripe in range(self.stripes):
             grid = self._load_stripe(stripe)
-            self.code.decode(grid, failed)
-            self.failed.clear()  # allow writes to the rebuilt columns
-            self._store_stripe(stripe, grid)
-            self.failed.update(failed)
+            decoder.decode_columns(grid)
+            self._store_stripe(stripe, grid, writable=failed)
         self.failed.clear()
         return self.stripes
 
@@ -210,6 +492,7 @@ class ArrayStore:
         """Verify all stripes; returns the indices of corrupt stripes."""
         if self.failed:
             raise DiskFailedError("cannot scrub a degraded array")
+        self.last_io = IoCounters()
         return [
             stripe
             for stripe in range(self.stripes)

@@ -135,3 +135,98 @@ class TestFailures:
     def test_validation(self, tmp_path):
         with pytest.raises(ValueError):
             ArrayStore(make_code("tip", 6), tmp_path, stripes=0)
+
+
+class TestGeometryGuard:
+    """Reopening with the wrong geometry must refuse, never wipe."""
+
+    def test_stripe_count_mismatch_raises(self, tmp_path):
+        code = make_code("tip", 6)
+        first = ArrayStore(code, tmp_path, stripes=4, chunk_bytes=CHUNK)
+        data = random_chunks(6, seed=20)
+        first.write_chunks(0, data)
+        with pytest.raises(ValueError, match="geometry"):
+            ArrayStore(code, tmp_path, stripes=8, chunk_bytes=CHUNK)
+        # The contents survived the refused reopen.
+        assert np.array_equal(first.read_chunks(0, 6), data)
+
+    def test_chunk_size_mismatch_raises(self, tmp_path):
+        code = make_code("tip", 6)
+        before = ArrayStore(code, tmp_path, stripes=4, chunk_bytes=CHUNK)
+        before.write_chunks(0, random_chunks(4, seed=21))
+        raw = (tmp_path / "disk000.img").read_bytes()
+        with pytest.raises(ValueError, match="refusing to wipe"):
+            ArrayStore(code, tmp_path, stripes=4, chunk_bytes=CHUNK * 2)
+        assert (tmp_path / "disk000.img").read_bytes() == raw
+
+    def test_matching_geometry_reopens(self, tmp_path):
+        code = make_code("tip", 6)
+        data = random_chunks(3, seed=22)
+        ArrayStore(code, tmp_path, stripes=4, chunk_bytes=CHUNK).write_chunks(
+            1, data
+        )
+        again = ArrayStore(code, tmp_path, stripes=4, chunk_bytes=CHUNK)
+        assert np.array_equal(again.read_chunks(1, 3), data)
+
+
+class TestRebuildCrashSafety:
+    """An exception mid-rebuild must leave the store marked degraded."""
+
+    def _crash_after(self, store, stripes_before_crash):
+        """Patch _store_stripe to blow up partway through a rebuild."""
+        original = store._store_stripe
+        calls = {"n": 0}
+
+        def crashing(stripe, data, writable=frozenset()):
+            if calls["n"] >= stripes_before_crash:
+                raise IOError("injected crash: backing device vanished")
+            calls["n"] += 1
+            original(stripe, data, writable=writable)
+
+        store._store_stripe = crashing
+        return original
+
+    def test_mid_rebuild_crash_keeps_failed_marked(self, store):
+        data = random_chunks(store.capacity_chunks, seed=23)
+        store.write_chunks(0, data)
+        store.fail_disk(2)
+        original = self._crash_after(store, stripes_before_crash=1)
+        with pytest.raises(IOError, match="injected crash"):
+            store.rebuild()
+        # Still degraded: the failure set was not cleared early.
+        assert store.failed == {2}
+        # Degraded reads still serve correct data for every chunk.
+        assert np.array_equal(
+            store.read_chunks(0, store.capacity_chunks), data
+        )
+        # A retry after the fault clears finishes the job.
+        store._store_stripe = original
+        assert store.rebuild() == store.stripes
+        assert store.failed == set()
+        assert store.scrub() == []
+        assert np.array_equal(
+            store.read_chunks(0, store.capacity_chunks), data
+        )
+
+    def test_crash_before_any_stripe(self, store):
+        data = random_chunks(8, seed=24)
+        store.write_chunks(0, data)
+        store.fail_disk(0)
+        self._crash_after(store, stripes_before_crash=0)
+        with pytest.raises(IOError):
+            store.rebuild()
+        assert store.failed == {0}
+        assert np.array_equal(store.read_chunks(0, 8), data)
+
+    def test_decode_error_keeps_failed_marked(self, store, monkeypatch):
+        store.write_chunks(0, random_chunks(4, seed=25))
+        store.fail_disk(1)
+        decoder = store._current_decoder()
+        monkeypatch.setattr(
+            type(decoder),
+            "decode_columns",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("bad decode")),
+        )
+        with pytest.raises(RuntimeError, match="bad decode"):
+            store.rebuild()
+        assert store.failed == {1}

@@ -231,7 +231,6 @@ class TestDecoding:
         assert np.array_equal(iterative, stripe)
 
     def test_undecodable_failure_raises(self):
-        code = tiny_code()  # single parity per row: cannot lose 2 columns
         with pytest.raises(ValueError):
             ArrayCode(
                 "weak", 1, 3, {(0, 2): Cell.PARITY},
@@ -259,6 +258,60 @@ class TestUpdatePenalty:
         )
         with pytest.raises(ValueError):
             code.update_penalty((0, 2))
+
+
+class TestParityDependents:
+    """The generator-matrix data→parity map that drives delta writes."""
+
+    def test_direct_membership(self):
+        code = tiny_code()
+        assert code.parity_dependents[(0, 0)] == ((0, 2),)
+
+    def test_brute_force_against_encoder(self):
+        """Flipping one data element must change exactly the mapped
+        parities — checked by actually re-encoding."""
+        for maker in (lambda: TipCode(7), lambda: TripleStarCode(5)):
+            code = maker()
+            base = code.random_stripe(packet_size=4, seed=31)
+            for pos in code.data_positions:
+                flipped = base.copy()
+                flipped[pos[0], pos[1]] ^= 0xA5
+                code.encode(flipped)
+                changed = {
+                    parity
+                    for parity in code.parity_positions
+                    if not np.array_equal(
+                        flipped[parity[0], parity[1]],
+                        base[parity[0], parity[1]],
+                    )
+                }
+                assert changed == set(code.parity_dependents[pos]), pos
+
+    def test_subset_of_update_penalty(self):
+        """Even-cancellation can only shrink the set, never grow it."""
+        for maker in (lambda: TipCode(7), lambda: TripleStarCode(5)):
+            code = maker()
+            for pos in code.data_positions:
+                assert set(code.parity_dependents[pos]) <= set(
+                    code.update_penalty(pos)
+                )
+
+    def test_tip_is_update_optimal(self):
+        code = TipCode(11)
+        for pos in code.data_positions:
+            assert len(code.parity_dependents[pos]) == 3
+
+    def test_matches_generator_columns(self):
+        code = chained_code()
+        generator = code.generator_matrix()
+        for pos, parities in code.parity_dependents.items():
+            column = code.data_index[pos]
+            expected = {
+                parity
+                for parity in code.parity_positions
+                if generator[code.element_index[parity], column]
+            }
+            assert set(parities) == expected
 
 
 class TestShortening:

@@ -66,7 +66,9 @@ class TestBehaviour:
         """The [32] row scaling must not increase total chain length."""
         plain = CauchyRSCode(8, m=3, optimize=False)
         tuned = CauchyRSCode(8, m=3, optimize=True)
-        weight = lambda code: sum(len(m) for m in code.chains.values())
+        def weight(code):
+            return sum(len(m) for m in code.chains.values())
+
         assert weight(tuned) <= weight(plain)
         assert tuned.is_mds()
 

@@ -53,6 +53,43 @@ class TestStripeCodec:
         with pytest.raises(ValueError):
             StripeCodec(tip6, packet_size=0)
 
+    def test_encode_rejects_mismatched_packet_shapes(self, tip6):
+        codec = StripeCodec(tip6, packet_size=8)
+        packets = [np.zeros(8, dtype=np.uint8) for _ in range(tip6.num_data)]
+        packets[3] = np.zeros(9, dtype=np.uint8)
+        with pytest.raises(ValueError, match="packet 3 has shape"):
+            codec.encode_packets(packets)
+
+    def test_encode_rejects_wrong_dtype(self, tip6):
+        codec = StripeCodec(tip6, packet_size=8)
+        packets = [np.zeros(8, dtype=np.uint8) for _ in range(tip6.num_data)]
+        packets[0] = np.zeros(8, dtype=np.uint16)
+        with pytest.raises(ValueError, match="dtype uint8"):
+            codec.encode_packets(packets)
+
+    def test_encode_rejects_non_array(self, tip6):
+        codec = StripeCodec(tip6, packet_size=8)
+        packets = [np.zeros(8, dtype=np.uint8) for _ in range(tip6.num_data)]
+        packets[1] = list(range(8))
+        with pytest.raises(ValueError, match="packet 1 must be a numpy"):
+            codec.encode_packets(packets)
+
+    def test_decode_rejects_wrong_survivor_count(self, tip6):
+        codec = StripeCodec(tip6, packet_size=8)
+        with pytest.raises(ValueError, match="survivor packets"):
+            codec.decode_packets((0, 1, 2), [np.zeros(8, dtype=np.uint8)])
+
+    def test_decode_rejects_mismatched_shapes(self, tip6):
+        codec = StripeCodec(tip6, packet_size=8)
+        decoder = tip6.decoder_for((0, 1, 2))
+        known = [
+            np.zeros(8, dtype=np.uint8)
+            for _ in decoder.plan.known_positions
+        ]
+        known[-1] = np.zeros(4, dtype=np.uint8)
+        with pytest.raises(ValueError, match="all packets must match"):
+            codec.decode_packets((0, 1, 2), known)
+
     def test_data_bytes_per_stripe(self, tip6):
         codec = StripeCodec(tip6, packet_size=4096)
         assert codec.data_bytes_per_stripe == tip6.num_data * 4096

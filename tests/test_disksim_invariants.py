@@ -1,8 +1,5 @@
 """Deeper simulator invariants: phase ordering, conservation, stability."""
 
-import numpy as np
-import pytest
-
 from repro.codes import make_code
 from repro.disksim import ArraySimulator, RaidController
 from repro.disksim.simulator import _PendingRequest

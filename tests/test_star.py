@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.analysis import single_write_cost
-from repro.codes.base import Cell
 from repro.codes.star import StarCode, make_star
 
 

@@ -5,7 +5,6 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.codes.base import Cell
 from repro.codes.triple_star import TripleStarCode, make_triple_star
 
 

@@ -79,7 +79,9 @@ class TestPartialWrite:
     def test_amortization_per_element_decreases(self):
         """Longer runs amortize parity updates: cost/l shrinks with l."""
         code = make_code("tip", 12)
-        per_element = [partial_write_cost(code, l) / l for l in (1, 2, 4, 8)]
+        per_element = [
+            partial_write_cost(code, run) / run for run in (1, 2, 4, 8)
+        ]
         assert all(b < a for a, b in zip(per_element, per_element[1:]))
 
     def test_fig11_tip_beats_triple_star_l2(self):

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.analysis import choose_strategy, rcw_cost, rmw_cost
+from repro.analysis import (
+    choose_strategy,
+    full_stripe_cost,
+    rcw_cost,
+    rmw_cost,
+)
 from repro.codes import make_code
 
 
@@ -47,6 +52,22 @@ class TestRcw:
         rmw = rmw_cost(tip8, positions)
         assert rcw.total_ios < rmw.total_ios
         assert len(rcw.pre_reads) <= tip8.num_data - len(positions) + 2
+
+
+class TestFullStripe:
+    def test_touches_every_stored_element_twice(self, tip8):
+        plan = full_stripe_cost(tip8)
+        assert plan.strategy == "full-stripe"
+        stored = len(tip8.nonempty_positions)
+        assert len(plan.pre_reads) == stored
+        assert len(plan.writes) == stored
+        assert plan.total_ios == 2 * stored
+
+    def test_single_chunk_rmw_beats_full_stripe(self, tip8):
+        """The store's fast-path criterion: small RMW wins by a wide
+        margin (8 element I/Os vs a whole stripe both ways)."""
+        rmw = rmw_cost(tip8, [tip8.data_positions[0]])
+        assert rmw.total_ios < full_stripe_cost(tip8).total_ios
 
 
 class TestChoose:
