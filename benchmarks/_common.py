@@ -9,10 +9,22 @@ EXPERIMENTS.md for the side-by-side record.
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 from repro.codes import make_code
 from repro.codes.base import ArrayCode
+
+#: Env var scaling the throughput benchmarks' data region (in MiB) so CI
+#: smoke jobs can run them on a tiny size; unset = each benchmark's
+#: full-size default.
+DATA_MB_ENV = "REPRO_BENCH_DATA_MB"
+
+#: Env var naming a JSON file that accumulates machine-readable metrics
+#: (throughput, XOR counts) alongside the results/ text files; unset =
+#: no JSON output.
+BENCH_JSON_ENV = "REPRO_BENCH_JSON"
 
 #: Array sizes of Tables IV-V (all chosen so n-1 is prime, for HDD1).
 EVAL_SIZES = (6, 8, 12, 14, 18, 20, 24)
@@ -61,3 +73,32 @@ def emit(name: str, lines: list[str]) -> None:
     for line in lines:
         print(line)
     write_result(name, [banner, *lines])
+
+
+def scaled_bytes(default_bytes: int) -> int:
+    """The benchmark data-region size, honouring ``REPRO_BENCH_DATA_MB``."""
+    override = os.environ.get(DATA_MB_ENV)
+    if not override:
+        return default_bytes
+    return max(int(float(override) * (1 << 20)), 1 << 16)
+
+
+def record_json(name: str, payload: dict) -> None:
+    """Merge one experiment's metrics into the ``REPRO_BENCH_JSON`` file.
+
+    Entries accumulate across benchmark files within a run (the file is
+    read-modify-written per call), keyed by experiment name — this is how
+    the CI smoke job builds ``BENCH_engine.json`` tracking the engine's
+    perf trajectory.
+    """
+    path = os.environ.get(BENCH_JSON_ENV)
+    if not path:
+        return
+    target = Path(path)
+    existing = (
+        json.loads(target.read_text()) if target.exists() else {}
+    )
+    existing[name] = payload
+    target.write_text(
+        json.dumps(existing, indent=2, sort_keys=True) + "\n"
+    )

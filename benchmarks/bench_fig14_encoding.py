@@ -8,13 +8,13 @@ claims: TIP has the lowest XOR count per element (it attains the
 """
 
 import pytest
-from _common import FAMILIES, code_for, emit, format_table
+from _common import FAMILIES, code_for, emit, format_table, record_json, scaled_bytes
 
 from repro.analysis.xor_cost import encoding_xor_per_element
 from repro.codec import measure_encode_throughput
 
 N = 12            # the mid-range size of the paper's speed experiments
-DATA_BYTES = 32 << 20
+DATA_BYTES = scaled_bytes(32 << 20)
 PACKET = 4096
 
 
@@ -35,6 +35,17 @@ def test_fig14a_encoding_speed(benchmark, family):
             f"throughput_gib_s={result.gib_per_second:.3f}",
             f"xors_per_element={result.xors_per_element:.3f}",
         ],
+    )
+    record_json(
+        f"fig14a_encoding_speed_{family}",
+        {
+            "code": code.name,
+            "n": N,
+            "data_bytes": DATA_BYTES,
+            "engine": "compiled",
+            "throughput_gib_s": round(result.gib_per_second, 4),
+            "xors_per_element": round(result.xors_per_element, 4),
+        },
     )
     assert result.gib_per_second > 0
 

@@ -8,21 +8,22 @@ adjuster/chained baselines (STAR, HDD1) pay more XORs per element.
 """
 
 import pytest
-from _common import FAMILIES, code_for, emit, format_table
+from _common import FAMILIES, code_for, emit, format_table, record_json, scaled_bytes
 
 from repro.analysis.xor_cost import decoding_xor_stats
 from repro.codec import measure_decode_throughput
 
 N = 12
-DATA_BYTES = 16 << 20
+DATA_BYTES = scaled_bytes(16 << 20)
 PACKET = 4096
 
 
 @pytest.mark.parametrize("family", FAMILIES)
 def test_fig15a_decoding_speed(benchmark, family):
     code = code_for(family, N)
-    # Warm the decoder cache so the benchmark measures steady-state XOR
-    # throughput, matching the paper's repeated-trials methodology.
+    # Warm the decoder cache (recovery algebra + compiled plans) so the
+    # benchmark measures steady-state XOR throughput, matching the
+    # paper's repeated-trials methodology.
     measure_decode_throughput(
         code, data_bytes=1 << 20, packet_size=PACKET, patterns=6, seed=3
     )
@@ -41,6 +42,17 @@ def test_fig15a_decoding_speed(benchmark, family):
             f"throughput_gib_s={result.gib_per_second:.3f}",
             f"xors_per_element={result.xors_per_element:.3f}",
         ],
+    )
+    record_json(
+        f"fig15a_decoding_speed_{family}",
+        {
+            "code": code.name,
+            "n": N,
+            "data_bytes": DATA_BYTES,
+            "engine": "compiled",
+            "throughput_gib_s": round(result.gib_per_second, 4),
+            "xors_per_element": round(result.xors_per_element, 4),
+        },
     )
     assert result.gib_per_second > 0
 

@@ -11,6 +11,10 @@ erased columns. This subpackage provides that machinery:
   FAST'08, the paper's [28] and Sec. IV-C1): turning a matrix-vector
   product into an XOR schedule that reuses intermediate results to lower
   the XOR count.
+* :mod:`repro.bitmatrix.plan` — compiled execution: schedules lowered to
+  flat zero-allocation plans (in-place XORs, dead-code elimination,
+  liveness-based workspace reuse, cache-blocked tiling) for the
+  steady-state encode/decode/rebuild hot paths.
 """
 
 from repro.bitmatrix.ops import (
@@ -22,9 +26,12 @@ from repro.bitmatrix.ops import (
     bm_identity,
     bm_is_invertible,
 )
+from repro.bitmatrix.plan import CompiledPlan, compile_schedule
 from repro.bitmatrix.schedule import XorSchedule, naive_schedule, smart_schedule
 
 __all__ = [
+    "CompiledPlan",
+    "compile_schedule",
     "bm_mul",
     "bm_mat_vec",
     "bm_inv",

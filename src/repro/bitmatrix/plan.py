@@ -1,0 +1,308 @@
+"""Compiled XOR plans: zero-allocation, cache-blocked schedule execution.
+
+:meth:`XorSchedule.apply` is the *interpreted* reference executor: it
+allocates a fresh packet per assign step and a zero packet per empty row,
+which is fine for verification but wasteful on the steady-state encode /
+decode / rebuild paths where the same schedule runs thousands of times
+over large buffers. :class:`CompiledPlan` lowers a schedule once into a
+flat program that executes with **zero per-step allocation**:
+
+* every XOR runs as ``numpy.bitwise_xor(dest, src, out=dest)`` on
+  preallocated buffers; assigns are ``numpy.copyto`` into caller-owned
+  output rows (no intermediate ``ndarray.copy()``);
+* **dead-code elimination**: when only a subset of outputs is needed
+  (``Decoder.decode_columns(only_cols=...)``), steps that feed no needed
+  output are dropped entirely;
+* **liveness-based workspace reuse**: outputs that are only intermediate
+  bases for other outputs live in a small workspace arena whose slots are
+  recycled once their last reader has run;
+* **cache blocking**: execution is chunked into column tiles so the full
+  set of input/output/workspace rows for one tile stays cache-resident
+  while each tile's XOR chain runs — on wide buffers this keeps the hot
+  working set out of DRAM.
+
+Plans are self-contained and picklable, which is what lets
+:mod:`repro.codec.parallel` ship them to worker processes that execute
+disjoint column ranges of shared-memory buffers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.bitmatrix.schedule import XorSchedule
+
+__all__ = ["CompiledPlan", "compile_schedule"]
+
+#: Buffer codes used in lowered ops: input packet, output row, workspace.
+BUF_IN, BUF_OUT, BUF_WS = 0, 1, 2
+
+#: Aggregate tile footprint (all rows of one tile) the auto-tiler aims
+#: for. Large enough that per-tile Python dispatch overhead is amortized,
+#: small enough that one tile's rows fit comfortably in the outer cache
+#: levels of every machine we care about.
+_TILE_TARGET_BYTES = 32 << 20
+
+#: Auto-tile clamp range; tiles are multiples of 4 KiB (packet alignment).
+_TILE_MIN = 32 << 10
+_TILE_MAX = 1 << 20
+
+
+def compile_schedule(
+    schedule: "XorSchedule",
+    needed_outputs: Sequence[int] | None = None,
+) -> "CompiledPlan":
+    """Lower ``schedule`` to a :class:`CompiledPlan`.
+
+    Args:
+        schedule: the XOR program to lower.
+        needed_outputs: schedule output indices that must be produced;
+            ``None`` means all of them. Steps feeding only unneeded
+            outputs are eliminated.
+    """
+    return CompiledPlan(schedule, needed_outputs)
+
+
+class CompiledPlan:
+    """A lowered XOR program executing into caller-provided buffers.
+
+    Attributes:
+        num_inputs: input packets the plan consumes.
+        outputs: schedule output indices produced, in the row order of the
+            ``outputs`` buffer passed to :meth:`execute_into`.
+        num_workspace: arena rows needed for intermediate outputs (after
+            liveness-based slot reuse).
+        ops: the lowered program as ``(dest_buf, dest_idx, src_buf,
+            src_idx, assign)`` tuples with buffer codes ``BUF_IN`` /
+            ``BUF_OUT`` / ``BUF_WS``.
+    """
+
+    def __init__(
+        self,
+        schedule: "XorSchedule",
+        needed_outputs: Sequence[int] | None = None,
+    ) -> None:
+        self.num_inputs = schedule.num_inputs
+        if needed_outputs is None:
+            needed = tuple(range(schedule.num_outputs))
+        else:
+            needed = tuple(sorted(set(needed_outputs)))
+            for out in needed:
+                if not 0 <= out < schedule.num_outputs:
+                    raise ValueError(
+                        f"needed output {out} outside 0..{schedule.num_outputs - 1}"
+                    )
+        self.outputs: tuple[int, ...] = needed
+        self._lower(schedule, needed)
+        self._ws: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # lowering
+    # ------------------------------------------------------------------
+    def _lower(self, schedule: "XorSchedule", needed: tuple[int, ...]) -> None:
+        # Dead-code elimination, backwards: a step survives iff its dest
+        # is needed or (transitively) feeds a needed output as a base.
+        required = set(needed)
+        keep = [False] * len(schedule.ops)
+        for i in range(len(schedule.ops) - 1, -1, -1):
+            op = schedule.ops[i]
+            if op.dest in required:
+                keep[i] = True
+                if op.source_kind == "out":
+                    required.add(op.source)
+        kept = [op for op, k in zip(schedule.ops, keep) if k]
+
+        # Needed outputs map to rows of the caller's output buffer; the
+        # remaining required outputs (pure intermediates) get workspace
+        # slots, recycled after their final read/write.
+        out_row = {out: row for row, out in enumerate(needed)}
+        last_event: dict[int, int] = {}
+        for idx, op in enumerate(kept):
+            if op.dest not in out_row:
+                last_event[op.dest] = idx
+            if op.source_kind == "out" and op.source not in out_row:
+                last_event[op.source] = idx
+
+        ws_slot: dict[int, int] = {}
+        free_slots: list[int] = []
+        num_slots = 0
+        ops: list[tuple[int, int, int, int, bool]] = []
+        written: set[int] = set()
+        for idx, op in enumerate(kept):
+            if op.dest in out_row:
+                dbuf, didx = BUF_OUT, out_row[op.dest]
+            else:
+                slot = ws_slot.get(op.dest)
+                if slot is None:
+                    if free_slots:
+                        slot = free_slots.pop()
+                    else:
+                        slot = num_slots
+                        num_slots += 1
+                    ws_slot[op.dest] = slot
+                dbuf, didx = BUF_WS, slot
+            if op.source_kind == "in":
+                sbuf, sidx = BUF_IN, op.source
+            elif op.source in out_row:
+                sbuf, sidx = BUF_OUT, out_row[op.source]
+            else:
+                sbuf, sidx = BUF_WS, ws_slot[op.source]
+            ops.append((dbuf, didx, sbuf, sidx, op.assign))
+            written.add(op.dest)
+            # Recycle workspace slots whose output has no later use.
+            for out in (op.dest, op.source if op.source_kind == "out" else None):
+                if (
+                    out is not None
+                    and out in ws_slot
+                    and last_event.get(out) == idx
+                ):
+                    free_slots.append(ws_slot.pop(out))
+
+        self.ops = ops
+        self.num_workspace = num_slots
+        # Needed outputs never written are all-zero rows: memset targets.
+        self.zero_rows: tuple[int, ...] = tuple(
+            row for out, row in out_row.items() if out not in written
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def xor_count(self) -> int:
+        """Packet XORs per execution (excludes copies), after DCE."""
+        return sum(1 for op in self.ops if not op[4])
+
+    def default_tile(self, width: int) -> int:
+        """Tile width (bytes) targeting a cache-resident per-tile footprint."""
+        rows = self.num_inputs + len(self.outputs) + self.num_workspace
+        tile = _TILE_TARGET_BYTES // max(rows, 1)
+        tile -= tile % 4096
+        return int(min(max(tile, _TILE_MIN), _TILE_MAX, max(width, 1)))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_rows(
+        buffers: np.ndarray | Sequence[np.ndarray], count: int, what: str
+    ) -> list[np.ndarray]:
+        """Normalize a 2-D matrix or sequence of 1-D packets to row views."""
+        if isinstance(buffers, np.ndarray):
+            if buffers.ndim != 2:
+                raise ValueError(
+                    f"{what} matrix must be 2-D, got shape {buffers.shape}"
+                )
+            rows = list(buffers)
+        else:
+            rows = list(buffers)
+        if len(rows) != count:
+            raise ValueError(f"expected {count} {what} rows, got {len(rows)}")
+        width: int | None = None
+        for i, row in enumerate(rows):
+            if not isinstance(row, np.ndarray) or row.ndim != 1:
+                raise ValueError(f"{what} row {i} must be a 1-D numpy array")
+            if row.dtype != np.uint8:
+                raise ValueError(
+                    f"{what} row {i} must have dtype uint8, got {row.dtype}"
+                )
+            if width is None:
+                width = row.shape[0]
+            elif row.shape[0] != width:
+                raise ValueError(
+                    f"{what} row {i} has width {row.shape[0]}, row 0 has "
+                    f"{width}; all rows must match"
+                )
+        return rows
+
+    def execute(
+        self,
+        inputs: np.ndarray | Sequence[np.ndarray],
+        tile_bytes: int | None = None,
+    ) -> np.ndarray:
+        """Run the plan, allocating and returning the output matrix."""
+        ins = self._as_rows(inputs, self.num_inputs, "input")
+        width = ins[0].shape[0] if ins else 0
+        out = np.empty((len(self.outputs), width), dtype=np.uint8)
+        self.execute_into(ins, out, tile_bytes=tile_bytes)
+        return out
+
+    def execute_into(
+        self,
+        inputs: np.ndarray | Sequence[np.ndarray],
+        outputs: np.ndarray | Sequence[np.ndarray],
+        tile_bytes: int | None = None,
+    ) -> None:
+        """Run the plan into caller-owned output rows, tile by tile.
+
+        ``inputs`` / ``outputs`` are 2-D uint8 matrices or sequences of
+        equal-width 1-D uint8 packets; output rows are overwritten in
+        place and must not alias input rows. ``tile_bytes`` overrides the
+        auto-chosen cache tile (``None`` = auto).
+        """
+        ins = self._as_rows(inputs, self.num_inputs, "input")
+        outs = self._as_rows(outputs, len(self.outputs), "output")
+        if not outs:
+            return
+        width = outs[0].shape[0]
+        if ins and ins[0].shape[0] != width:
+            raise ValueError(
+                f"input width {ins[0].shape[0]} != output width {width}"
+            )
+        for row in self.zero_rows:
+            outs[row][:] = 0
+        if not self.ops:
+            return
+        if tile_bytes is None:
+            tile = self.default_tile(width)
+        elif tile_bytes <= 0:
+            raise ValueError("tile_bytes must be positive")
+        else:
+            tile = tile_bytes
+        ws = self._workspace(min(tile, width))
+        ops = self.ops
+        xor, copyto = np.bitwise_xor, np.copyto
+        for lo in range(0, width, tile):
+            hi = min(lo + tile, width)
+            span = hi - lo
+            for dbuf, didx, sbuf, sidx, assign in ops:
+                if sbuf == BUF_IN:
+                    src = ins[sidx][lo:hi]
+                elif sbuf == BUF_OUT:
+                    src = outs[sidx][lo:hi]
+                else:
+                    src = ws[sidx][:span]
+                dest = outs[didx][lo:hi] if dbuf == BUF_OUT else ws[didx][:span]
+                if assign:
+                    copyto(dest, src)
+                else:
+                    xor(dest, src, out=dest)
+
+    def _workspace(self, tile: int) -> np.ndarray:
+        """The reusable intermediate arena, grown on demand."""
+        if self.num_workspace == 0:
+            return _EMPTY_WS
+        ws = self._ws
+        if ws is None or ws.shape[1] < tile:
+            ws = np.empty((self.num_workspace, tile), dtype=np.uint8)
+            self._ws = ws
+        return ws
+
+    # ------------------------------------------------------------------
+    # pickling (the workspace arena is per-process scratch, not state)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_ws"] = None
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CompiledPlan in={self.num_inputs} out={len(self.outputs)} "
+            f"ws={self.num_workspace} ops={len(self.ops)} "
+            f"xors={self.xor_count}>"
+        )
+
+
+_EMPTY_WS = np.empty((0, 0), dtype=np.uint8)

@@ -92,6 +92,20 @@ class XorSchedule:
         packets = [np.array([b], dtype=np.uint8) for b in bits]
         return np.array([p[0] for p in self.apply(packets)], dtype=np.uint8)
 
+    def compile(self, needed_outputs: list[int] | tuple[int, ...] | None = None):
+        """Lower to a :class:`~repro.bitmatrix.plan.CompiledPlan`.
+
+        The compiled plan executes the same XOR program with zero
+        per-step allocation (in-place ``out=`` ops into preallocated
+        buffers), cache-blocked tiling, and — when ``needed_outputs``
+        restricts the result — dead-code elimination plus workspace reuse
+        for the intermediate outputs that remain. Output bytes are
+        identical to :meth:`apply`.
+        """
+        from repro.bitmatrix.plan import CompiledPlan
+
+        return CompiledPlan(self, needed_outputs)
+
 
 def naive_schedule(matrix: np.ndarray) -> XorSchedule:
     """Schedule computing each output row independently, left to right."""

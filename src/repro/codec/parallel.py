@@ -1,0 +1,235 @@
+"""Multicore XOR execution: compiled plans fanned out over processes.
+
+The compiled engine is single-threaded numpy; past memory-bandwidth
+saturation of one core, the only way further is more cores. XOR plans
+are embarrassingly parallel along the packet width — every output byte
+column depends only on the same byte column of the inputs — so the
+fan-out **splits the stripe range**: each worker executes the *same*
+:class:`~repro.bitmatrix.plan.CompiledPlan` over a disjoint, 4 KiB-
+aligned column span of shared-memory input/output buffers. Results are
+byte-identical for any worker count because every output byte is
+produced by exactly one worker running exactly the sequential program.
+
+Mechanics: inputs are gathered into one ``multiprocessing.shared_memory``
+segment, the pickled plan plus segment names and the span bounds go to a
+``ProcessPoolExecutor``, workers attach and execute in place, and the
+parent scatters the output segment back. Worker pools are created once
+per worker count and reused across calls so steady-state fan-out pays no
+fork/spawn cost.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import Sequence
+
+import numpy as np
+
+from repro.bitmatrix.plan import CompiledPlan
+from repro.codec.engine import StripeCodec
+
+__all__ = [
+    "parallel_execute",
+    "parallel_encode_into",
+    "parallel_decode_into",
+    "resolve_workers",
+    "split_spans",
+]
+
+#: Span boundaries are aligned to the paper's packet size so workers
+#: never share a cache line and spans map to whole packets.
+SPAN_ALIGN = 4096
+
+_pools: dict[int, ProcessPoolExecutor] = {}
+
+
+def resolve_workers(workers: int | None) -> int:
+    """``None``/``0`` → one worker per CPU; otherwise the given count."""
+    if workers is None or workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def split_spans(
+    width: int, parts: int, align: int = SPAN_ALIGN
+) -> list[tuple[int, int]]:
+    """Split ``[0, width)`` into ≤ ``parts`` aligned contiguous spans.
+
+    Interior boundaries are rounded to ``align``; degenerate (empty)
+    spans are dropped, so narrow buffers yield fewer spans than workers.
+    """
+    if width <= 0:
+        return []
+    if parts <= 1:
+        return [(0, width)]
+    bounds = [0]
+    for i in range(1, parts):
+        cut = (width * i // parts) // align * align
+        if cut > bounds[-1]:
+            bounds.append(cut)
+    bounds.append(width)
+    return [
+        (lo, hi) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+    ]
+
+
+def _pool(workers: int) -> ProcessPoolExecutor:
+    """A reusable executor for ``workers`` processes."""
+    pool = _pools.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _pools[workers] = pool
+    return pool
+
+
+@atexit.register
+def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
+    for pool in _pools.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _pools.clear()
+
+
+def _execute_span(
+    plan_bytes: bytes,
+    in_name: str,
+    in_shape: tuple[int, int],
+    out_name: str,
+    out_shape: tuple[int, int],
+    lo: int,
+    hi: int,
+    tile_bytes: int | None,
+) -> None:
+    """Worker body: run the plan over one column span of the shared bufs."""
+    plan: CompiledPlan = pickle.loads(plan_bytes)
+    shm_in = shared_memory.SharedMemory(name=in_name)
+    try:
+        shm_out = shared_memory.SharedMemory(name=out_name)
+        try:
+            ins = np.ndarray(in_shape, dtype=np.uint8, buffer=shm_in.buf)
+            outs = np.ndarray(out_shape, dtype=np.uint8, buffer=shm_out.buf)
+            plan.execute_into(
+                [row[lo:hi] for row in ins],
+                [row[lo:hi] for row in outs],
+                tile_bytes=tile_bytes,
+            )
+            del ins, outs
+        finally:
+            shm_out.close()
+    finally:
+        shm_in.close()
+
+
+def parallel_execute(
+    plan: CompiledPlan,
+    inputs: np.ndarray | Sequence[np.ndarray],
+    outputs: np.ndarray | Sequence[np.ndarray],
+    workers: int | None = None,
+    tile_bytes: int | None = None,
+) -> None:
+    """Execute ``plan`` with the width split across worker processes.
+
+    Byte-identical to ``plan.execute_into(inputs, outputs)`` for every
+    worker count. Falls back to in-process execution when the width is
+    too narrow to split or ``workers`` resolves to 1. Input rows are
+    gathered into shared memory and outputs scattered back, so callers
+    keep ordinary numpy arrays or views.
+    """
+    workers = resolve_workers(workers)
+    ins = plan._as_rows(inputs, plan.num_inputs, "input")
+    outs = plan._as_rows(outputs, len(plan.outputs), "output")
+    if not outs:
+        return
+    width = outs[0].shape[0]
+    spans = split_spans(width, workers)
+    if len(spans) <= 1:
+        plan.execute_into(ins, outs, tile_bytes=tile_bytes)
+        return
+    n_in, n_out = len(ins), len(outs)
+    shm_in = shared_memory.SharedMemory(
+        create=True, size=max(n_in * width, 1)
+    )
+    try:
+        shm_out = shared_memory.SharedMemory(create=True, size=n_out * width)
+        try:
+            shared_ins = np.ndarray(
+                (n_in, width), dtype=np.uint8, buffer=shm_in.buf
+            )
+            for i, row in enumerate(ins):
+                shared_ins[i] = row
+            plan_bytes = pickle.dumps(plan)
+            futures = [
+                _pool(workers).submit(
+                    _execute_span,
+                    plan_bytes,
+                    shm_in.name,
+                    (n_in, width),
+                    shm_out.name,
+                    (n_out, width),
+                    lo,
+                    hi,
+                    tile_bytes,
+                )
+                for lo, hi in spans
+            ]
+            for future in futures:
+                future.result()
+            shared_outs = np.ndarray(
+                (n_out, width), dtype=np.uint8, buffer=shm_out.buf
+            )
+            for i, row in enumerate(outs):
+                row[:] = shared_outs[i]
+            del shared_ins, shared_outs
+        finally:
+            shm_out.close()
+            shm_out.unlink()
+    finally:
+        shm_in.close()
+        shm_in.unlink()
+
+
+def parallel_encode_into(
+    codec: StripeCodec,
+    data: np.ndarray,
+    out: np.ndarray | None = None,
+    workers: int | None = None,
+) -> np.ndarray:
+    """Multicore :meth:`StripeCodec.encode_into` (same bytes, any count)."""
+    code = codec.code
+    if out is None:
+        out = np.empty((code.num_parity, data.shape[1]), dtype=np.uint8)
+    parallel_execute(
+        codec.encode_plan,
+        data,
+        out,
+        workers=workers,
+        tile_bytes=codec.tile_bytes,
+    )
+    return out
+
+
+def parallel_decode_into(
+    codec: StripeCodec,
+    failed: tuple[int, ...],
+    known: np.ndarray,
+    out: np.ndarray | None = None,
+    workers: int | None = None,
+) -> np.ndarray:
+    """Multicore :meth:`StripeCodec.decode_into` (same bytes, any count)."""
+    decoder = codec.code.decoder_for(failed)
+    if out is None:
+        out = np.empty(
+            (len(decoder.plan.unknown_positions), known.shape[1]),
+            dtype=np.uint8,
+        )
+    parallel_execute(
+        decoder.compiled_plan(),
+        known,
+        out,
+        workers=workers,
+        tile_bytes=codec.tile_bytes,
+    )
+    return out

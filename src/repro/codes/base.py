@@ -28,6 +28,7 @@ their code's module and are checked against this generic path in tests.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass
 from enum import IntEnum
 from functools import cached_property
@@ -35,6 +36,7 @@ from functools import cached_property
 import numpy as np
 
 from repro.bitmatrix import (
+    CompiledPlan,
     XorSchedule,
     bm_inv,
     bm_mul,
@@ -42,7 +44,20 @@ from repro.bitmatrix import (
     smart_schedule,
 )
 
-__all__ = ["Cell", "Position", "ArrayCode", "Decoder", "shorten"]
+__all__ = [
+    "Cell",
+    "Position",
+    "ArrayCode",
+    "Decoder",
+    "shorten",
+    "DEFAULT_DECODER_CACHE_SIZE",
+]
+
+#: Default cap on per-code cached decoders. Each decoder holds a solved
+#: recovery system plus its compiled plans; exhaustive MDS sweeps over a
+#: large code visit C(n, faults) failure sets, so an unbounded cache would
+#: retain every one of them for the code's lifetime.
+DEFAULT_DECODER_CACHE_SIZE = 64
 
 Position = tuple[int, int]
 """Grid coordinate ``(row, col)`` of an element."""
@@ -70,6 +85,8 @@ class ArrayCode:
         faults: number of arbitrary whole-disk failures the code claims to
             tolerate (3 for the codes in this paper, 2 for the RAID-6
             substrates).
+        decoder_cache_size: LRU cap on cached per-failure-set decoders
+            (least recently used decoders are evicted beyond this).
 
     Subclasses populate ``kinds``/``chains`` from the published encoding
     equations and pass them here; this class owns all generic machinery.
@@ -83,11 +100,14 @@ class ArrayCode:
         kinds: dict[Position, Cell],
         chains: dict[Position, tuple[Position, ...]],
         faults: int = 3,
+        decoder_cache_size: int = DEFAULT_DECODER_CACHE_SIZE,
     ) -> None:
         if rows <= 0 or cols <= 0:
             raise ValueError("rows and cols must be positive")
         if faults <= 0 or faults >= cols:
             raise ValueError(f"faults must be in 1..cols-1, got {faults}")
+        if decoder_cache_size <= 0:
+            raise ValueError("decoder_cache_size must be positive")
         self.name = name
         self.rows = rows
         self.cols = cols
@@ -100,7 +120,10 @@ class ArrayCode:
         for parity, members in chains.items():
             self.chains[parity] = tuple(members)
         self._validate()
-        self._decoder_cache: dict[tuple[int, ...], Decoder] = {}
+        self.decoder_cache_size = decoder_cache_size
+        self._decoder_cache: OrderedDict[tuple[int, ...], Decoder] = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     # structure
@@ -407,7 +430,13 @@ class ArrayCode:
     # decoding (Sec. IV-B / IV-C)
     # ------------------------------------------------------------------
     def decoder_for(self, failed: tuple[int, ...] | list[int]) -> "Decoder":
-        """Build (or fetch from cache) the decoder for a set of failed disks."""
+        """Build (or fetch from the LRU cache) the decoder for failed disks.
+
+        The cache holds at most :attr:`decoder_cache_size` decoders per
+        code, evicting the least recently used — exhaustive sweeps over
+        every failure combination of a large code stay bounded while the
+        handful of patterns a store or benchmark replays stay hot.
+        """
         key = tuple(sorted(set(failed)))
         if not key:
             raise ValueError("need at least one failed column")
@@ -415,10 +444,15 @@ class ArrayCode:
             raise ValueError(
                 f"{self.name} tolerates {self.faults} failures, got {len(key)}"
             )
-        decoder = self._decoder_cache.get(key)
+        cache = self._decoder_cache
+        decoder = cache.get(key)
         if decoder is None:
             decoder = Decoder(self, key)
-            self._decoder_cache[key] = decoder
+            cache[key] = decoder
+            while len(cache) > self.decoder_cache_size:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
         return decoder
 
     def decode(
@@ -561,6 +595,7 @@ class Decoder:
         self.code = code
         self.failed = failed
         self.plan = self._solve()
+        self._compiled: dict[tuple[int, ...] | None, CompiledPlan] = {}
 
     def _solve(self) -> _RecoveryPlan:
         code = self.code
@@ -620,23 +655,79 @@ class Decoder:
         """Elements reconstructed per stripe."""
         return len(self.plan.unknown_positions)
 
+    def compiled_plan(
+        self, only_cols: tuple[int, ...] | None = None
+    ) -> CompiledPlan:
+        """The compiled recovery plan, cached per recovered-column subset.
+
+        With ``only_cols``, compilation dead-code-eliminates the schedule
+        down to the steps feeding those columns' elements; intermediate
+        outputs that survive DCE live in the plan's recycled workspace
+        arena instead of full output packets. Compilation happens once
+        per ``(code, failure set, subset)`` — repeated degraded reads and
+        rebuilds replay the same plan.
+        """
+        key = tuple(sorted(set(only_cols))) if only_cols is not None else None
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            if key is None:
+                needed = None
+            else:
+                needed = [
+                    i
+                    for i, pos in enumerate(self.plan.unknown_positions)
+                    if pos[1] in key
+                ]
+            compiled = self.plan.schedule.compile(needed)
+            self._compiled[key] = compiled
+        return compiled
+
+    def recovered_positions(
+        self, only_cols: tuple[int, ...] | None = None
+    ) -> list[Position]:
+        """Positions :meth:`decode_columns` writes for this subset."""
+        plan = self.compiled_plan(only_cols)
+        return [self.plan.unknown_positions[i] for i in plan.outputs]
+
     def decode_columns(
-        self, stripe: np.ndarray, only_cols: tuple[int, ...] | None = None
+        self,
+        stripe: np.ndarray,
+        only_cols: tuple[int, ...] | None = None,
+        workers: int = 1,
+        tile_bytes: int | None = None,
     ) -> None:
         """Reconstruct erased elements of ``stripe`` in place.
+
+        Runs the compiled recovery plan directly into the stripe's erased
+        element buffers — no intermediate packet allocation. Byte-
+        identical to replaying ``plan.schedule.apply`` and copying the
+        results back.
 
         Args:
             stripe: the damaged stripe.
             only_cols: if given, write back only these columns' elements
                 (used by iterative reconstruction to recover one disk from
                 the full-system solution).
+            workers: fan the packet width out over this many processes
+                (see :mod:`repro.codec.parallel`); 1 = in-process.
+            tile_bytes: cache-tile override for the compiled plan.
         """
-        plan = self.plan
-        knowns = [stripe[r, c] for r, c in plan.known_positions]
-        recovered = plan.schedule.apply(knowns)
-        for pos, packet in zip(plan.unknown_positions, recovered):
-            if only_cols is None or pos[1] in only_cols:
-                stripe[pos[0], pos[1]] = packet
+        compiled = self.compiled_plan(only_cols)
+        positions = [
+            self.plan.unknown_positions[i] for i in compiled.outputs
+        ]
+        if not positions:
+            return
+        knowns = [stripe[r, c] for r, c in self.plan.known_positions]
+        outs = [stripe[r, c] for r, c in positions]
+        if workers > 1:
+            from repro.codec.parallel import parallel_execute
+
+            parallel_execute(
+                compiled, knowns, outs, workers=workers, tile_bytes=tile_bytes
+            )
+        else:
+            compiled.execute_into(knowns, outs, tile_bytes=tile_bytes)
 
 
 def shorten(

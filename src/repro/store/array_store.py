@@ -114,6 +114,14 @@ class ArrayStore:
         write_mode: ``"auto"`` (default) picks delta RMW vs full-stripe
             per run by element-I/O cost; ``"delta"`` / ``"stripe"`` force
             one path (delta still falls back while degraded).
+        batch_workers: worker processes for bulk decode during rebuild
+            (1 = in-process). Fan-out splits the batched stripe range
+            over shared-memory buffers (:mod:`repro.codec.parallel`);
+            results are byte-identical for any worker count.
+        rebuild_batch: stripes read, bulk-decoded and written back per
+            rebuild round. Batching turns per-stripe reads into one
+            contiguous span read per surviving disk and lets the
+            compiled recovery plan run over wide packets.
 
     Reopening a directory whose backing files don't match the requested
     geometry raises ``ValueError`` rather than destroying the contents.
@@ -128,6 +136,8 @@ class ArrayStore:
         stripes: int = 16,
         chunk_bytes: int = 4096,
         write_mode: str = "auto",
+        batch_workers: int = 1,
+        rebuild_batch: int = 32,
     ) -> None:
         if stripes <= 0 or chunk_bytes <= 0:
             raise ValueError("stripes and chunk_bytes must be positive")
@@ -135,11 +145,17 @@ class ArrayStore:
             raise ValueError(
                 f"write_mode must be one of {WRITE_MODES}, got {write_mode!r}"
             )
+        if batch_workers < 1:
+            raise ValueError("batch_workers must be >= 1")
+        if rebuild_batch < 1:
+            raise ValueError("rebuild_batch must be >= 1")
         self.code = code
         self.directory = Path(directory)
         self.stripes = stripes
         self.chunk_bytes = chunk_bytes
         self.write_mode = write_mode
+        self.batch_workers = batch_workers
+        self.rebuild_batch = rebuild_batch
         self.failed: set[int] = set()
         self.io = IoCounters()
         self.last_io = IoCounters()
@@ -282,20 +298,36 @@ class ArrayStore:
 
     def _load_stripe(self, stripe: int) -> np.ndarray:
         """Read a whole stripe (failed columns come back zeroed)."""
-        out = np.zeros(
-            (self.code.rows, self.code.cols, self.chunk_bytes), dtype=np.uint8
-        )
-        span = self.code.rows * self.chunk_bytes
-        for col in range(self.code.cols):
+        return self._load_stripe_batch(stripe, 1)
+
+    def _load_stripe_batch(self, start: int, count: int) -> np.ndarray:
+        """Read ``count`` consecutive stripes as one *wide* stripe.
+
+        The result has shape ``(rows, cols, count * chunk_bytes)``:
+        element ``(r, c)``'s packet is the concatenation of that
+        element's chunks across the batch, stripe-major — so stripe
+        ``start + i`` is the ``[:, :, i*chunk : (i+1)*chunk]`` slice and
+        a single ``Decoder.decode_columns`` call over the wide stripe
+        bulk-decodes the whole batch. Each surviving disk is read as one
+        contiguous span (failed columns come back zeroed).
+        """
+        rows, cols, chunk = self.code.rows, self.code.cols, self.chunk_bytes
+        wide = np.zeros((rows, cols, count * chunk), dtype=np.uint8)
+        # Guaranteed view: ``wide`` is C-contiguous, so splitting its last
+        # axis never copies. Axis 2 is the stripe index within the batch.
+        by_stripe = wide.reshape(rows, cols, count, chunk)
+        span = rows * chunk
+        for col in range(cols):
             if col in self.failed:
                 continue
-            raw = self._read_span(col, stripe * span, span)
-            out[:, col, :] = np.frombuffer(raw, dtype=np.uint8).reshape(
-                self.code.rows, self.chunk_bytes
+            raw = self._read_span(col, start * span, count * span)
+            per_stripe = np.frombuffer(raw, dtype=np.uint8).reshape(
+                count, rows, chunk
             )
+            by_stripe[:, col] = per_stripe.transpose(1, 0, 2)
             data, parity = self._col_profile[col]
-            self._count(data, parity, wrote=False)
-        return out
+            self._count(data * count, parity * count, wrote=False)
+        return wide
 
     def _store_stripe(
         self,
@@ -470,6 +502,12 @@ class ArrayStore:
         """Reconstruct every failed disk from survivors; returns stripes
         rebuilt. The store is fully healthy afterwards.
 
+        Batched pipeline: each round reads ``rebuild_batch`` stripes as
+        one wide stripe (one contiguous span read per surviving disk),
+        bulk-decodes it with the compiled recovery plan — fanned out over
+        ``batch_workers`` processes when configured — and writes the
+        stripes back.
+
         Exception-safe: ``failed`` stays marked until *every* stripe has
         been decoded and stored, so an error partway through (I/O,
         decode) leaves the store correctly degraded — reads keep
@@ -481,10 +519,17 @@ class ArrayStore:
         self.last_io = IoCounters()
         failed = frozenset(self.failed)
         decoder = self._current_decoder()
-        for stripe in range(self.stripes):
-            grid = self._load_stripe(stripe)
-            decoder.decode_columns(grid)
-            self._store_stripe(stripe, grid, writable=failed)
+        rows, cols, chunk = self.code.rows, self.code.cols, self.chunk_bytes
+        batch = max(1, min(self.rebuild_batch, self.stripes))
+        for start in range(0, self.stripes, batch):
+            count = min(batch, self.stripes - start)
+            wide = self._load_stripe_batch(start, count)
+            decoder.decode_columns(wide, workers=self.batch_workers)
+            by_stripe = wide.reshape(rows, cols, count, chunk)
+            for i in range(count):
+                self._store_stripe(
+                    start + i, by_stripe[:, :, i, :], writable=failed
+                )
         self.failed.clear()
         return self.stripes
 

@@ -1,0 +1,398 @@
+"""Tests for the compiled XOR execution engine.
+
+Covers plan lowering (dead-code elimination, workspace liveness reuse),
+compiled-vs-interpreted byte equivalence for every registered code,
+cache-blocked tiling, multicore determinism, the schedule memo and the
+LRU decoder cache.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bitmatrix import CompiledPlan, XorSchedule, naive_schedule, smart_schedule
+from repro.bitmatrix.plan import BUF_WS
+from repro.codec import (
+    StripeCodec,
+    encode_schedule_for,
+    parallel_decode_into,
+    parallel_encode_into,
+    parallel_execute,
+)
+from repro.codec.parallel import split_spans
+from repro.codes import make_code
+from repro.codes.registry import CODE_FAMILIES, supports_size
+from repro.store import ArrayStore
+
+
+def small_code(family):
+    """The smallest n >= 6 instance of a family (n >= 6 keeps the
+    schedules non-trivial)."""
+    n = next(n for n in range(6, 16) if supports_size(family, n))
+    return make_code(family, n)
+
+
+def random_matrix(rows, width, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(rows, width), dtype=np.uint8)
+
+
+# ----------------------------------------------------------------------
+# compiled vs interpreted equivalence, every registered code
+# ----------------------------------------------------------------------
+class TestCompiledEquivalence:
+    @pytest.mark.parametrize("family", sorted(CODE_FAMILIES))
+    def test_encode_matches_interpreted(self, family):
+        code = small_code(family)
+        codec = StripeCodec(code, packet_size=32)
+        data = random_matrix(code.num_data, 96, seed=1)
+        reference = codec.encode_packets([data[i] for i in range(len(data))])
+        compiled = codec.encode_into(data)
+        for i in range(code.num_parity):
+            assert np.array_equal(compiled[i], reference[i]), i
+
+    @pytest.mark.parametrize("family", sorted(CODE_FAMILIES))
+    def test_all_failure_patterns_match_interpreted(self, family):
+        """Every maximal failure pattern decodes byte-identically."""
+        code = small_code(family)
+        codec = StripeCodec(code, packet_size=16)
+        for combo in itertools.combinations(range(code.cols), code.faults):
+            decoder = code.decoder_for(combo)
+            known = random_matrix(
+                len(decoder.plan.known_positions), 48, seed=sum(combo)
+            )
+            reference = decoder.plan.schedule.apply(
+                [known[i] for i in range(len(known))]
+            )
+            compiled = codec.decode_into(combo, known)
+            for i in range(len(reference)):
+                assert np.array_equal(compiled[i], reference[i]), (combo, i)
+
+    @pytest.mark.parametrize("family", sorted(CODE_FAMILIES))
+    def test_stripe_decode_roundtrip(self, family):
+        """End-to-end: erase faults columns, decode in place, recover."""
+        code = small_code(family)
+        stripe = code.random_stripe(packet_size=24, seed=5)
+        for combo in itertools.combinations(range(code.cols), code.faults):
+            damaged = stripe.copy()
+            code.erase_columns(damaged, combo)
+            code.decode(damaged, combo)
+            assert np.array_equal(damaged, stripe), combo
+
+
+# ----------------------------------------------------------------------
+# plan lowering: DCE, liveness, zero rows, tiling
+# ----------------------------------------------------------------------
+class TestPlanLowering:
+    def test_subset_plan_drops_dead_ops(self):
+        code = small_code("tip")
+        decoder = code.decoder_for((0, 2, 4))
+        full = decoder.compiled_plan()
+        only = decoder.compiled_plan((2,))
+        assert len(only.ops) < len(full.ops)
+        assert len(only.outputs) < len(full.outputs)
+
+    def test_subset_plan_matches_full_plan(self):
+        code = small_code("tip")
+        stripe = code.random_stripe(packet_size=16, seed=7)
+        damaged = stripe.copy()
+        code.erase_columns(damaged, (0, 2, 4))
+        decoder = code.decoder_for((0, 2, 4))
+        decoder.decode_columns(damaged, only_cols=(2,))
+        assert np.array_equal(damaged[:, 2, :], stripe[:, 2, :])
+        # Other failed columns stay erased.
+        assert not damaged[:, 0, :].any()
+        assert not damaged[:, 4, :].any()
+
+    def test_workspace_slots_are_reused(self):
+        """A chain of intermediate bases must share recycled slots."""
+        # out0 = in0^in1 (base), out1 = out0^in2 (base), out2 = out1^in3;
+        # only out2 needed: out0 and out1 are intermediates whose
+        # lifetimes do not overlap beyond handoff.
+        matrix = np.array(
+            [[1, 1, 0, 0], [1, 1, 1, 0], [1, 1, 1, 1]], dtype=np.uint8
+        )
+        schedule = smart_schedule(matrix)
+        plan = schedule.compile([2])
+        assert plan.num_workspace <= 2
+        ins = [np.array([a], dtype=np.uint8) for a in (3, 5, 9, 17)]
+        out = plan.execute(ins)
+        assert out[0, 0] == 3 ^ 5 ^ 9 ^ 17
+
+    def test_zero_rows_are_zero_filled(self):
+        schedule = naive_schedule(np.array([[0, 0], [1, 1]], dtype=np.uint8))
+        plan = schedule.compile()
+        ins = [
+            np.full(4, 7, dtype=np.uint8),
+            np.full(4, 9, dtype=np.uint8),
+        ]
+        out = np.full((2, 4), 0xAA, dtype=np.uint8)
+        plan.execute_into(ins, out)
+        assert not out[0].any()
+        assert (out[1] == (7 ^ 9)).all()
+
+    def test_plan_xor_count_matches_schedule(self):
+        code = small_code("star")
+        schedule = encode_schedule_for(code)
+        assert schedule.compile().xor_count == schedule.xor_count
+
+    @pytest.mark.parametrize("tile", [1, 5, 64, 4096, None])
+    def test_chunked_equals_unchunked(self, tile):
+        """Any tile size produces the same bytes as one full-width pass."""
+        code = small_code("triple-star")
+        codec = StripeCodec(code, packet_size=32)
+        width = 101  # deliberately not a multiple of any tile
+        data = random_matrix(code.num_data, width, seed=9)
+        unchunked = codec.encode_plan.execute(data, tile_bytes=width)
+        chunked = codec.encode_plan.execute(data, tile_bytes=tile)
+        assert np.array_equal(chunked, unchunked)
+
+    def test_compile_rejects_bad_needed_output(self):
+        schedule = naive_schedule(np.eye(3, dtype=np.uint8))
+        with pytest.raises(ValueError, match="needed output"):
+            schedule.compile([3])
+
+    def test_plan_survives_pickle(self):
+        import pickle
+
+        code = small_code("tip")
+        codec = StripeCodec(code, packet_size=16)
+        data = random_matrix(code.num_data, 32, seed=3)
+        clone = pickle.loads(pickle.dumps(codec.encode_plan))
+        assert np.array_equal(clone.execute(data), codec.encode_into(data))
+
+    def test_empty_schedule_plan(self):
+        plan = CompiledPlan(XorSchedule(num_inputs=0, num_outputs=0))
+        plan.execute_into([], [])  # no-op, no error
+
+
+# ----------------------------------------------------------------------
+# multicore fan-out
+# ----------------------------------------------------------------------
+class TestParallel:
+    @pytest.fixture(scope="class")
+    def tip6(self):
+        return make_code("tip", 6)
+
+    def test_split_spans_cover_and_align(self):
+        spans = split_spans(5 * 4096 + 17, 3)
+        assert spans[0][0] == 0 and spans[-1][1] == 5 * 4096 + 17
+        for (_, hi), (lo, _) in zip(spans[:-1], spans[1:]):
+            assert hi == lo
+            assert lo % 4096 == 0
+
+    def test_split_spans_narrow_width_degenerates(self):
+        assert split_spans(100, 4) == [(0, 100)]
+        assert split_spans(0, 4) == []
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_parallel_encode_deterministic(self, tip6, workers):
+        codec = StripeCodec(tip6)
+        data = random_matrix(tip6.num_data, 4096 * 6, seed=11)
+        expected = codec.encode_into(data)
+        result = parallel_encode_into(codec, data, workers=workers)
+        assert np.array_equal(result, expected), workers
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_parallel_decode_deterministic(self, tip6, workers):
+        codec = StripeCodec(tip6)
+        failed = (1, 3, 5)
+        decoder = tip6.decoder_for(failed)
+        known = random_matrix(
+            len(decoder.plan.known_positions), 4096 * 6, seed=13
+        )
+        expected = codec.decode_into(failed, known)
+        result = parallel_decode_into(codec, failed, known, workers=workers)
+        assert np.array_equal(result, expected), workers
+
+    def test_parallel_execute_on_views(self, tip6):
+        """Fan-out scatters results back into caller-owned views."""
+        codec = StripeCodec(tip6)
+        data = random_matrix(tip6.num_data, 4096 * 4, seed=17)
+        expected = codec.encode_into(data)
+        out = np.zeros((tip6.num_parity, 4096 * 4), dtype=np.uint8)
+        parallel_execute(
+            codec.encode_plan, list(data), [row for row in out], workers=2
+        )
+        assert np.array_equal(out, expected)
+
+
+# ----------------------------------------------------------------------
+# caches: encode-schedule memo and decoder LRU
+# ----------------------------------------------------------------------
+class TestCaches:
+    def test_encode_schedule_memoized_across_codecs(self):
+        code = small_code("tip")
+        first = StripeCodec(code, packet_size=64)
+        second = StripeCodec(code, packet_size=128)
+        assert first._encode_schedule is second._encode_schedule
+
+    def test_encode_schedule_memo_keyed_by_content(self):
+        tip = small_code("tip")
+        star = small_code("star")
+        assert encode_schedule_for(tip) is not encode_schedule_for(star)
+
+    def test_decoder_cache_lru_eviction(self):
+        code = small_code("tip")
+        code.decoder_cache_size = 2
+        code._decoder_cache.clear()
+        d01 = code.decoder_for((0, 1))
+        code.decoder_for((1, 2))
+        assert code.decoder_for((0, 1)) is d01  # hit refreshes recency
+        code.decoder_for((2, 3))  # evicts (1, 2), not (0, 1)
+        assert tuple(code._decoder_cache) == ((0, 1), (2, 3))
+        assert code.decoder_for((0, 1)) is d01
+
+    def test_decoder_cache_bounded_under_sweep(self):
+        code = small_code("tip")
+        code.decoder_cache_size = 4
+        code._decoder_cache.clear()
+        for combo in itertools.combinations(range(code.cols), code.faults):
+            code.decoder_for(combo)
+        assert len(code._decoder_cache) <= 4
+
+    def test_decoder_cache_size_validated(self):
+        from repro.codes.base import ArrayCode, Cell
+
+        with pytest.raises(ValueError, match="decoder_cache_size"):
+            ArrayCode(
+                "bad",
+                2,
+                4,
+                kinds={(0, 3): Cell.PARITY},
+                chains={(0, 3): ((0, 0), (0, 1), (0, 2))},
+                faults=1,
+                decoder_cache_size=0,
+            )
+
+
+# ----------------------------------------------------------------------
+# packet validation (compiled out= path preconditions)
+# ----------------------------------------------------------------------
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def tip6(self):
+        return make_code("tip", 6)
+
+    def test_non_contiguous_packet_rejected(self, tip6):
+        codec = StripeCodec(tip6, packet_size=8)
+        packets = [
+            np.zeros(8, dtype=np.uint8) for _ in range(tip6.num_data)
+        ]
+        packets[2] = np.zeros(16, dtype=np.uint8)[::2]  # strided view
+        with pytest.raises(ValueError, match="packet 2 is not C-contiguous"):
+            codec.encode_packets(packets)
+
+    def test_non_contiguous_matrix_rejected(self, tip6):
+        codec = StripeCodec(tip6, packet_size=8)
+        transposed = np.zeros((64, tip6.num_data), dtype=np.uint8).T
+        with pytest.raises(ValueError, match="not C-contiguous"):
+            codec.encode_into(transposed)
+
+    def test_wrong_matrix_shape_rejected(self, tip6):
+        codec = StripeCodec(tip6, packet_size=8)
+        with pytest.raises(ValueError, match="shape"):
+            codec.encode_into(np.zeros((3, 64), dtype=np.uint8))
+
+    def test_wrong_out_width_rejected(self, tip6):
+        codec = StripeCodec(tip6, packet_size=8)
+        data = np.zeros((tip6.num_data, 64), dtype=np.uint8)
+        out = np.zeros((tip6.num_parity, 32), dtype=np.uint8)
+        with pytest.raises(ValueError, match="width"):
+            codec.encode_into(data, out)
+
+    def test_engine_name_validated(self, tip6):
+        from repro.codec import measure_encode_throughput
+
+        with pytest.raises(ValueError, match="engine"):
+            measure_encode_throughput(tip6, data_bytes=1 << 12, engine="jit")
+
+    def test_interpreted_engine_refuses_workers(self, tip6):
+        from repro.codec import measure_encode_throughput
+
+        with pytest.raises(ValueError, match="compiled"):
+            measure_encode_throughput(
+                tip6, data_bytes=1 << 12, engine="interpreted", workers=2
+            )
+
+
+# ----------------------------------------------------------------------
+# store integration: batched rebuild + batch_workers
+# ----------------------------------------------------------------------
+class TestStoreBatchedRebuild:
+    CHUNK = 256
+
+    def make_store(self, tmp_path, **kwargs):
+        return ArrayStore(
+            make_code("tip", 6),
+            tmp_path,
+            stripes=5,
+            chunk_bytes=self.CHUNK,
+            **kwargs,
+        )
+
+    def fill(self, store, seed=0):
+        rng = np.random.default_rng(seed)
+        payload = rng.integers(
+            0, 256, size=(store.capacity_chunks, self.CHUNK), dtype=np.uint8
+        )
+        store.write_chunks(0, payload)
+        return payload
+
+    @pytest.mark.parametrize("batch", [1, 2, 5, 32])
+    def test_rebuild_batch_sizes(self, tmp_path, batch):
+        """Batch sizes that divide, exceed and straddle the stripe count."""
+        store = self.make_store(tmp_path, rebuild_batch=batch)
+        payload = self.fill(store, seed=batch)
+        store.fail_disk(0)
+        store.fail_disk(2)
+        store.fail_disk(5)
+        assert store.rebuild() == store.stripes
+        assert store.failed == set()
+        assert np.array_equal(
+            store.read_chunks(0, store.capacity_chunks), payload
+        )
+        assert store.scrub() == []
+
+    def test_rebuild_with_batch_workers(self, tmp_path):
+        store = self.make_store(tmp_path, batch_workers=2, rebuild_batch=5)
+        payload = self.fill(store, seed=42)
+        store.fail_disk(1)
+        store.fail_disk(4)
+        assert store.rebuild() == store.stripes
+        assert np.array_equal(
+            store.read_chunks(0, store.capacity_chunks), payload
+        )
+        assert store.scrub() == []
+
+    def test_rebuild_io_accounting_unchanged_by_batching(self, tmp_path):
+        """Chunk I/O totals are a property of the geometry, not the batch."""
+        totals = []
+        for batch in (1, 3):
+            directory = tmp_path / f"b{batch}"
+            store = self.make_store(directory, rebuild_batch=batch)
+            self.fill(store, seed=7)
+            store.fail_disk(2)
+            store.rebuild()
+            totals.append(
+                (store.last_io.chunks_read, store.last_io.chunks_written)
+            )
+        assert totals[0] == totals[1]
+
+    def test_batch_loader_matches_single_stripe_loads(self, tmp_path):
+        store = self.make_store(tmp_path)
+        self.fill(store, seed=9)
+        wide = store._load_stripe_batch(1, 3)
+        rows, cols = store.code.rows, store.code.cols
+        by_stripe = wide.reshape(rows, cols, 3, self.CHUNK)
+        for i in range(3):
+            assert np.array_equal(
+                by_stripe[:, :, i, :], store._load_stripe(1 + i)
+            )
+
+    def test_batch_params_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="batch_workers"):
+            self.make_store(tmp_path / "w", batch_workers=0)
+        with pytest.raises(ValueError, match="rebuild_batch"):
+            self.make_store(tmp_path / "b", rebuild_batch=0)
