@@ -25,23 +25,19 @@ def request_runs(
     """Split a byte request into per-stripe element runs.
 
     Returns ``(stripe_index, start_element, run_length)`` triples where
-    ``start_element`` is a logical data index within the stripe.
+    ``start_element`` is a logical data index within the stripe. The
+    address math lives in :class:`repro.raid.ArrayMapping` — this is the
+    analysis-facing view of the same single source of truth the
+    simulator's controller and the real store use.
     """
-    if chunk_size <= 0:
-        raise ValueError("chunk_size must be positive")
-    if length <= 0:
-        return []
-    per_stripe = code.num_data
-    first_chunk = offset // chunk_size
-    last_chunk = (offset + length - 1) // chunk_size
-    runs: list[tuple[int, int, int]] = []
-    chunk = first_chunk
-    while chunk <= last_chunk:
-        stripe, start = divmod(chunk, per_stripe)
-        run = min(per_stripe - start, last_chunk - chunk + 1)
-        runs.append((stripe, start, run))
-        chunk += run
-    return runs
+    # Imported lazily: repro.raid.planner imports repro.analysis, so a
+    # module-level import here would be circular.
+    from repro.raid.mapping import ArrayMapping
+
+    return [
+        (run.stripe, run.start, run.length)
+        for run in ArrayMapping(code, chunk_size).byte_runs(offset, length)
+    ]
 
 
 def request_write_cost(

@@ -9,6 +9,10 @@ Commands:
 * ``write-cost FAMILY N [--length L]`` — single/partial write complexity.
 * ``simulate WORKLOAD N [--requests R]`` — trace-driven comparison of all
   evaluated codes (write cost + simulated response time).
+* ``replay --family F --n N --trace T`` — replay a trace (CSV file or
+  ``synthetic:<workload>``) against a *real* file-backed store through
+  the byte-addressed block device, printing Table-3-style trace stats
+  plus the measured data/parity chunk I/O split.
 * ``reliability N [--mttf H] [--rebuild H]`` — MTTDL of 1/2/3-fault
   arrays at this size (the paper's 3DFT motivation).
 """
@@ -17,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 
 import numpy as np
 
@@ -30,7 +35,7 @@ from repro.codes.base import Cell
 from repro.codes.registry import EVALUATED_FAMILIES
 from repro.disksim import simulate_trace
 from repro.reliability import ArrayReliability
-from repro.traces import generate_trace, workload_names
+from repro.traces import generate_trace, parse_csv_trace, workload_names
 
 __all__ = ["main", "build_parser"]
 
@@ -63,6 +68,26 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("workload", choices=workload_names())
     sim.add_argument("n", type=int)
     sim.add_argument("--requests", type=int, default=2000)
+
+    replay = sub.add_parser(
+        "replay", help="replay a trace against a real file-backed store"
+    )
+    replay.add_argument("--family", default="tip",
+                        help="code family (default tip)")
+    replay.add_argument("--n", type=int, default=8,
+                        help="array size in disks (default 8)")
+    replay.add_argument("--trace", required=True,
+                        help="CSV trace path or synthetic:<workload>")
+    replay.add_argument("--requests", type=int, default=1000,
+                        help="request cap for synthetic traces (default 1000)")
+    replay.add_argument("--stripes", type=int, default=64,
+                        help="store stripes (default 64)")
+    replay.add_argument("--chunk-bytes", type=int, default=4096,
+                        help="chunk size in bytes (default 4096)")
+    replay.add_argument("--dir", default=None,
+                        help="store directory (default: a fresh tmpdir)")
+    replay.add_argument("--fail", type=int, nargs="*", default=(),
+                        help="disks to fail before replaying (degraded mode)")
 
     rel = sub.add_parser("reliability", help="MTTDL of 1/2/3-fault arrays")
     rel.add_argument("n", type=int)
@@ -141,6 +166,54 @@ def _cmd_simulate(workload: str, n: int, requests: int) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.raid import BlockDevice
+    from repro.store import ArrayStore
+
+    if args.trace.startswith("synthetic:"):
+        workload = args.trace.split(":", 1)[1]
+        if workload not in workload_names():
+            raise ValueError(
+                f"unknown workload {workload!r}; pick one of {workload_names()}"
+            )
+        trace = generate_trace(workload, requests=args.requests, seed=42)
+    else:
+        trace = parse_csv_trace(args.trace)
+    code = make_code(args.family, args.n)
+    stats = trace.stats()
+    print(f"trace {trace.name}: {stats.requests} requests over "
+          f"{stats.duration_s:.1f} s, {stats.iops:.1f} IOPS, "
+          f"{stats.write_fraction:.1%} writes, "
+          f"avg {stats.avg_request_kb:.2f} KB")
+    with tempfile.TemporaryDirectory(prefix="repro-replay-") as tmpdir:
+        store = ArrayStore(
+            code,
+            args.dir if args.dir else tmpdir,
+            stripes=args.stripes,
+            chunk_bytes=args.chunk_bytes,
+        )
+        with store:
+            for disk in args.fail:
+                store.fail_disk(disk)
+            device = BlockDevice(store)
+            print(f"replaying on {code.name} (n={code.n}, {store.stripes} "
+                  f"stripes x {store.chunk_bytes} B chunks, "
+                  f"{device.capacity_bytes // 1024} KiB capacity"
+                  + (f", failed disks {tuple(args.fail)}" if args.fail else "")
+                  + ")")
+            result = device.replay(trace)
+    io = result.io
+    print(f"requests: {result.reads} reads ({result.bytes_read} B), "
+          f"{result.writes} writes ({result.bytes_written} B)")
+    print(f"data chunks:   {io.data_chunks_read:8d} read "
+          f"{io.data_chunks_written:8d} written")
+    print(f"parity chunks: {io.parity_chunks_read:8d} read "
+          f"{io.parity_chunks_written:8d} written")
+    print(f"measured avg chunk I/Os: {result.chunks_per_write:.2f} per write, "
+          f"{result.chunks_per_read:.2f} per read")
+    return 0
+
+
 def _cmd_reliability(n: int, mttf: float, rebuild: float) -> int:
     print(f"{n}-disk array, disk MTTF {mttf:.0f} h, rebuild {rebuild:.0f} h")
     print(f"{'tolerance':>10s} {'MTTDL (years)':>16s} {'P(loss)/year':>14s}")
@@ -168,6 +241,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_write_cost(args.family, args.n, args.length)
         if args.command == "simulate":
             return _cmd_simulate(args.workload, args.n, args.requests)
+        if args.command == "replay":
+            return _cmd_replay(args)
         if args.command == "reliability":
             return _cmd_reliability(args.n, args.mttf, args.rebuild)
     except (ValueError, KeyError) as exc:

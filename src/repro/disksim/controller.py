@@ -1,54 +1,30 @@
 """RAID controller: trace requests to per-disk element I/O plans.
 
-The controller owns the address mapping (logical chunks fill each stripe's
-data elements in row-major order; element ``(row, col)`` of stripe ``s``
-lands on disk ``col`` at chunk LBA ``s * rows + row``) and the write path:
+A thin front-end over the shared planning layer of :mod:`repro.raid` —
+the address mapping (:class:`repro.raid.ArrayMapping`) and the write-path
+model (:class:`repro.raid.RequestPlanner`) are the *same objects* the
+file-backed :class:`repro.store.ArrayStore` executes, so the plans this
+controller prices in the simulator and the chunk I/Os the store meters
+against real files agree element for element (see
+``tests/test_raid_plan_vs_store.py``).
 
-* **full-stripe write** — write every stored element of the stripe, no
-  pre-reads;
-* **partial write** — read-modify-write: pre-read the old data elements
-  and the affected parity elements (the update-penalty closure), then
-  write them back. The parity set is exactly the one the write-complexity
-  analysis counts, which is what ties Fig. 13's response times to
-  Figs. 10-12's element counts;
-* **read** — read the covered data elements.
-
-Degraded-mode reads (reconstruction on the fly) are supported for
-experiments with failed disks: reads targeting failed columns expand to
-the survivors of the recovery schedule.
+Strategies: ``"rmw"`` (read-modify-write, the paper's response-time
+model and the default), ``"rcw"`` (reconstruct-write), ``"auto"``
+(cheaper of the two per run) — plus the executable strategies
+(``"delta"``, ``"delta-always"``, ``"stripe"``) matching the store's
+``write_mode``\\ s for plan-vs-measured cross-validation. Degraded-mode
+reads expand to the survivors of the recovery schedule; writes to failed
+disks are dropped, as in a real array.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.analysis.trace_cost import request_runs
 from repro.codes.base import ArrayCode
+from repro.raid.mapping import DiskAddress
+from repro.raid.planner import ElementIO, RequestPlan, RequestPlanner
 from repro.traces.model import TraceRequest
 
 __all__ = ["ElementIO", "RequestPlan", "RaidController"]
-
-
-@dataclass(frozen=True)
-class ElementIO:
-    """One chunk-sized disk I/O derived from a logical request."""
-
-    disk: int
-    lba_chunk: int
-    is_write: bool
-
-
-@dataclass
-class RequestPlan:
-    """Two-phase I/O plan for one request: reads, then dependent writes."""
-
-    reads: list[ElementIO]
-    writes: list[ElementIO]
-
-    @property
-    def total_ios(self) -> int:
-        """Element I/Os the plan issues."""
-        return len(self.reads) + len(self.writes)
 
 
 class RaidController:
@@ -57,9 +33,8 @@ class RaidController:
     Args:
         code: the erasure code striping this array.
         chunk_bytes: stripe-unit size (8 KB in the paper's configuration).
-        write_strategy: ``"rmw"`` (read-modify-write, the paper's model),
-            ``"rcw"`` (reconstruct-write), or ``"auto"`` (per-run cheaper
-            of the two; see :mod:`repro.analysis.write_path`).
+        write_strategy: any of :data:`repro.raid.WRITE_STRATEGIES`
+            (default ``"rmw"``, the paper's model).
     """
 
     def __init__(
@@ -68,26 +43,23 @@ class RaidController:
         chunk_bytes: int = 8 * 1024,
         write_strategy: str = "rmw",
     ) -> None:
-        if chunk_bytes <= 0:
-            raise ValueError("chunk_bytes must be positive")
-        if write_strategy not in ("rmw", "rcw", "auto"):
-            raise ValueError(f"unknown write strategy {write_strategy!r}")
+        self.planner = RequestPlanner(
+            code, chunk_bytes, write_strategy=write_strategy
+        )
         self.code = code
         self.chunk_bytes = chunk_bytes
         self.write_strategy = write_strategy
 
     def element_lba(self, stripe: int, pos: tuple[int, int]) -> ElementIO:
         """Locate element ``pos`` of ``stripe`` on its disk (read I/O)."""
-        row, col = pos
-        return ElementIO(disk=col, lba_chunk=stripe * self.code.rows + row,
-                         is_write=False)
+        address: DiskAddress = self.planner.mapping.element_address(stripe, pos)
+        return ElementIO(
+            disk=address.disk, lba_chunk=address.lba_chunk, is_write=False
+        )
 
-    def _io(self, stripe: int, pos: tuple[int, int], is_write: bool) -> ElementIO:
-        row, col = pos
-        return ElementIO(disk=col, lba_chunk=stripe * self.code.rows + row,
-                         is_write=is_write)
-
-    def plan(self, request: TraceRequest, failed: tuple[int, ...] = ()) -> RequestPlan:
+    def plan(
+        self, request: TraceRequest, failed: tuple[int, ...] = ()
+    ) -> RequestPlan:
         """Build the element I/O plan for one trace request.
 
         Args:
@@ -96,68 +68,4 @@ class RaidController:
                 (reads become survivor reads per the recovery schedule,
                 writes to failed disks are dropped).
         """
-        runs = request_runs(
-            self.code, request.offset, request.length, self.chunk_bytes
-        )
-        reads: list[ElementIO] = []
-        writes: list[ElementIO] = []
-        failed_set = set(failed)
-        for stripe, start, length in runs:
-            data_positions = [
-                self.code.data_positions[start + i] for i in range(length)
-            ]
-            if request.is_write:
-                if length >= self.code.num_data:
-                    for pos in self.code.nonempty_positions:
-                        if pos[1] not in failed_set:
-                            writes.append(self._io(stripe, pos, True))
-                    continue
-                plan_cost = self._partial_write_plan(data_positions)
-                for pos in plan_cost.pre_reads:
-                    if pos[1] not in failed_set:
-                        reads.append(self._io(stripe, pos, False))
-                for pos in plan_cost.writes:
-                    if pos[1] not in failed_set:
-                        writes.append(self._io(stripe, pos, True))
-            else:
-                for pos in data_positions:
-                    if pos[1] in failed_set:
-                        reads.extend(self._degraded_read(stripe, failed))
-                    else:
-                        reads.append(self._io(stripe, pos, False))
-        return RequestPlan(reads=_dedupe(reads), writes=_dedupe(writes))
-
-    def _partial_write_plan(self, data_positions):
-        """Resolve the pre-read/write sets per the configured strategy."""
-        from repro.analysis.write_path import (
-            choose_strategy,
-            rcw_cost,
-            rmw_cost,
-        )
-
-        if self.write_strategy == "rmw":
-            return rmw_cost(self.code, data_positions)
-        if self.write_strategy == "rcw":
-            return rcw_cost(self.code, data_positions)
-        return choose_strategy(self.code, data_positions)
-
-    def _degraded_read(
-        self, stripe: int, failed: tuple[int, ...]
-    ) -> list[ElementIO]:
-        """Survivor reads needed to reconstruct a lost element's stripe."""
-        decoder = self.code.decoder_for(failed)
-        return [
-            self._io(stripe, pos, False)
-            for pos in decoder.plan.known_positions
-        ]
-
-
-def _dedupe(ios: list[ElementIO]) -> list[ElementIO]:
-    """Drop duplicate element I/Os while preserving order."""
-    seen: set[ElementIO] = set()
-    out: list[ElementIO] = []
-    for io in ios:
-        if io not in seen:
-            seen.add(io)
-            out.append(io)
-    return out
+        return self.planner.plan(request, failed)

@@ -1,0 +1,48 @@
+"""Unified RAID planning layer: address math, I/O plans, byte device.
+
+One address mapping and one write-path model tie the paper's evaluation
+together: Figs. 10-12 count element I/Os analytically, Fig. 13 replays
+traces through a simulated controller, and a real store must measure the
+same footprints. This package is the single source of truth all of those
+consumers share:
+
+* :mod:`repro.raid.mapping` — logical-chunk / ``(stripe, row, col)`` /
+  per-disk LBA address math and byte-range → chunk-run splitting;
+* :mod:`repro.raid.planner` — explicit :class:`RequestPlan`s (RMW-delta
+  vs full-stripe selection, degraded-read expansion) consumed identically
+  by the DiskSim controller (which prices a plan) and by
+  :class:`repro.store.ArrayStore` (which executes it);
+* :mod:`repro.raid.blockdevice` — a byte-addressed :class:`BlockDevice`
+  over the real store, with :meth:`BlockDevice.replay` running any trace
+  against backing files and returning measured per-request I/O counters.
+
+The layering is ``mapping → planner → {disksim simulator, store/BlockDevice}``,
+so the controller's *planned* element I/Os and the store's *measured*
+chunk I/Os are the same numbers by construction — and cross-checked by
+``tests/test_raid_plan_vs_store.py``.
+"""
+
+from repro.raid.blockdevice import BlockDevice, ReplayResult
+from repro.raid.mapping import ArrayMapping, ChunkRun, DiskAddress
+from repro.raid.planner import (
+    WRITE_STRATEGIES,
+    ElementIO,
+    RequestPlan,
+    RequestPlanner,
+    RunPlan,
+    plan_io_counters,
+)
+
+__all__ = [
+    "ArrayMapping",
+    "ChunkRun",
+    "DiskAddress",
+    "ElementIO",
+    "RequestPlan",
+    "RequestPlanner",
+    "RunPlan",
+    "WRITE_STRATEGIES",
+    "plan_io_counters",
+    "BlockDevice",
+    "ReplayResult",
+]

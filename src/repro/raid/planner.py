@@ -1,0 +1,371 @@
+"""Request planning: one write-path model for simulator and store.
+
+A plan is an explicit, two-phase list of chunk-sized element I/Os
+(pre-reads, then dependent writes). The same planner serves two very
+different consumers:
+
+* the DiskSim controller *prices* plans — each :class:`ElementIO` queues
+  at a simulated disk (Fig. 13);
+* :class:`repro.store.ArrayStore` *executes* plans — each element I/O
+  becomes a real read/write against a backing file, metered by the
+  store's :class:`~repro.store.IoCounters`.
+
+Because both consume identical plans, the controller's planned element
+I/O counts and the store's measured chunk I/Os must agree exactly —
+the cross-validation ``tests/test_raid_plan_vs_store.py`` enforces.
+
+Write strategies
+----------------
+
+``rmw`` / ``rcw`` / ``auto`` are the *analytic* models of
+:mod:`repro.analysis.write_path` (the paper's Sec. VI-B accounting):
+pre-read/write sets derived from the update-penalty closure, and
+full-stripe runs written with no pre-reads. ``delta`` / ``delta-always``
+/ ``stripe`` are the *executable* models — exactly what the store does:
+
+* **delta** — per run, take the delta read-modify-write fast path (read
+  the old data chunks and the generator-derived dependent parities, XOR
+  the delta through, write back) when it costs fewer chunk I/Os than the
+  full-stripe path, else load/re-encode/store. Degraded runs always
+  reconstruct. This is the store's ``write_mode="auto"``.
+* **delta-always** / **stripe** — force one path (delta still falls
+  back to the stripe path while degraded).
+
+The delta parity set comes from :attr:`ArrayCode.parity_dependents`
+(generator matrix), not the update-penalty closure: for chained codes a
+data element can reach a parity an even number of times and cancel out,
+in which case the parity's *value* does not change and no real I/O
+happens. The analytic strategies keep the closure — that is the paper's
+metric — which is precisely why plan-vs-measured validation needs the
+executable strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.write_path import choose_strategy, rcw_cost, rmw_cost
+from repro.codes.base import ArrayCode, Cell, Position
+from repro.raid.mapping import ArrayMapping, ChunkRun
+from repro.traces.model import TraceRequest
+
+__all__ = [
+    "WRITE_STRATEGIES",
+    "ElementIO",
+    "PlanCounts",
+    "RequestPlan",
+    "RequestPlanner",
+    "RunPlan",
+    "plan_io_counters",
+]
+
+#: Analytic strategies (paper accounting) + executable strategies
+#: (what the store really does). See the module docstring.
+WRITE_STRATEGIES = ("rmw", "rcw", "auto", "delta", "delta-always", "stripe")
+
+_EXECUTABLE = ("delta", "delta-always", "stripe")
+
+
+@dataclass(frozen=True)
+class ElementIO:
+    """One chunk-sized disk I/O derived from a logical request."""
+
+    disk: int
+    lba_chunk: int
+    is_write: bool
+
+
+@dataclass
+class RequestPlan:
+    """Two-phase I/O plan for one request: reads, then dependent writes."""
+
+    reads: list[ElementIO]
+    writes: list[ElementIO]
+
+    @property
+    def total_ios(self) -> int:
+        """Element I/Os the plan issues."""
+        return len(self.reads) + len(self.writes)
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """Executable plan for one per-stripe run (positions, not LBAs).
+
+    ``path`` is ``"delta"`` (read-modify-write on exactly the listed
+    cells) or ``"stripe"`` (load the listed ``reads``, reconstruct if
+    ``decode``, re-encode, store the listed ``writes``). Positions are
+    stripe-relative grid cells; the caller maps them to disks/LBAs.
+    """
+
+    path: str
+    reads: tuple[Position, ...]
+    writes: tuple[Position, ...]
+    decode: bool = False
+
+    @property
+    def total_ios(self) -> int:
+        """Chunk I/Os this run plan performs."""
+        return len(self.reads) + len(self.writes)
+
+
+@dataclass(frozen=True)
+class PlanCounts:
+    """Planned chunk I/Os split by element role (mirrors ``IoCounters``)."""
+
+    data_chunks_read: int = 0
+    parity_chunks_read: int = 0
+    data_chunks_written: int = 0
+    parity_chunks_written: int = 0
+
+    @property
+    def chunks_read(self) -> int:
+        """Total planned chunk reads."""
+        return self.data_chunks_read + self.parity_chunks_read
+
+    @property
+    def chunks_written(self) -> int:
+        """Total planned chunk writes."""
+        return self.data_chunks_written + self.parity_chunks_written
+
+    @property
+    def total_chunks(self) -> int:
+        """Total planned chunk transfers."""
+        return self.chunks_read + self.chunks_written
+
+
+def plan_io_counters(code: ArrayCode, plan: RequestPlan) -> PlanCounts:
+    """Split a plan's element I/Os into data/parity read/write counts.
+
+    The element role is recovered from the address math (LBA → grid row),
+    so the result is comparable field-by-field with the store's measured
+    :class:`~repro.store.IoCounters`.
+    """
+    counts = [0, 0, 0, 0]  # data reads, parity reads, data writes, parity writes
+    for io in plan.reads + plan.writes:
+        kind = code.kind(io.lba_chunk % code.rows, io.disk)
+        index = (2 if io.is_write else 0) + (1 if kind == Cell.PARITY else 0)
+        counts[index] += 1
+    return PlanCounts(*counts)
+
+
+class RequestPlanner:
+    """Builds element I/O plans for byte requests against one array code.
+
+    Args:
+        code: the erasure code striping this array.
+        chunk_bytes: stripe-unit size (8 KB in the paper's configuration).
+        write_strategy: one of :data:`WRITE_STRATEGIES`; see the module
+            docstring for the analytic/executable split.
+    """
+
+    def __init__(
+        self,
+        code: ArrayCode,
+        chunk_bytes: int = 8 * 1024,
+        write_strategy: str = "rmw",
+    ) -> None:
+        if write_strategy not in WRITE_STRATEGIES:
+            raise ValueError(
+                f"write_strategy must be one of {WRITE_STRATEGIES}, "
+                f"got {write_strategy!r}"
+            )
+        self.code = code
+        self.mapping = ArrayMapping(code, chunk_bytes)
+        self.chunk_bytes = chunk_bytes
+        self.write_strategy = write_strategy
+        self._run_plans: dict[tuple, RunPlan] = {}
+
+    # ------------------------------------------------------------------
+    # run-level planning (executable semantics — what the store does)
+    # ------------------------------------------------------------------
+    def plan_write_run(
+        self,
+        start: int,
+        length: int,
+        failed: tuple[int, ...] = (),
+        partial: bool = False,
+    ) -> RunPlan:
+        """Executable write plan for ``length`` data elements at ``start``.
+
+        Args:
+            start: first logical data index within the stripe.
+            length: number of consecutive data elements covered.
+            failed: currently failed disks (forces the stripe path;
+                their I/Os are dropped, as in a real array).
+            partial: True when the run's first or last chunk is covered
+                only partly by the request (a byte-addressed front-end);
+                a partial full-stripe run still needs the old contents.
+        """
+        failed_key = tuple(sorted(set(failed)))
+        key = (start, length, failed_key, bool(partial))
+        plan = self._run_plans.get(key)
+        if plan is None:
+            plan = self._build_write_run(start, length, failed_key, partial)
+            self._run_plans[key] = plan
+        return plan
+
+    def _build_write_run(
+        self,
+        start: int,
+        length: int,
+        failed: tuple[int, ...],
+        partial: bool,
+    ) -> RunPlan:
+        strategy = self.write_strategy
+        if strategy not in _EXECUTABLE:
+            raise ValueError(
+                f"run plans are executable-only; strategy {strategy!r} is "
+                f"analytic (use plan() for pricing)"
+            )
+        code = self.code
+        full_overwrite = length == code.num_data and not partial
+        use_delta = False
+        if not failed:
+            if strategy == "delta-always":
+                use_delta = True
+            elif strategy == "delta":
+                use_delta = (
+                    self._delta_plan(start, length).total_ios
+                    < self._stripe_cost(full_overwrite)
+                )
+        if use_delta:
+            return self._delta_plan(start, length)
+        survivors = tuple(
+            pos for pos in code.nonempty_positions if pos[1] not in failed
+        )
+        if full_overwrite:
+            return RunPlan("stripe", (), survivors, decode=False)
+        return RunPlan(
+            "stripe", survivors, survivors, decode=bool(failed)
+        )
+
+    def _delta_plan(self, start: int, length: int) -> RunPlan:
+        key = ("delta", start, length)
+        plan = self._run_plans.get(key)
+        if plan is None:
+            code = self.code
+            data = tuple(code.data_positions[start + i] for i in range(length))
+            parities: set[Position] = set()
+            for pos in data:
+                parities.update(code.parity_dependents[pos])
+            cells = data + tuple(sorted(parities))
+            plan = RunPlan("delta", cells, cells, decode=False)
+            self._run_plans[key] = plan
+        return plan
+
+    def _stripe_cost(self, full_overwrite: bool) -> int:
+        stored = len(self.code.nonempty_positions)
+        return stored if full_overwrite else 2 * stored
+
+    def plan_read_run(
+        self,
+        start: int,
+        length: int,
+        failed: tuple[int, ...] = (),
+    ) -> RunPlan:
+        """Read plan for ``length`` data elements at ``start``.
+
+        Healthy runs (or degraded runs touching no failed column) read
+        exactly the covered elements; a run touching a failed column
+        expands to every surviving element of the stripe — the recovery
+        schedule's known set — and flags ``decode``.
+        """
+        failed_key = tuple(sorted(set(failed)))
+        key = ("read", start, length, failed_key)
+        plan = self._run_plans.get(key)
+        if plan is not None:
+            return plan
+        code = self.code
+        covered = tuple(code.data_positions[start + i] for i in range(length))
+        if failed_key and any(col in failed_key for _, col in covered):
+            decoder = code.decoder_for(failed_key)
+            plan = RunPlan(
+                "stripe", tuple(decoder.plan.known_positions), (), decode=True
+            )
+        else:
+            plan = RunPlan("delta", covered, (), decode=False)
+        self._run_plans[key] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # request-level planning (byte-addressed, for pricing/validation)
+    # ------------------------------------------------------------------
+    def plan(
+        self, request: TraceRequest, failed: tuple[int, ...] = ()
+    ) -> RequestPlan:
+        """Build the element I/O plan for one byte-addressed request."""
+        failed_key = tuple(sorted(set(failed)))
+        reads: list[ElementIO] = []
+        writes: list[ElementIO] = []
+        for run in self.mapping.byte_runs(request.offset, request.length):
+            if request.is_write:
+                self._plan_write(run, failed_key, reads, writes)
+            else:
+                plan = self.plan_read_run(run.start, run.length, failed_key)
+                for pos in plan.reads:
+                    reads.append(self._io(run.stripe, pos, False))
+        return RequestPlan(reads=_dedupe(reads), writes=_dedupe(writes))
+
+    def _plan_write(
+        self,
+        run: ChunkRun,
+        failed: tuple[int, ...],
+        reads: list[ElementIO],
+        writes: list[ElementIO],
+    ) -> None:
+        if self.write_strategy in _EXECUTABLE:
+            plan = self.plan_write_run(
+                run.start,
+                run.length,
+                failed,
+                partial=run.is_partial(self.chunk_bytes),
+            )
+            for pos in plan.reads:
+                if pos[1] not in failed:
+                    reads.append(self._io(run.stripe, pos, False))
+            for pos in plan.writes:
+                if pos[1] not in failed:
+                    writes.append(self._io(run.stripe, pos, True))
+            return
+        # Analytic strategies: the paper's accounting. Full-stripe runs
+        # write every stored element with no pre-reads; partial runs use
+        # the update-penalty cost sets of repro.analysis.write_path.
+        code = self.code
+        if run.length >= code.num_data:
+            for pos in code.nonempty_positions:
+                if pos[1] not in failed:
+                    writes.append(self._io(run.stripe, pos, True))
+            return
+        positions = [
+            code.data_positions[run.start + i] for i in range(run.length)
+        ]
+        if self.write_strategy == "rmw":
+            cost = rmw_cost(code, positions)
+        elif self.write_strategy == "rcw":
+            cost = rcw_cost(code, positions)
+        else:
+            cost = choose_strategy(code, positions)
+        for pos in cost.pre_reads:
+            if pos[1] not in failed:
+                reads.append(self._io(run.stripe, pos, False))
+        for pos in cost.writes:
+            if pos[1] not in failed:
+                writes.append(self._io(run.stripe, pos, True))
+
+    def _io(self, stripe: int, pos: Position, is_write: bool) -> ElementIO:
+        address = self.mapping.element_address(stripe, pos)
+        return ElementIO(
+            disk=address.disk, lba_chunk=address.lba_chunk, is_write=is_write
+        )
+
+
+def _dedupe(ios: list[ElementIO]) -> list[ElementIO]:
+    """Drop duplicate element I/Os while preserving order."""
+    seen: set[ElementIO] = set()
+    out: list[ElementIO] = []
+    for io in ios:
+        if io not in seen:
+            seen.add(io)
+            out.append(io)
+    return out

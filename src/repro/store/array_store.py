@@ -38,8 +38,9 @@ from typing import BinaryIO
 
 import numpy as np
 
-from repro.analysis.write_path import full_stripe_cost, rmw_cost
 from repro.codes.base import ArrayCode, Cell, Decoder
+from repro.raid.mapping import ChunkRun
+from repro.raid.planner import RequestPlanner, RunPlan
 
 __all__ = ["ArrayStore", "DiskFailedError", "IoCounters", "WRITE_MODES"]
 
@@ -47,6 +48,10 @@ __all__ = ["ArrayStore", "DiskFailedError", "IoCounters", "WRITE_MODES"]
 #: model, ``delta``/``stripe`` force one path (degraded writes always use
 #: the stripe path regardless).
 WRITE_MODES = ("auto", "delta", "stripe")
+
+#: ``write_mode`` → planner write strategy. The store executes plans; the
+#: planner (shared with the DiskSim controller) owns path selection.
+_MODE_TO_STRATEGY = {"auto": "delta", "delta": "delta-always", "stripe": "stripe"}
 
 
 class DiskFailedError(RuntimeError):
@@ -162,12 +167,15 @@ class ArrayStore:
         #: Stripe-runs served by the delta fast path / full-stripe path.
         self.fast_path_writes = 0
         self.slow_path_writes = 0
+        #: The shared RAID planning layer: address math + write-path
+        #: selection, identical to the DiskSim controller's.
+        self.planner = RequestPlanner(
+            code, chunk_bytes, write_strategy=_MODE_TO_STRATEGY[write_mode]
+        )
         self.directory.mkdir(parents=True, exist_ok=True)
-        self._disk_bytes = stripes * code.rows * chunk_bytes
+        self._disk_bytes = self.planner.mapping.disk_bytes(stripes)
         self._handles: dict[int, BinaryIO] = {}
         self._decoder: Decoder | None = None
-        self._plan_cache: dict[tuple[int, int], bool] = {}
-        self._full_stripe_ios = full_stripe_cost(code).total_ios
         # Chunks a whole-column transfer moves, split (data, parity) —
         # EMPTY cells carry no information and are not metered.
         self._col_profile = [
@@ -221,6 +229,11 @@ class ArrayStore:
     def capacity_chunks(self) -> int:
         """Logical chunks the store can hold."""
         return self.stripes * self.code.num_data
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Logical bytes the store can hold."""
+        return self.capacity_chunks * self.chunk_bytes
 
     def _disk_path(self, disk: int) -> Path:
         return self.directory / f"disk{disk:03d}.img"
@@ -348,16 +361,16 @@ class ArrayStore:
             self._count(data_cells, parity_cells, wrote=True)
 
     # ------------------------------------------------------------------
-    # logical chunk I/O
+    # logical byte / chunk I/O
     # ------------------------------------------------------------------
     def write_chunks(self, start: int, chunks: np.ndarray) -> None:
         """Write consecutive logical chunks starting at index ``start``.
 
-        Each per-stripe run goes through either the delta read-modify-
-        write fast path (small runs, healthy array) or the full-stripe
-        load/re-encode/store path (large runs, or while degraded — the
-        stripe is reconstructed first so parity recomputation sees
-        correct data).
+        Each per-stripe run executes the plan the shared RAID planner
+        produces: the delta read-modify-write fast path (small runs,
+        healthy array) or the full-stripe load/re-encode/store path
+        (large runs, or while degraded — the stripe is reconstructed
+        first so parity recomputation sees correct data).
         """
         chunks = np.asarray(chunks, dtype=np.uint8)
         if chunks.ndim != 2 or chunks.shape[1] != self.chunk_bytes:
@@ -367,61 +380,82 @@ class ArrayStore:
         if start < 0 or start + chunks.shape[0] > self.capacity_chunks:
             raise ValueError("write beyond store capacity")
         self.last_io = IoCounters()
-        per_stripe = self.code.num_data
-        index = 0
-        while index < chunks.shape[0]:
-            logical = start + index
-            stripe, within = divmod(logical, per_stripe)
-            run = min(per_stripe - within, chunks.shape[0] - index)
-            if self._use_delta(within, run):
-                self._delta_write(stripe, within, chunks[index : index + run])
+        self._execute_write(
+            start * self.chunk_bytes, np.ascontiguousarray(chunks).reshape(-1)
+        )
+
+    def write_bytes(self, offset: int, data: bytes | np.ndarray) -> None:
+        """Write ``data`` at byte ``offset``; any alignment is accepted.
+
+        Unaligned heads/tails splice into the old chunk contents the
+        write path reads anyway (the delta path pre-reads old data, the
+        stripe path loads the stripe), so partial-chunk RMW costs no
+        extra chunk I/Os over an aligned write of the same span.
+        """
+        buf = (
+            np.ascontiguousarray(data, dtype=np.uint8).reshape(-1)
+            if isinstance(data, np.ndarray)
+            else np.frombuffer(bytes(data), dtype=np.uint8)
+        )
+        if buf.size == 0:
+            raise ValueError("cannot write zero bytes")
+        if offset < 0 or offset + buf.size > self.capacity_bytes:
+            raise ValueError("write beyond store capacity")
+        self.last_io = IoCounters()
+        self._execute_write(offset, buf)
+
+    def _execute_write(self, offset: int, buf: np.ndarray) -> None:
+        failed_key = tuple(sorted(self.failed))
+        cursor = 0
+        for run in self.planner.mapping.byte_runs(offset, buf.size):
+            payload = buf[cursor : cursor + run.nbytes]
+            plan = self.planner.plan_write_run(
+                run.start,
+                run.length,
+                failed_key,
+                partial=run.is_partial(self.chunk_bytes),
+            )
+            if plan.path == "delta":
+                self._delta_write_run(run, payload)
                 self.fast_path_writes += 1
             else:
-                self._full_stripe_write(
-                    stripe, within, chunks[index : index + run]
-                )
+                self._stripe_write_run(run, payload, plan)
                 self.slow_path_writes += 1
-            index += run
+            cursor += run.nbytes
 
-    def _use_delta(self, within: int, run: int) -> bool:
-        """Pick the write path for a run of ``run`` chunks at ``within``.
+    def _splice(
+        self, run: ChunkRun, index: int, cursor: int, payload: np.ndarray,
+        old: np.ndarray | None,
+    ) -> tuple[np.ndarray, int]:
+        """New contents of the ``index``-th covered chunk of ``run``.
 
-        Degraded arrays always reconstruct (a delta against unknown old
-        data on a failed column is impossible); otherwise ``write_mode``
-        forces a path or ``auto`` compares RMW element I/Os against the
-        full-stripe baseline, caching the verdict per ``(within, run)``.
+        Full chunks come straight from the payload; a partial head/tail
+        splices the payload fragment onto ``old`` (the pre-read chunk).
+        Returns ``(new_chunk, bytes_consumed)``.
         """
-        if self.failed:
-            return False
-        if self.write_mode != "auto":
-            return self.write_mode == "delta"
-        key = (within, run)
-        verdict = self._plan_cache.get(key)
-        if verdict is None:
-            positions = [
-                self.code.data_positions[within + offset]
-                for offset in range(run)
-            ]
-            verdict = (
-                rmw_cost(self.code, positions).total_ios
-                < self._full_stripe_ios
-            )
-            self._plan_cache[key] = verdict
-        return verdict
+        chunk = self.chunk_bytes
+        skip = run.skip if index == 0 else 0
+        take = min(chunk - skip, run.nbytes - cursor)
+        if skip == 0 and take == chunk:
+            return payload[cursor : cursor + chunk], chunk
+        assert old is not None
+        new = old.copy()
+        new[skip : skip + take] = payload[cursor : cursor + take]
+        return new, take
 
-    def _delta_write(
-        self, stripe: int, within: int, chunks: np.ndarray
-    ) -> None:
+    def _delta_write_run(self, run: ChunkRun, payload: np.ndarray) -> None:
         """Delta RMW: read old data + dependent parities only, XOR the
         data delta through each dependent chain, write back."""
         code = self.code
         parity_deltas: dict[tuple[int, int], np.ndarray] = {}
-        for offset in range(chunks.shape[0]):
-            pos = code.data_positions[within + offset]
-            new = chunks[offset]
-            old = self._read_element(stripe, pos)
+        cursor = 0
+        for index in range(run.length):
+            pos = code.data_positions[run.start + index]
+            old = self._read_element(run.stripe, pos)
+            new, consumed = self._splice(run, index, cursor, payload, old)
+            cursor += consumed
             delta = np.bitwise_xor(old, new)
-            self._write_element(stripe, pos, new)
+            self._write_element(run.stripe, pos, new)
             for parity in code.parity_dependents[pos]:
                 acc = parity_deltas.get(parity)
                 if acc is None:
@@ -430,23 +464,39 @@ class ArrayStore:
                 else:
                     np.bitwise_xor(acc, delta, out=acc)
         for parity in sorted(parity_deltas):
-            old = self._read_element(stripe, parity)
+            old = self._read_element(run.stripe, parity)
             np.bitwise_xor(old, parity_deltas[parity], out=old)
-            self._write_element(stripe, parity, old)
+            self._write_element(run.stripe, parity, old)
 
-    def _full_stripe_write(
-        self, stripe: int, within: int, chunks: np.ndarray
+    def _stripe_write_run(
+        self, run: ChunkRun, payload: np.ndarray, plan: RunPlan
     ) -> None:
-        grid = self._load_stripe(stripe)
-        if self.failed:
-            # Degraded write: reconstruct the stripe before updating
-            # so parity recomputation sees correct data.
-            self._current_decoder().decode_columns(grid)
-        for offset in range(chunks.shape[0]):
-            row, col = self.code.data_positions[within + offset]
-            grid[row, col] = chunks[offset]
+        """Full-stripe path: (load, reconstruct,) splice, re-encode, store.
+
+        An aligned whole-stripe overwrite (``plan.reads`` empty) builds
+        the stripe fresh — every data element is replaced, so nothing
+        old is needed and no pre-reads happen, matching the plan.
+        """
+        if plan.reads:
+            grid = self._load_stripe(run.stripe)
+            if plan.decode:
+                # Degraded write: reconstruct the stripe before updating
+                # so parity recomputation sees correct data.
+                self._current_decoder().decode_columns(grid)
+        else:
+            grid = np.zeros(
+                (self.code.rows, self.code.cols, self.chunk_bytes),
+                dtype=np.uint8,
+            )
+        cursor = 0
+        for index in range(run.length):
+            row, col = self.code.data_positions[run.start + index]
+            old = grid[row, col] if plan.reads else None
+            new, consumed = self._splice(run, index, cursor, payload, old)
+            cursor += consumed
+            grid[row, col] = new
         self.code.encode(grid)
-        self._store_stripe(stripe, grid)
+        self._store_stripe(run.stripe, grid)
 
     def read_chunks(self, start: int, count: int) -> np.ndarray:
         """Read ``count`` logical chunks from ``start`` (degraded-safe)."""
@@ -455,30 +505,48 @@ class ArrayStore:
         if start < 0 or start + count > self.capacity_chunks:
             raise ValueError("read beyond store capacity")
         self.last_io = IoCounters()
-        out = np.zeros((count, self.chunk_bytes), dtype=np.uint8)
-        per_stripe = self.code.num_data
-        index = 0
-        while index < count:
-            logical = start + index
-            stripe, within = divmod(logical, per_stripe)
-            run = min(per_stripe - within, count - index)
-            positions = [
-                self.code.data_positions[within + offset]
-                for offset in range(run)
-            ]
-            needs_decode = self.failed and any(
-                col in self.failed for _, col in positions
-            )
-            if self.failed:
-                grid = self._load_stripe(stripe)
-                if needs_decode:
-                    self._current_decoder().decode_columns(grid)
-                for offset, (row, col) in enumerate(positions):
-                    out[index + offset] = grid[row, col]
-            else:
-                for offset, pos in enumerate(positions):
-                    out[index + offset] = self._read_element(stripe, pos)
-            index += run
+        flat = self._execute_read(start * self.chunk_bytes,
+                                  count * self.chunk_bytes)
+        return flat.reshape(count, self.chunk_bytes)
+
+    def read_bytes(self, offset: int, length: int) -> np.ndarray:
+        """Read ``length`` bytes at ``offset`` (degraded-safe).
+
+        Chunk-granular underneath — partial head/tail chunks are read
+        whole and sliced, exactly as the planner prices them.
+        """
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if offset < 0 or offset + length > self.capacity_bytes:
+            raise ValueError("read beyond store capacity")
+        self.last_io = IoCounters()
+        return self._execute_read(offset, length)
+
+    def _execute_read(self, offset: int, length: int) -> np.ndarray:
+        out = np.empty(length, dtype=np.uint8)
+        failed_key = tuple(sorted(self.failed))
+        chunk = self.chunk_bytes
+        cursor = 0
+        for run in self.planner.mapping.byte_runs(offset, length):
+            plan = self.planner.plan_read_run(run.start, run.length, failed_key)
+            grid = None
+            if plan.decode:
+                # The run touches a failed column: read every survivor of
+                # the stripe and reconstruct on the fly.
+                grid = self._load_stripe(run.stripe)
+                self._current_decoder().decode_columns(grid)
+            consumed = 0
+            for index in range(run.length):
+                row, col = self.code.data_positions[run.start + index]
+                if grid is not None:
+                    data = grid[row, col]
+                else:
+                    data = self._read_element(run.stripe, (row, col))
+                skip = run.skip if index == 0 else 0
+                take = min(chunk - skip, run.nbytes - consumed)
+                out[cursor : cursor + take] = data[skip : skip + take]
+                cursor += take
+                consumed += take
         return out
 
     # ------------------------------------------------------------------

@@ -67,15 +67,20 @@ class Trace:
         return [r for r in self.requests if r.is_write]
 
     def stats(self) -> TraceStats:
-        """Compute Table III-style statistics for this trace."""
+        """Compute Table III-style statistics for this trace.
+
+        A degenerate trace (single request, or every request at t=0) has
+        no measurable duration: it reports ``iops=0.0`` rather than the
+        absurd rate a clamped division would invent.
+        """
         count = len(self.requests)
-        duration = max(self.requests[-1].timestamp, 1e-9)
+        duration = self.requests[-1].timestamp
         writes = sum(1 for r in self.requests if r.is_write)
         total_bytes = sum(r.length for r in self.requests)
         return TraceStats(
             requests=count,
             duration_s=duration,
-            iops=count / duration,
+            iops=count / duration if duration > 0 else 0.0,
             write_fraction=writes / count,
             avg_request_kb=total_bytes / count / 1024.0,
         )
@@ -115,40 +120,74 @@ class Trace:
         )
 
 
+def _looks_like_header(fields: list[str]) -> bool:
+    """True when the numeric columns of a CSV row aren't numeric —
+    i.e. the row is a column-name header, not a request.
+
+    A row with too few fields is *not* a header: it falls through to the
+    field-count check so truncated data lines are reported, not skipped.
+    """
+    if len(fields) < 6:
+        return False
+    try:
+        int(fields[2])
+        float(fields[5])
+    except ValueError:
+        return True
+    return False
+
+
 def parse_csv_trace(path: str | Path, name: str | None = None) -> Trace:
     """Parse a trace in the UMass/SPC-style CSV format.
 
     Expected columns per line:
     ``application_id, device_id, offset_sectors, length_sectors, opcode,
     timestamp_s`` — ``opcode`` is ``r``/``R`` or ``w``/``W``. Extra
-    columns are ignored; malformed lines raise ValueError with the line
-    number.
+    columns are ignored. Blank lines and ``#`` comments are skipped, as
+    is a leading column-name header row (first content line whose
+    numeric fields aren't numeric). Malformed lines raise ValueError
+    naming the file and line: ``trace.csv:17: ...``.
     """
     path = Path(path)
     requests: list[TraceRequest] = []
+    first_content_line = True
     with path.open() as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
             fields = [f.strip() for f in line.split(",")]
+            if first_content_line:
+                first_content_line = False
+                if _looks_like_header(fields):
+                    continue
             if len(fields) < 6:
-                raise ValueError(f"{path}:{lineno}: expected >= 6 fields")
+                raise ValueError(
+                    f"{path.name}:{lineno}: expected >= 6 fields, "
+                    f"got {len(fields)}"
+                )
             try:
                 offset = int(fields[2]) * SECTOR
                 length = int(fields[3]) * SECTOR
                 opcode = fields[4].lower()
                 timestamp = float(fields[5])
             except ValueError as exc:
-                raise ValueError(f"{path}:{lineno}: {exc}") from exc
+                raise ValueError(f"{path.name}:{lineno}: {exc}") from exc
             if opcode not in ("r", "w"):
-                raise ValueError(f"{path}:{lineno}: bad opcode {fields[4]!r}")
-            requests.append(
-                TraceRequest(
-                    timestamp=timestamp,
-                    offset=offset,
-                    length=max(length, SECTOR),
-                    is_write=opcode == "w",
+                raise ValueError(
+                    f"{path.name}:{lineno}: bad opcode {fields[4]!r}"
                 )
-            )
+            try:
+                requests.append(
+                    TraceRequest(
+                        timestamp=timestamp,
+                        offset=offset,
+                        length=max(length, SECTOR),
+                        is_write=opcode == "w",
+                    )
+                )
+            except ValueError as exc:
+                raise ValueError(f"{path.name}:{lineno}: {exc}") from exc
+    if not requests:
+        raise ValueError(f"{path.name}: no requests found in trace")
     return Trace(name or path.stem, requests)

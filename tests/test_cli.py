@@ -77,3 +77,51 @@ def test_reliability(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_replay_synthetic(capsys):
+    code, out, _ = run(
+        capsys, "replay", "--family", "tip", "--n", "8",
+        "--trace", "synthetic:src2_0", "--requests", "80", "--stripes", "8",
+        "--chunk-bytes", "1024",
+    )
+    assert code == 0
+    assert "trace src2_0" in out
+    assert "replaying on tip-p7" in out
+    assert "data chunks:" in out and "parity chunks:" in out
+    assert "per write" in out
+
+
+def test_replay_degraded(capsys):
+    code, out, _ = run(
+        capsys, "replay", "--family", "star", "--n", "6",
+        "--trace", "synthetic:financial_1", "--requests", "50",
+        "--stripes", "8", "--chunk-bytes", "1024", "--fail", "0", "2",
+    )
+    assert code == 0
+    assert "failed disks (0, 2)" in out
+
+
+def test_replay_csv_trace(capsys, tmp_path):
+    path = tmp_path / "mini.csv"
+    path.write_text(
+        "0,0,0,8,W,0.0\n"
+        "0,0,16,8,r,0.5\n"
+        "0,0,64,16,w,1.0\n"
+    )
+    code, out, _ = run(
+        capsys, "replay", "--family", "tip", "--n", "6",
+        "--trace", str(path), "--stripes", "8", "--chunk-bytes", "1024",
+    )
+    assert code == 0
+    assert "trace mini: 3 requests" in out
+    assert "2 writes" in out
+
+
+def test_replay_unknown_workload(capsys):
+    code, _, err = run(
+        capsys, "replay", "--family", "tip", "--n", "6",
+        "--trace", "synthetic:nope",
+    )
+    assert code == 2
+    assert "unknown workload" in err

@@ -1,0 +1,118 @@
+"""Unit tests for the shared address-math layer (repro.raid.mapping)."""
+
+import pytest
+
+from repro.analysis.trace_cost import request_runs
+from repro.codes import make_code
+from repro.raid import ArrayMapping, ChunkRun, DiskAddress
+
+
+@pytest.fixture
+def tip8():
+    return make_code("tip", 8)
+
+
+@pytest.fixture
+def mapping(tip8):
+    return ArrayMapping(tip8, chunk_bytes=1024)
+
+
+class TestCapacity:
+    def test_counts(self, tip8, mapping):
+        assert mapping.capacity_chunks(10) == 10 * tip8.num_data
+        assert mapping.capacity_bytes(10) == 10 * tip8.num_data * 1024
+        assert mapping.disk_bytes(10) == 10 * tip8.rows * 1024
+
+    def test_chunk_bytes_must_be_positive(self, tip8):
+        with pytest.raises(ValueError, match="chunk_bytes"):
+            ArrayMapping(tip8, chunk_bytes=0)
+
+
+class TestGridAddressing:
+    def test_chunk_to_stripe_row_major(self, tip8, mapping):
+        per = tip8.num_data
+        assert mapping.chunk_to_stripe(0) == (0, 0)
+        assert mapping.chunk_to_stripe(per - 1) == (0, per - 1)
+        assert mapping.chunk_to_stripe(per) == (1, 0)
+        with pytest.raises(ValueError, match="negative"):
+            mapping.chunk_to_stripe(-1)
+
+    def test_chunk_position_follows_data_order(self, tip8, mapping):
+        for logical in range(2 * tip8.num_data):
+            stripe, pos = mapping.chunk_position(logical)
+            assert pos == tip8.data_positions[logical % tip8.num_data]
+            assert stripe == logical // tip8.num_data
+
+    def test_element_address_vertical_layout(self, mapping, tip8):
+        # Element (row, col) of stripe s -> disk col, chunk LBA s*rows+row.
+        address = mapping.element_address(3, (2, 5))
+        assert address == DiskAddress(disk=5, lba_chunk=3 * tip8.rows + 2)
+        assert address.byte_offset(1024) == (3 * tip8.rows + 2) * 1024
+
+
+class TestByteRuns:
+    def test_aligned_single_chunk(self, mapping):
+        runs = mapping.byte_runs(0, 1024)
+        assert runs == [ChunkRun(0, 0, 1, skip=0, nbytes=1024)]
+        assert not runs[0].is_partial(1024)
+
+    def test_sub_chunk_keeps_byte_geometry(self, mapping):
+        (run,) = mapping.byte_runs(100, 50)
+        assert (run.stripe, run.start, run.length) == (0, 0, 1)
+        assert run.skip == 100
+        assert run.nbytes == 50
+        assert run.is_partial(1024)
+
+    def test_unaligned_multi_chunk(self, mapping):
+        (run,) = mapping.byte_runs(1024 + 200, 2048)
+        assert (run.start, run.length) == (1, 3)
+        assert run.skip == 200
+        assert run.nbytes == 2048
+
+    def test_stripe_spanning_split(self, mapping, tip8):
+        per_stripe = tip8.num_data * 1024
+        runs = mapping.byte_runs(per_stripe - 1024, 2048)
+        assert [(r.stripe, r.start, r.length) for r in runs] == [
+            (0, tip8.num_data - 1, 1),
+            (1, 0, 1),
+        ]
+        assert all(not r.is_partial(1024) for r in runs)
+
+    def test_nbytes_conserved_across_stripes(self, mapping, tip8):
+        per_stripe = tip8.num_data * 1024
+        for offset, length in [(0, 3 * per_stripe), (777, 2 * per_stripe + 13),
+                               (per_stripe - 5, 10), (1, 1)]:
+            runs = mapping.byte_runs(offset, length)
+            assert sum(r.nbytes for r in runs) == length
+            # Chunks covered match the ceiling arithmetic.
+            first = offset // 1024
+            last = (offset + length - 1) // 1024
+            assert sum(r.length for r in runs) == last - first + 1
+
+    def test_zero_length_and_negative_offset(self, mapping):
+        assert mapping.byte_runs(0, 0) == []
+        with pytest.raises(ValueError, match="negative offset"):
+            mapping.byte_runs(-1, 10)
+
+    def test_chunk_runs_delegates(self, mapping, tip8):
+        runs = mapping.chunk_runs(tip8.num_data - 1, 2)
+        assert [(r.stripe, r.start, r.length) for r in runs] == [
+            (0, tip8.num_data - 1, 1),
+            (1, 0, 1),
+        ]
+        with pytest.raises(ValueError, match="negative start"):
+            mapping.chunk_runs(-1, 2)
+
+
+class TestAnalysisViewAgrees:
+    def test_request_runs_is_the_same_math(self, tip8):
+        """The Fig. 12 analysis helper and the mapping return identical
+        (stripe, start, length) triples for arbitrary requests."""
+        mapping = ArrayMapping(tip8, 4096)
+        for offset, length in [(0, 4096), (100, 50), (8192, 3 * 4096),
+                               (tip8.num_data * 4096 - 1, 4096 * 2 + 2)]:
+            triples = [
+                (r.stripe, r.start, r.length)
+                for r in mapping.byte_runs(offset, length)
+            ]
+            assert triples == request_runs(tip8, offset, length, 4096)

@@ -138,3 +138,69 @@ class TestSyntheticGenerators:
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):
             generate_trace("no_such_trace", requests=10)
+
+
+class TestDegenerateStats:
+    def test_single_request_reports_zero_iops(self):
+        trace = Trace("one", [TraceRequest(0.0, 0, 4096, True)])
+        stats = trace.stats()
+        assert stats.requests == 1
+        assert stats.duration_s == 0.0
+        assert stats.iops == 0.0
+        assert stats.write_fraction == 1.0
+
+    def test_all_requests_at_time_zero(self):
+        trace = Trace("burst", [
+            TraceRequest(0.0, i * 512, 512, False) for i in range(5)
+        ])
+        assert trace.stats().iops == 0.0
+
+
+class TestMessyCsv:
+    def test_header_blanks_comments_and_extra_columns(self, tmp_path):
+        path = tmp_path / "messy.csv"
+        path.write_text(
+            "\n"
+            "# exported 2014-03-02\n"
+            "asu,devid,offset,length,opcode,timestamp\n"
+            "0, 0, 100, 8, W, 0.5, extra, columns\n"
+            "\n"
+            "   # indented comment\n"
+            "0,0,200,16,r,1.5\n"
+        )
+        trace = parse_csv_trace(path)
+        assert len(trace) == 2
+        assert trace.requests[0].offset == 100 * 512
+        assert trace.requests[1].length == 16 * 512
+
+    def test_header_only_in_first_content_line(self, tmp_path):
+        # A non-numeric row later in the file is an error, not a header.
+        path = tmp_path / "midheader.csv"
+        path.write_text(
+            "0,0,100,8,W,0.5\n"
+            "asu,devid,offset,length,opcode,timestamp\n"
+        )
+        with pytest.raises(ValueError, match=r"midheader\.csv:2"):
+            parse_csv_trace(path)
+
+    def test_errors_name_file_and_line(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text(
+            "# fine\n"
+            "0,0,100,8,W,0.5\n"
+            "0,0,oops,8,W,1.0\n"
+        )
+        with pytest.raises(ValueError, match=r"broken\.csv:3"):
+            parse_csv_trace(path)
+
+    def test_invalid_request_values_name_file_and_line(self, tmp_path):
+        path = tmp_path / "negative.csv"
+        path.write_text("0,0,100,8,W,-2.0\n")
+        with pytest.raises(ValueError, match=r"negative\.csv:1.*timestamp"):
+            parse_csv_trace(path)
+
+    def test_empty_file_names_the_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("# only comments\n\n")
+        with pytest.raises(ValueError, match=r"empty\.csv: no requests"):
+            parse_csv_trace(path)
