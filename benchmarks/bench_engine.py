@@ -54,6 +54,17 @@ MIN_ENCODE_SPEEDUP = 1.5
 #: compiled path regressing badly behind the interpreted reference.
 MIN_DECODE_RATIO = 0.7
 
+#: Paired smoke guards — asserted at *every* size, so CI's small-data
+#: smoke run fails on a real slowdown instead of deferring to the rare
+#: full-size run. Loose on purpose: they catch the "5x slower than
+#: serial" class of regression, not percent-level drift.
+MIN_AUTO_PARALLEL_RATIO = 0.5
+MIN_DECODE_SMOKE_RATIO = 0.4
+
+#: Re-acquiring a decode plan after decoder-LRU eviction must be far
+#: cheaper than solving from scratch (the code-level plan caches).
+MIN_PLAN_CACHE_SPEEDUP = 3.0
+
 
 def _best_rounds(passes, rounds=ROUNDS):
     """Per-engine best wall time over ``rounds`` round-robin rounds."""
@@ -85,6 +96,11 @@ def _encode_probe(data_bytes):
     passes = {
         "interpreted": lambda: codec.encode_packets(packets),
         "compiled": lambda: codec.encode_into(data, out),
+        # Auto fan-out: serial below the measured per-worker overhead
+        # threshold (and always on 1-CPU hosts), pooled fan-out above.
+        "parallel_auto": lambda: parallel_encode_into(
+            codec, data, out, workers=None
+        ),
     }
     for workers in WORKER_COUNTS:
         passes[f"parallel{workers}"] = (
@@ -138,7 +154,56 @@ def _decode_probe(data_bytes):
     return {
         "payload_bytes": code.num_data * width * len(combos),
         "seconds": total,
+        "plan_seconds": _plan_probe(combos),
     }
+
+
+def _plan_probe(combos, rounds=3):
+    """Decode-plan acquisition cost: cold vs warm vs after LRU eviction.
+
+    ``cold`` solves the recovery system and lowers the schedule from
+    scratch on a fresh code instance. ``warm`` hits the decoder LRU.
+    ``evicted`` is the satellite case: a decoder cache of 1 forces every
+    ``decoder_for`` to re-create the Decoder, but the code-level
+    recovery/compiled plan caches hand back the solved artifacts — this
+    used to cost the same as cold.
+    """
+    from repro.codes import make_code
+
+    def best_over(prepare, body):
+        best = float("inf")
+        for _ in range(rounds):
+            state = prepare()
+            start = time.perf_counter()
+            body(state)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    cold = best_over(
+        lambda: [make_code("tip", N) for _ in combos],
+        lambda codes: [
+            c.decoder_for(combo).compiled_plan()
+            for c, combo in zip(codes, combos)
+        ],
+    )
+
+    warm_code = make_code("tip", N)
+    for combo in combos:
+        warm_code.decoder_for(combo).compiled_plan()
+    warm = best_over(
+        lambda: warm_code,
+        lambda c: [c.decoder_for(combo).compiled_plan() for combo in combos],
+    )
+
+    evicted_code = make_code("tip", N)
+    evicted_code.decoder_cache_size = 1
+    for combo in combos:
+        evicted_code.decoder_for(combo).compiled_plan()
+    evicted = best_over(
+        lambda: evicted_code,
+        lambda c: [c.decoder_for(combo).compiled_plan() for combo in combos],
+    )
+    return {"cold": cold, "warm": warm, "evicted": evicted}
 
 
 def _fresh_probe(kind, data_bytes):
@@ -220,6 +285,11 @@ def test_engine_encode_ablation():
         },
     )
     assert speed["compiled"] > 0
+    # Paired guard at every size: auto fan-out must never fall behind
+    # the serial compiled engine the way forced fan-out once did.
+    assert (
+        speed["parallel_auto"] >= MIN_AUTO_PARALLEL_RATIO * speed["compiled"]
+    ), speed
     if FULL_SIZE:
         assert speedup >= MIN_ENCODE_SPEEDUP, speed
 
@@ -228,6 +298,8 @@ def test_engine_decode_ablation():
     probe = _fresh_probe("decode", DATA_BYTES)
     speed = _speeds(probe)
     speedup = speed["compiled"] / speed["interpreted"]
+    plan = probe["plan_seconds"]
+    plan_cache_speedup = plan["cold"] / max(plan["evicted"], 1e-9)
     emit(
         "engine_decode_ablation",
         [
@@ -236,6 +308,10 @@ def test_engine_decode_ablation():
             f"interpreted_gib_s={speed['interpreted']:.3f}",
             f"compiled_gib_s={speed['compiled']:.3f}",
             f"compiled_speedup={speedup:.2f}",
+            f"plan_cold_ms={plan['cold'] * 1e3:.2f}",
+            f"plan_warm_us={plan['warm'] * 1e6:.1f}",
+            f"plan_evicted_us={plan['evicted'] * 1e6:.1f}",
+            f"plan_cache_speedup={plan_cache_speedup:.0f}",
         ],
     )
     record_json(
@@ -247,9 +323,20 @@ def test_engine_decode_ablation():
             "interpreted_gib_s": round(speed["interpreted"], 4),
             "compiled_gib_s": round(speed["compiled"], 4),
             "compiled_speedup": round(speedup, 3),
+            "plan_cold_ms": round(plan["cold"] * 1e3, 3),
+            "plan_warm_us": round(plan["warm"] * 1e6, 1),
+            "plan_evicted_us": round(plan["evicted"] * 1e6, 1),
+            "plan_cache_speedup": round(plan_cache_speedup, 1),
         },
     )
     assert speed["compiled"] > 0
+    # Paired guards at every size: the compiled path must stay in the
+    # interpreted engine's ballpark, and re-acquiring a decode plan
+    # after decoder-LRU eviction must skip the algebra entirely.
+    assert speed["compiled"] >= MIN_DECODE_SMOKE_RATIO * speed["interpreted"], (
+        speed
+    )
+    assert plan_cache_speedup >= MIN_PLAN_CACHE_SPEEDUP, plan
     if FULL_SIZE:
         assert speedup >= MIN_DECODE_RATIO, speed
 
@@ -274,7 +361,7 @@ def test_engine_paths_byte_identical():
         np.array_equal(compiled[i], reference[i])
         for i in range(code.num_parity)
     )
-    for workers in WORKER_COUNTS:
+    for workers in (None, *WORKER_COUNTS):
         fanned = parallel_encode_into(codec, data, workers=workers)
         assert np.array_equal(fanned, compiled), workers
 

@@ -88,6 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="store directory (default: a fresh tmpdir)")
     replay.add_argument("--fail", type=int, nargs="*", default=(),
                         help="disks to fail before replaying (degraded mode)")
+    replay.add_argument("--cache-stripes", type=int, default=0,
+                        help="write-back stripe cache capacity in stripes "
+                             "(default 0 = uncached)")
 
     rel = sub.add_parser("reliability", help="MTTDL of 1/2/3-fault arrays")
     rel.add_argument("n", type=int)
@@ -191,6 +194,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             args.dir if args.dir else tmpdir,
             stripes=args.stripes,
             chunk_bytes=args.chunk_bytes,
+            cache_stripes=args.cache_stripes,
         )
         with store:
             for disk in args.fail:
@@ -200,6 +204,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                   f"stripes x {store.chunk_bytes} B chunks, "
                   f"{device.capacity_bytes // 1024} KiB capacity"
                   + (f", failed disks {tuple(args.fail)}" if args.fail else "")
+                  + (f", cache {args.cache_stripes} stripes"
+                     if args.cache_stripes else "")
                   + ")")
             result = device.replay(trace)
     io = result.io
@@ -211,6 +217,18 @@ def _cmd_replay(args: argparse.Namespace) -> int:
           f"{io.parity_chunks_written:8d} written")
     print(f"measured avg chunk I/Os: {result.chunks_per_write:.2f} per write, "
           f"{result.chunks_per_read:.2f} per read")
+    if result.cache is not None:
+        cache = result.cache
+        amortization = cache.parity_write_amortization
+        print(f"cache: {cache.hit_rate:.1%} hit rate "
+              f"({cache.hits}/{cache.lookups} chunk lookups), "
+              f"{cache.flushes} flushes, {cache.evictions} evictions")
+        print(f"cache raw vs coalesced chunk I/Os: "
+              f"{cache.raw_io.total_chunks} -> {cache.io.total_chunks} "
+              f"({cache.chunk_ios_saved} saved)")
+        print(f"parity writes: {cache.raw_io.parity_chunks_written} uncached "
+              f"-> {cache.io.parity_chunks_written} coalesced "
+              f"(amortization {amortization:.2f}x)")
     return 0
 
 

@@ -14,8 +14,22 @@ Mechanics: inputs are gathered into one ``multiprocessing.shared_memory``
 segment, the pickled plan plus segment names and the span bounds go to a
 ``ProcessPoolExecutor``, workers attach and execute in place, and the
 parent scatters the output segment back. Worker pools are created once
-per worker count and reused across calls so steady-state fan-out pays no
-fork/spawn cost.
+per worker count and reused across calls, and the shared-memory segments
+are pooled too (grown geometrically, unlinked at interpreter exit), so
+steady-state fan-out pays neither fork/spawn nor segment create/unlink
+cost.
+
+Fan-out only pays past a per-worker size threshold: dispatching to the
+pool and copying through shared memory cost real time, and below roughly
+a megabyte per worker the serial path always wins (the regression the
+first BENCH_engine.json recorded — forced 2- and 4-worker fan-out on a
+1-CPU host ran 5x slower than serial). An **auto** worker count
+(``workers=None`` or ``0``) therefore measures, once per process, the
+pool's round-trip dispatch latency against serial XOR throughput, and
+engages the pool only when every worker gets at least
+:func:`fanout_threshold_bytes` of span — serial otherwise. An explicit
+integer ``workers`` remains a forced count, bypassing the threshold
+(tests rely on forced fan-out being byte-identical at any width).
 """
 
 from __future__ import annotations
@@ -23,6 +37,7 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
 from typing import Sequence
@@ -33,6 +48,8 @@ from repro.bitmatrix.plan import CompiledPlan
 from repro.codec.engine import StripeCodec
 
 __all__ = [
+    "auto_worker_count",
+    "fanout_threshold_bytes",
     "parallel_execute",
     "parallel_encode_into",
     "parallel_decode_into",
@@ -44,14 +61,97 @@ __all__ = [
 #: never share a cache line and spans map to whole packets.
 SPAN_ALIGN = 4096
 
+#: Never fan out spans smaller than this, whatever calibration says:
+#: below 1 MiB per worker the shared-memory copies alone dominate.
+MIN_SPAN_BYTES = 1 << 20
+
+#: Safety margin over the measured dispatch-latency break-even point.
+#: Fan-out must *clearly* win before auto mode engages the pool.
+_THRESHOLD_MARGIN = 4.0
+
 _pools: dict[int, ProcessPoolExecutor] = {}
+
+#: Calibrated per-worker span thresholds, keyed by worker count
+#: (measured once per process; tests may pre-seed to force behavior).
+_auto_thresholds: dict[int, int] = {}
 
 
 def resolve_workers(workers: int | None) -> int:
-    """``None``/``0`` → one worker per CPU; otherwise the given count."""
+    """``None``/``0`` → one worker per CPU; otherwise the given count.
+
+    This is the *forced* resolution. :func:`parallel_execute` resolves
+    auto requests through :func:`auto_worker_count` instead, which also
+    applies the measured per-worker size threshold.
+    """
     if workers is None or workers <= 0:
         return os.cpu_count() or 1
     return workers
+
+
+def _serial_xor_bytes_per_second() -> float:
+    """Best-of-3 throughput of one in-process XOR over 8 MiB buffers."""
+    size = 8 << 20
+    a = np.ones(size, dtype=np.uint8)
+    b = np.full(size, 0x5A, dtype=np.uint8)
+    out = np.empty(size, dtype=np.uint8)
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        np.bitwise_xor(a, b, out=out)
+        best = min(best, time.perf_counter() - t0)
+    return size / max(best, 1e-9)
+
+
+def _noop() -> None:
+    """Worker no-op used to measure pool dispatch latency."""
+
+
+def _pool_round_trip_seconds(workers: int) -> float:
+    """Best-of-5 latency of dispatching one task batch to the pool."""
+    pool = _pool(workers)
+    pool.submit(_noop).result()  # absorb the one-time spawn cost
+    best = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        futures = [pool.submit(_noop) for _ in range(workers)]
+        for future in futures:
+            future.result()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def fanout_threshold_bytes(workers: int) -> int:
+    """Per-worker span bytes below which fan-out loses to serial.
+
+    Calibrated once per process and worker count: the pool's measured
+    round-trip dispatch latency, converted to bytes at the measured
+    serial XOR rate, times a safety margin — floored at
+    :data:`MIN_SPAN_BYTES`. Pre-seed :data:`_auto_thresholds` in tests
+    to pin the policy without timing noise.
+    """
+    threshold = _auto_thresholds.get(workers)
+    if threshold is None:
+        overhead = _pool_round_trip_seconds(workers)
+        rate = _serial_xor_bytes_per_second()
+        threshold = max(
+            MIN_SPAN_BYTES, int(_THRESHOLD_MARGIN * overhead * rate)
+        )
+        _auto_thresholds[workers] = threshold
+    return threshold
+
+
+def auto_worker_count(width: int) -> int:
+    """Workers the auto policy picks for a ``width``-byte span.
+
+    1 (serial) on single-CPU hosts or when the width cannot give every
+    worker at least :func:`fanout_threshold_bytes`; otherwise as many
+    CPUs as the width supports.
+    """
+    cpus = os.cpu_count() or 1
+    if cpus <= 1 or width < 2 * MIN_SPAN_BYTES:
+        return 1
+    count = min(cpus, width // fanout_threshold_bytes(cpus))
+    return max(1, count)
 
 
 def split_spans(
@@ -86,8 +186,51 @@ def _pool(workers: int) -> ProcessPoolExecutor:
     return pool
 
 
+class _SegmentPool:
+    """Shared-memory segments reused across fan-out calls.
+
+    Creating and unlinking a ``SharedMemory`` segment per call costs a
+    pair of syscalls plus page faults on first touch — measurable against
+    sub-gigabyte workloads. The pool keeps one segment per role
+    (gather/scatter), grown geometrically when a call needs more, and
+    unlinks everything at interpreter exit.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def get(self, role: str, nbytes: int) -> shared_memory.SharedMemory:
+        """A segment of at least ``nbytes`` for ``role``, reused if big
+        enough, else replaced with one grown geometrically."""
+        segment = self._segments.get(role)
+        if segment is not None and segment.size >= nbytes:
+            return segment
+        size = max(nbytes, 1)
+        if segment is not None:
+            size = max(size, 2 * segment.size)
+            segment.close()
+            segment.unlink()
+        segment = shared_memory.SharedMemory(create=True, size=size)
+        self._segments[role] = segment
+        return segment
+
+    def release(self) -> None:
+        """Close and unlink every pooled segment."""
+        for segment in self._segments.values():
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+
+
+_segments = _SegmentPool()
+
+
 @atexit.register
 def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
+    _segments.release()
     for pool in _pools.values():
         pool.shutdown(wait=False, cancel_futures=True)
     _pools.clear()
@@ -133,62 +276,54 @@ def parallel_execute(
     """Execute ``plan`` with the width split across worker processes.
 
     Byte-identical to ``plan.execute_into(inputs, outputs)`` for every
-    worker count. Falls back to in-process execution when the width is
-    too narrow to split or ``workers`` resolves to 1. Input rows are
-    gathered into shared memory and outputs scattered back, so callers
-    keep ordinary numpy arrays or views.
+    worker count. ``workers=None`` (or 0) is **auto**: the pool engages
+    only when :func:`auto_worker_count` says the width clears the
+    measured per-worker overhead threshold — serial otherwise. An
+    explicit count forces fan-out regardless (falling back to in-process
+    execution only when the width is too narrow to split at all). Input
+    rows are gathered into pooled shared memory and outputs scattered
+    back, so callers keep ordinary numpy arrays or views.
     """
-    workers = resolve_workers(workers)
     ins = plan._as_rows(inputs, plan.num_inputs, "input")
     outs = plan._as_rows(outputs, len(plan.outputs), "output")
     if not outs:
         return
     width = outs[0].shape[0]
+    if workers is None or workers <= 0:
+        workers = auto_worker_count(width)
     spans = split_spans(width, workers)
     if len(spans) <= 1:
         plan.execute_into(ins, outs, tile_bytes=tile_bytes)
         return
     n_in, n_out = len(ins), len(outs)
-    shm_in = shared_memory.SharedMemory(
-        create=True, size=max(n_in * width, 1)
+    shm_in = _segments.get("in", n_in * width)
+    shm_out = _segments.get("out", n_out * width)
+    shared_ins = np.ndarray((n_in, width), dtype=np.uint8, buffer=shm_in.buf)
+    for i, row in enumerate(ins):
+        shared_ins[i] = row
+    plan_bytes = pickle.dumps(plan)
+    futures = [
+        _pool(workers).submit(
+            _execute_span,
+            plan_bytes,
+            shm_in.name,
+            (n_in, width),
+            shm_out.name,
+            (n_out, width),
+            lo,
+            hi,
+            tile_bytes,
+        )
+        for lo, hi in spans
+    ]
+    for future in futures:
+        future.result()
+    shared_outs = np.ndarray(
+        (n_out, width), dtype=np.uint8, buffer=shm_out.buf
     )
-    try:
-        shm_out = shared_memory.SharedMemory(create=True, size=n_out * width)
-        try:
-            shared_ins = np.ndarray(
-                (n_in, width), dtype=np.uint8, buffer=shm_in.buf
-            )
-            for i, row in enumerate(ins):
-                shared_ins[i] = row
-            plan_bytes = pickle.dumps(plan)
-            futures = [
-                _pool(workers).submit(
-                    _execute_span,
-                    plan_bytes,
-                    shm_in.name,
-                    (n_in, width),
-                    shm_out.name,
-                    (n_out, width),
-                    lo,
-                    hi,
-                    tile_bytes,
-                )
-                for lo, hi in spans
-            ]
-            for future in futures:
-                future.result()
-            shared_outs = np.ndarray(
-                (n_out, width), dtype=np.uint8, buffer=shm_out.buf
-            )
-            for i, row in enumerate(outs):
-                row[:] = shared_outs[i]
-            del shared_ins, shared_outs
-        finally:
-            shm_out.close()
-            shm_out.unlink()
-    finally:
-        shm_in.close()
-        shm_in.unlink()
+    for i, row in enumerate(outs):
+        row[:] = shared_outs[i]
+    del shared_ins, shared_outs
 
 
 def parallel_encode_into(

@@ -124,6 +124,18 @@ class ArrayCode:
         self._decoder_cache: OrderedDict[tuple[int, ...], Decoder] = (
             OrderedDict()
         )
+        # Plan caches that outlive decoder eviction: solving the recovery
+        # system (bit-matrix inversion + scheduling) and lowering it to a
+        # CompiledPlan are the expensive parts of building a Decoder, and
+        # both are pure functions of (failure set[, column subset]). When
+        # the decoder LRU evicts and later re-creates a Decoder, these
+        # hand back the solved/compiled artifacts instead of re-paying
+        # the algebra. Caps scale with the decoder cache so exhaustive
+        # MDS sweeps stay bounded.
+        self._recovery_plan_cache: OrderedDict[tuple[int, ...], _RecoveryPlan]
+        self._recovery_plan_cache = OrderedDict()
+        self._compiled_plan_cache: OrderedDict[tuple, CompiledPlan]
+        self._compiled_plan_cache = OrderedDict()
 
     # ------------------------------------------------------------------
     # structure
@@ -583,6 +595,20 @@ class _RecoveryPlan:
     schedule: XorSchedule
 
 
+def _lru_get_or_set(cache, key, factory, cap):
+    """Fetch ``key`` from an ``OrderedDict`` LRU, building via
+    ``factory()`` and evicting the least recently used past ``cap``."""
+    value = cache.get(key)
+    if value is not None:
+        cache.move_to_end(key)
+        return value
+    value = factory()
+    cache[key] = value
+    while len(cache) > cap:
+        cache.popitem(last=False)
+    return value
+
+
 class Decoder:
     """Parity-check-matrix decoder for one set of failed columns (Fig. 9).
 
@@ -594,8 +620,14 @@ class Decoder:
     def __init__(self, code: ArrayCode, failed: tuple[int, ...]) -> None:
         self.code = code
         self.failed = failed
-        self.plan = self._solve()
-        self._compiled: dict[tuple[int, ...] | None, CompiledPlan] = {}
+        # 4x the decoder cap so solved systems outlive decoder eviction
+        # (the point of the cache) while staying bounded for MDS sweeps.
+        self.plan = _lru_get_or_set(
+            code._recovery_plan_cache,
+            failed,
+            self._solve,
+            4 * code.decoder_cache_size,
+        )
 
     def _solve(self) -> _RecoveryPlan:
         code = self.code
@@ -665,11 +697,14 @@ class Decoder:
         outputs that survive DCE live in the plan's recycled workspace
         arena instead of full output packets. Compilation happens once
         per ``(code, failure set, subset)`` — repeated degraded reads and
-        rebuilds replay the same plan.
+        rebuilds replay the same plan. The cache lives on the code, not
+        the decoder, so it survives decoder-LRU eviction: a re-created
+        decoder for a recently seen failure set skips schedule lowering
+        entirely.
         """
         key = tuple(sorted(set(only_cols))) if only_cols is not None else None
-        compiled = self._compiled.get(key)
-        if compiled is None:
+
+        def lower() -> CompiledPlan:
             if key is None:
                 needed = None
             else:
@@ -678,9 +713,14 @@ class Decoder:
                     for i, pos in enumerate(self.plan.unknown_positions)
                     if pos[1] in key
                 ]
-            compiled = self.plan.schedule.compile(needed)
-            self._compiled[key] = compiled
-        return compiled
+            return self.plan.schedule.compile(needed)
+
+        return _lru_get_or_set(
+            self.code._compiled_plan_cache,
+            (self.failed, key),
+            lower,
+            4 * self.code.decoder_cache_size,
+        )
 
     def recovered_positions(
         self, only_cols: tuple[int, ...] | None = None

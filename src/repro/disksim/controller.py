@@ -12,7 +12,9 @@ Strategies: ``"rmw"`` (read-modify-write, the paper's response-time
 model and the default), ``"rcw"`` (reconstruct-write), ``"auto"``
 (cheaper of the two per run) — plus the executable strategies
 (``"delta"``, ``"delta-always"``, ``"stripe"``) matching the store's
-``write_mode``\\ s for plan-vs-measured cross-validation. Degraded-mode
+``write_mode``\\ s for plan-vs-measured cross-validation, and
+``"cached"``, which mirrors a write-back-cached store
+(:mod:`repro.raid.cache`) request for request via a shadow cache. Degraded-mode
 reads expand to the survivors of the recovery schedule; writes to failed
 disks are dropped, as in a real array.
 """
@@ -35,6 +37,8 @@ class RaidController:
         chunk_bytes: stripe-unit size (8 KB in the paper's configuration).
         write_strategy: any of :data:`repro.raid.WRITE_STRATEGIES`
             (default ``"rmw"``, the paper's model).
+        cache_stripes: write-back cache capacity modelled by the
+            ``"cached"`` strategy (ignored by every other strategy).
     """
 
     def __init__(
@@ -42,9 +46,11 @@ class RaidController:
         code: ArrayCode,
         chunk_bytes: int = 8 * 1024,
         write_strategy: str = "rmw",
+        cache_stripes: int = 8,
     ) -> None:
         self.planner = RequestPlanner(
-            code, chunk_bytes, write_strategy=write_strategy
+            code, chunk_bytes, write_strategy=write_strategy,
+            cache_stripes=cache_stripes,
         )
         self.code = code
         self.chunk_bytes = chunk_bytes

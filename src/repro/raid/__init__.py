@@ -33,14 +33,26 @@ from repro.raid.planner import (
     plan_io_counters,
 )
 
+# Imported last: the cache builds on the planner and the store's counters.
+from repro.raid.cache import (  # noqa: E402
+    CacheStats,
+    ParityDeltaAccumulator,
+    ShadowCache,
+    StripeCache,
+)
+
 __all__ = [
     "ArrayMapping",
+    "CacheStats",
     "ChunkRun",
     "DiskAddress",
     "ElementIO",
+    "ParityDeltaAccumulator",
     "RequestPlan",
     "RequestPlanner",
     "RunPlan",
+    "ShadowCache",
+    "StripeCache",
     "WRITE_STRATEGIES",
     "plan_io_counters",
     "BlockDevice",

@@ -25,6 +25,7 @@ import numpy as np
 from repro.traces.model import Trace, TraceRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.raid.cache import CacheStats
     from repro.store import ArrayStore, IoCounters
 
 __all__ = ["BlockDevice", "ReplayResult"]
@@ -44,6 +45,9 @@ class ReplayResult:
     write_chunks: int
     io: "IoCounters"
     per_request: list["IoCounters"] = field(repr=False, default_factory=list)
+    #: Write-back cache stats for this replay (None when uncached):
+    #: hit rate, raw-vs-coalesced I/O, parity-write amortization.
+    cache: "CacheStats | None" = None
 
     @property
     def chunks_per_write(self) -> float:
@@ -129,6 +133,8 @@ class BlockDevice:
         evidence, not estimates.
         """
         store = self.store
+        cache = getattr(store, "cache", None)
+        cache_before = cache.stats.snapshot() if cache is not None else None
         start = store.io.snapshot()
         per_request: list[IoCounters] = []
         reads = writes = 0
@@ -152,6 +158,11 @@ class BlockDevice:
             else:
                 read_chunks += done.total_chunks
             per_request.append(done)
+        if cache is not None:
+            # Flush so the aggregate counters cover everything the trace
+            # made durable; the final flush belongs to the replay as a
+            # whole, not to any single request.
+            store.flush()
         return ReplayResult(
             trace_name=trace.name,
             requests=len(per_request),
@@ -163,6 +174,11 @@ class BlockDevice:
             write_chunks=write_chunks,
             io=store.io.snapshot() - start,
             per_request=per_request,
+            cache=(
+                cache.stats.snapshot() - cache_before
+                if cache is not None
+                else None
+            ),
         )
 
 

@@ -38,6 +38,13 @@ in which case the parity's *value* does not change and no real I/O
 happens. The analytic strategies keep the closure — that is the paper's
 metric — which is precisely why plan-vs-measured validation needs the
 executable strategies.
+
+``cached`` is the *stateful* model of a write-back stripe cache
+(:mod:`repro.raid.cache`): each :meth:`RequestPlanner.plan` call drives
+a shadow copy of the real cache over a recording backend, so the planned
+I/Os for a request *sequence* — including flush-on-eviction traffic and
+:meth:`RequestPlanner.plan_flush` — mirror a cached store's measured
+chunk I/Os one-for-one.
 """
 
 from __future__ import annotations
@@ -60,8 +67,11 @@ __all__ = [
 ]
 
 #: Analytic strategies (paper accounting) + executable strategies
-#: (what the store really does). See the module docstring.
-WRITE_STRATEGIES = ("rmw", "rcw", "auto", "delta", "delta-always", "stripe")
+#: (what the store really does) + the stateful ``cached`` model of a
+#: write-back stripe cache. See the module docstring.
+WRITE_STRATEGIES = (
+    "rmw", "rcw", "auto", "delta", "delta-always", "stripe", "cached",
+)
 
 _EXECUTABLE = ("delta", "delta-always", "stripe")
 
@@ -157,6 +167,12 @@ class RequestPlanner:
         chunk_bytes: stripe-unit size (8 KB in the paper's configuration).
         write_strategy: one of :data:`WRITE_STRATEGIES`; see the module
             docstring for the analytic/executable split.
+        cache_stripes: capacity of the write-back cache the ``"cached"``
+            strategy models (ignored by other strategies). The cached
+            model is *stateful* — successive :meth:`plan` calls mutate
+            its LRU/dirty state exactly as the real cache's would — so
+            one planner instance must see the same request sequence, in
+            order, as the cached store it predicts.
     """
 
     def __init__(
@@ -164,6 +180,7 @@ class RequestPlanner:
         code: ArrayCode,
         chunk_bytes: int = 8 * 1024,
         write_strategy: str = "rmw",
+        cache_stripes: int = 8,
     ) -> None:
         if write_strategy not in WRITE_STRATEGIES:
             raise ValueError(
@@ -175,6 +192,12 @@ class RequestPlanner:
         self.chunk_bytes = chunk_bytes
         self.write_strategy = write_strategy
         self._run_plans: dict[tuple, RunPlan] = {}
+        self.shadow_cache = None
+        if write_strategy == "cached":
+            # Deferred import: cache.py layers on this module.
+            from repro.raid.cache import ShadowCache
+
+            self.shadow_cache = ShadowCache(code, chunk_bytes, cache_stripes)
 
     # ------------------------------------------------------------------
     # run-level planning (executable semantics — what the store does)
@@ -215,8 +238,8 @@ class RequestPlanner:
         strategy = self.write_strategy
         if strategy not in _EXECUTABLE:
             raise ValueError(
-                f"run plans are executable-only; strategy {strategy!r} is "
-                f"analytic (use plan() for pricing)"
+                f"run plans are executable-only; strategy {strategy!r} "
+                f"plans at request granularity (use plan() for pricing)"
             )
         code = self.code
         full_overwrite = length == code.num_data and not partial
@@ -296,6 +319,22 @@ class RequestPlanner:
     ) -> RequestPlan:
         """Build the element I/O plan for one byte-addressed request."""
         failed_key = tuple(sorted(set(failed)))
+        if self.write_strategy == "cached":
+            if failed_key:
+                raise ValueError(
+                    "the cached strategy models a healthy array; a cached "
+                    "store drains its cache and bypasses it while degraded "
+                    "— plan degraded requests with an executable strategy"
+                )
+            if request.is_write:
+                log = self.shadow_cache.record_write(
+                    request.offset, request.length
+                )
+            else:
+                log = self.shadow_cache.record_read(
+                    request.offset, request.length
+                )
+            return self._plan_from_log(log)
         reads: list[ElementIO] = []
         writes: list[ElementIO] = []
         for run in self.mapping.byte_runs(request.offset, request.length):
@@ -352,6 +391,29 @@ class RequestPlanner:
         for pos in cost.writes:
             if pos[1] not in failed:
                 writes.append(self._io(run.stripe, pos, True))
+
+    def plan_flush(self) -> RequestPlan:
+        """Planned element I/O of flushing the cached model's dirty
+        stripes (an empty plan for every other strategy)."""
+        if self.shadow_cache is None:
+            return RequestPlan(reads=[], writes=[])
+        return self._plan_from_log(self.shadow_cache.record_flush())
+
+    def _plan_from_log(
+        self, log: list[tuple[int, Position, bool]]
+    ) -> RequestPlan:
+        """Convert a shadow-cache I/O log into a plan, verbatim.
+
+        No dedupe: the log *is* the exact I/O sequence the real cache
+        issues, and the exactness guarantee depends on mirroring it
+        one-for-one.
+        """
+        reads: list[ElementIO] = []
+        writes: list[ElementIO] = []
+        for stripe, pos, is_write in log:
+            target = writes if is_write else reads
+            target.append(self._io(stripe, pos, is_write))
+        return RequestPlan(reads=reads, writes=writes)
 
     def _io(self, stripe: int, pos: Position, is_write: bool) -> ElementIO:
         address = self.mapping.element_address(stripe, pos)

@@ -15,7 +15,7 @@ from repro.store.array_store import (
     WRITE_MODES,
     ArrayStore,
     DiskFailedError,
-    IoCounters,
 )
+from repro.store.metering import IoCounters
 
 __all__ = ["ArrayStore", "DiskFailedError", "IoCounters", "WRITE_MODES"]

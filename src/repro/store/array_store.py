@@ -28,11 +28,18 @@ reads/writes split by data/parity for the store's lifetime, and
 :attr:`ArrayStore.last_io` holds the same counters for the most recent
 public operation — this is how tests and the write-path ablation prove
 the per-write I/O footprint rather than assume it.
+
+With ``cache_stripes > 0`` a write-back stripe cache
+(:mod:`repro.raid.cache`) sits in front of the delta path: healthy
+logical I/O is absorbed, successive parity deltas per stripe are
+XOR-coalesced, and parity is committed once per flush (eviction,
+:meth:`ArrayStore.flush`, :meth:`ArrayStore.close`) with data strictly
+before parity. The cache's :class:`CacheStats` report raw-vs-coalesced
+chunk I/O; the store's own counters then meter the coalesced traffic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import BinaryIO
 
@@ -41,6 +48,7 @@ import numpy as np
 from repro.codes.base import ArrayCode, Cell, Decoder
 from repro.raid.mapping import ChunkRun
 from repro.raid.planner import RequestPlanner, RunPlan
+from repro.store.metering import IoCounters
 
 __all__ = ["ArrayStore", "DiskFailedError", "IoCounters", "WRITE_MODES"]
 
@@ -56,55 +64,6 @@ _MODE_TO_STRATEGY = {"auto": "delta", "delta": "delta-always", "stripe": "stripe
 
 class DiskFailedError(RuntimeError):
     """Raised when an operation needs a disk that is marked failed."""
-
-
-@dataclass
-class IoCounters:
-    """Chunk-granularity I/O accounting, split by element role.
-
-    Counts chunks actually transferred to/from backing files. EMPTY
-    (structural-zero) elements are not counted: they carry no information
-    and no real layout would allocate them.
-    """
-
-    data_chunks_read: int = 0
-    parity_chunks_read: int = 0
-    data_chunks_written: int = 0
-    parity_chunks_written: int = 0
-
-    @property
-    def chunks_read(self) -> int:
-        """Total chunks read (data + parity)."""
-        return self.data_chunks_read + self.parity_chunks_read
-
-    @property
-    def chunks_written(self) -> int:
-        """Total chunks written (data + parity)."""
-        return self.data_chunks_written + self.parity_chunks_written
-
-    @property
-    def total_chunks(self) -> int:
-        """Total chunk I/Os (reads + writes)."""
-        return self.chunks_read + self.chunks_written
-
-    def reset(self) -> None:
-        """Zero all counters in place."""
-        self.data_chunks_read = 0
-        self.parity_chunks_read = 0
-        self.data_chunks_written = 0
-        self.parity_chunks_written = 0
-
-    def snapshot(self) -> "IoCounters":
-        """An independent copy of the current counts."""
-        return replace(self)
-
-    def __sub__(self, other: "IoCounters") -> "IoCounters":
-        return IoCounters(
-            self.data_chunks_read - other.data_chunks_read,
-            self.parity_chunks_read - other.parity_chunks_read,
-            self.data_chunks_written - other.data_chunks_written,
-            self.parity_chunks_written - other.parity_chunks_written,
-        )
 
 
 class ArrayStore:
@@ -127,6 +86,13 @@ class ArrayStore:
             rebuild round. Batching turns per-stripe reads into one
             contiguous span read per surviving disk and lets the
             compiled recovery plan run over wide packets.
+        cache_stripes: capacity of the write-back stripe cache
+            (:class:`repro.raid.cache.StripeCache`) in stripes; 0
+            (default) disables caching. With a cache, healthy logical
+            I/O is absorbed and parity deltas from successive writes to
+            one stripe are XOR-coalesced, committed on eviction /
+            :meth:`flush` / :meth:`close` with data strictly before
+            parity. While degraded the cache is drained and bypassed.
 
     Reopening a directory whose backing files don't match the requested
     geometry raises ``ValueError`` rather than destroying the contents.
@@ -143,6 +109,7 @@ class ArrayStore:
         write_mode: str = "auto",
         batch_workers: int = 1,
         rebuild_batch: int = 32,
+        cache_stripes: int = 0,
     ) -> None:
         if stripes <= 0 or chunk_bytes <= 0:
             raise ValueError("stripes and chunk_bytes must be positive")
@@ -154,6 +121,8 @@ class ArrayStore:
             raise ValueError("batch_workers must be >= 1")
         if rebuild_batch < 1:
             raise ValueError("rebuild_batch must be >= 1")
+        if cache_stripes < 0:
+            raise ValueError("cache_stripes must be >= 0")
         self.code = code
         self.directory = Path(directory)
         self.stripes = stripes
@@ -172,6 +141,15 @@ class ArrayStore:
         self.planner = RequestPlanner(
             code, chunk_bytes, write_strategy=_MODE_TO_STRATEGY[write_mode]
         )
+        self.cache = None
+        if cache_stripes:
+            # Deferred import: the cache layers on this module's counters.
+            from repro.raid.cache import StripeCache
+
+            self.cache = StripeCache(
+                self, code, chunk_bytes, cache_stripes,
+                raw_planner=self.planner,
+            )
         self.directory.mkdir(parents=True, exist_ok=True)
         self._disk_bytes = self.planner.mapping.disk_bytes(stripes)
         self._handles: dict[int, BinaryIO] = {}
@@ -213,10 +191,20 @@ class ArrayStore:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Close all backing-file handles (reopened lazily if reused)."""
+        """Flush the cache, then close all backing-file handles
+        (reopened lazily if reused)."""
+        if self.cache is not None:
+            self.cache.flush()
         for handle in self._handles.values():
             handle.close()
         self._handles.clear()
+
+    def flush(self) -> int:
+        """Write back every dirty cached stripe; returns stripes flushed
+        (0 when uncached — the uncached store is always write-through)."""
+        if self.cache is None:
+            return 0
+        return self.cache.flush()
 
     def __enter__(self) -> "ArrayStore":
         return self
@@ -309,6 +297,21 @@ class ArrayStore:
         handle.write(chunk.tobytes())
         self._count_element(pos, wrote=True)
 
+    def read_element(self, stripe: int, pos: tuple[int, int]) -> np.ndarray:
+        """Raw element read for the cache layer (no parity maintenance)."""
+        return self._read_element(stripe, pos)
+
+    def write_element(
+        self, stripe: int, pos: tuple[int, int], chunk: np.ndarray
+    ) -> None:
+        """Raw element write for the cache layer (no parity maintenance).
+
+        The caller owns stripe consistency: the write-back cache commits
+        a stripe's data chunks and its coalesced parity updates together
+        at flush time.
+        """
+        self._write_element(stripe, pos, chunk)
+
     def _load_stripe(self, stripe: int) -> np.ndarray:
         """Read a whole stripe (failed columns come back zeroed)."""
         return self._load_stripe_batch(stripe, 1)
@@ -380,7 +383,7 @@ class ArrayStore:
         if start < 0 or start + chunks.shape[0] > self.capacity_chunks:
             raise ValueError("write beyond store capacity")
         self.last_io = IoCounters()
-        self._execute_write(
+        self._route_write(
             start * self.chunk_bytes, np.ascontiguousarray(chunks).reshape(-1)
         )
 
@@ -402,6 +405,22 @@ class ArrayStore:
         if offset < 0 or offset + buf.size > self.capacity_bytes:
             raise ValueError("write beyond store capacity")
         self.last_io = IoCounters()
+        self._route_write(offset, buf)
+
+    def _route_write(self, offset: int, buf: np.ndarray) -> None:
+        """Send a validated write through the cache or the direct path.
+
+        Degraded arrays disengage the cache: any write-back state is
+        drained (surviving parity still absorbs the coalesced deltas —
+        correct degraded-write semantics) and dropped so no stale chunk
+        can be served after the array changes underneath the cache.
+        """
+        if self.cache is not None:
+            if self.failed:
+                self.cache.drop()
+            else:
+                self.cache.write(offset, buf)
+                return
         self._execute_write(offset, buf)
 
     def _execute_write(self, offset: int, buf: np.ndarray) -> None:
@@ -505,8 +524,8 @@ class ArrayStore:
         if start < 0 or start + count > self.capacity_chunks:
             raise ValueError("read beyond store capacity")
         self.last_io = IoCounters()
-        flat = self._execute_read(start * self.chunk_bytes,
-                                  count * self.chunk_bytes)
+        flat = self._route_read(start * self.chunk_bytes,
+                                count * self.chunk_bytes)
         return flat.reshape(count, self.chunk_bytes)
 
     def read_bytes(self, offset: int, length: int) -> np.ndarray:
@@ -520,6 +539,15 @@ class ArrayStore:
         if offset < 0 or offset + length > self.capacity_bytes:
             raise ValueError("read beyond store capacity")
         self.last_io = IoCounters()
+        return self._route_read(offset, length)
+
+    def _route_read(self, offset: int, length: int) -> np.ndarray:
+        """Send a validated read through the cache or the direct path."""
+        if self.cache is not None:
+            if self.failed:
+                self.cache.drop()
+            else:
+                return self.cache.read(offset, length)
         return self._execute_read(offset, length)
 
     def _execute_read(self, offset: int, length: int) -> np.ndarray:
@@ -565,6 +593,11 @@ class ArrayStore:
         handle = self._handle(disk)
         handle.seek(0)
         handle.write(b"\0" * self._disk_bytes)
+        if self.cache is not None:
+            # Drain write-back state immediately under degraded semantics:
+            # deltas land in surviving parity, and no stale chunk can be
+            # served after the array changed underneath the cache.
+            self.cache.drop()
 
     def rebuild(self) -> int:
         """Reconstruct every failed disk from survivors; returns stripes
@@ -585,6 +618,10 @@ class ArrayStore:
         if not self.failed:
             return 0
         self.last_io = IoCounters()
+        if self.cache is not None:
+            # Commit coalesced deltas to surviving parity and drop the
+            # cache before reading stripes straight off the disks.
+            self.cache.drop()
         failed = frozenset(self.failed)
         decoder = self._current_decoder()
         rows, cols, chunk = self.code.rows, self.code.cols, self.chunk_bytes
@@ -606,6 +643,8 @@ class ArrayStore:
         if self.failed:
             raise DiskFailedError("cannot scrub a degraded array")
         self.last_io = IoCounters()
+        if self.cache is not None:
+            self.cache.flush()
         return [
             stripe
             for stripe in range(self.stripes)

@@ -1,0 +1,62 @@
+"""Chunk-granularity I/O accounting shared by the store and the cache.
+
+Lives in its own leaf module (no repro imports) so both
+:mod:`repro.store.array_store` and :mod:`repro.raid.cache` can meter with
+the same counters without an import cycle: the cache sits *inside* the
+store's write path but is defined in the raid package the store imports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["IoCounters"]
+
+
+@dataclass
+class IoCounters:
+    """Chunk-granularity I/O accounting, split by element role.
+
+    Counts chunks actually transferred to/from backing files. EMPTY
+    (structural-zero) elements are not counted: they carry no information
+    and no real layout would allocate them.
+    """
+
+    data_chunks_read: int = 0
+    parity_chunks_read: int = 0
+    data_chunks_written: int = 0
+    parity_chunks_written: int = 0
+
+    @property
+    def chunks_read(self) -> int:
+        """Total chunks read (data + parity)."""
+        return self.data_chunks_read + self.parity_chunks_read
+
+    @property
+    def chunks_written(self) -> int:
+        """Total chunks written (data + parity)."""
+        return self.data_chunks_written + self.parity_chunks_written
+
+    @property
+    def total_chunks(self) -> int:
+        """Total chunk I/Os (reads + writes)."""
+        return self.chunks_read + self.chunks_written
+
+    def reset(self) -> None:
+        """Zero all counters in place."""
+        self.data_chunks_read = 0
+        self.parity_chunks_read = 0
+        self.data_chunks_written = 0
+        self.parity_chunks_written = 0
+
+    def snapshot(self) -> "IoCounters":
+        """An independent copy of the current counts."""
+        return replace(self)
+
+    def __sub__(self, other: "IoCounters") -> "IoCounters":
+        return IoCounters(
+            self.data_chunks_read - other.data_chunks_read,
+            self.parity_chunks_read - other.parity_chunks_read,
+            self.data_chunks_written - other.data_chunks_written,
+            self.parity_chunks_written - other.parity_chunks_written,
+        )

@@ -125,3 +125,36 @@ def test_replay_unknown_workload(capsys):
     )
     assert code == 2
     assert "unknown workload" in err
+
+
+def test_replay_with_cache(capsys):
+    code, out, _ = run(
+        capsys, "replay", "--family", "tip", "--n", "8",
+        "--trace", "synthetic:prxy_0", "--requests", "120", "--stripes", "8",
+        "--chunk-bytes", "1024", "--cache-stripes", "4",
+    )
+    assert code == 0
+    assert "cache 4 stripes" in out
+    assert "hit rate" in out
+    assert "parity writes:" in out and "coalesced" in out
+    assert "amortization" in out
+
+
+def test_replay_cache_coalesces_parity_writes(capsys):
+    """Cached replay must never write more parity than uncached."""
+    argv = [
+        "replay", "--family", "tip", "--n", "8",
+        "--trace", "synthetic:prxy_0", "--requests", "120",
+        "--stripes", "8", "--chunk-bytes", "1024",
+    ]
+
+    def parity_written(out):
+        for line in out.splitlines():
+            if line.startswith("parity chunks:"):
+                # "parity chunks:  R read  W written"
+                return int(line.split(" read ")[1].split()[0])
+        raise AssertionError(f"no parity line in: {out}")
+
+    _, uncached_out, _ = run(capsys, *argv)
+    _, cached_out, _ = run(capsys, *argv, "--cache-stripes", "8")
+    assert parity_written(cached_out) < parity_written(uncached_out)

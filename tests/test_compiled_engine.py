@@ -396,3 +396,124 @@ class TestStoreBatchedRebuild:
             self.make_store(tmp_path / "w", batch_workers=0)
         with pytest.raises(ValueError, match="rebuild_batch"):
             self.make_store(tmp_path / "b", rebuild_batch=0)
+
+
+# ----------------------------------------------------------------------
+# code-level plan caches: planning work survives decoder LRU eviction
+# ----------------------------------------------------------------------
+class TestPlanCachesSurviveEviction:
+    def test_recovery_plan_reused_across_eviction(self):
+        code = small_code("tip")
+        code.decoder_cache_size = 1
+        code._decoder_cache.clear()
+        code._recovery_plan_cache.clear()
+        plan01 = code.decoder_for((0, 1)).plan
+        code.decoder_for((2, 3))  # evicts the (0, 1) Decoder
+        assert (0, 1) not in code._decoder_cache
+        fresh = code.decoder_for((0, 1))
+        assert fresh.plan is plan01  # schedule solve was NOT repeated
+
+    def test_compiled_plan_reused_across_eviction(self):
+        code = small_code("tip")
+        code.decoder_cache_size = 1
+        code._decoder_cache.clear()
+        code._compiled_plan_cache.clear()
+        compiled01 = code.decoder_for((0, 1)).compiled_plan()
+        code.decoder_for((2, 3)).compiled_plan()  # evicts the Decoder
+        again = code.decoder_for((0, 1)).compiled_plan()
+        assert again is compiled01  # lowering was NOT repeated
+
+    def test_plan_caches_bounded(self):
+        code = small_code("tip")
+        code.decoder_cache_size = 2
+        code._decoder_cache.clear()
+        code._recovery_plan_cache.clear()
+        code._compiled_plan_cache.clear()
+        for combo in itertools.combinations(range(code.cols), 2):
+            code.decoder_for(combo).compiled_plan()
+        assert len(code._recovery_plan_cache) <= 4 * code.decoder_cache_size
+        assert len(code._compiled_plan_cache) <= 4 * code.decoder_cache_size
+
+    def test_decode_correct_after_plan_reuse(self):
+        code = small_code("tip")
+        code.decoder_cache_size = 1
+        code._decoder_cache.clear()
+        codec = StripeCodec(code)
+        width = 4096 * 2
+        data = random_matrix(code.num_data, width, seed=31)
+        parity = codec.encode_into(data)
+        for failed in ((0, 1), (2, 3), (0, 1)):  # last one reuses plans
+            decoder = code.decoder_for(failed)
+            known = np.ascontiguousarray([
+                (data[code.data_positions.index(pos)]
+                 if pos in code.data_positions
+                 else parity[code.parity_positions.index(pos)])
+                for pos in decoder.plan.known_positions
+            ])
+            restored = codec.decode_into(failed, known)
+            for row, pos in enumerate(decoder.plan.unknown_positions):
+                if pos in code.data_positions:
+                    want = data[code.data_positions.index(pos)]
+                else:
+                    want = parity[code.parity_positions.index(pos)]
+                assert np.array_equal(restored[row], want), (failed, pos)
+
+
+# ----------------------------------------------------------------------
+# auto fan-out: pool engages only when the span amortizes its overhead
+# ----------------------------------------------------------------------
+class TestAutoFanout:
+    def test_auto_resolves_serial_below_threshold(self, monkeypatch):
+        from repro.codec import parallel as par
+
+        monkeypatch.setattr(par.os, "cpu_count", lambda: 8)
+        par._auto_thresholds[8] = 64 << 20  # pretend overhead is huge
+        try:
+            assert par.auto_worker_count(1 << 20) == 1
+            assert par.auto_worker_count(63 << 20) == 1
+        finally:
+            par._auto_thresholds.pop(8, None)
+
+    def test_auto_scales_with_width_above_threshold(self, monkeypatch):
+        from repro.codec import parallel as par
+
+        monkeypatch.setattr(par.os, "cpu_count", lambda: 8)
+        par._auto_thresholds[8] = 4 << 20
+        try:
+            assert par.auto_worker_count(8 << 20) == 2
+            assert par.auto_worker_count(64 << 20) == 8  # capped at cpus
+        finally:
+            par._auto_thresholds.pop(8, None)
+
+    def test_single_cpu_host_never_fans_out(self, monkeypatch):
+        from repro.codec import parallel as par
+
+        monkeypatch.setattr(par.os, "cpu_count", lambda: 1)
+        assert par.auto_worker_count(1 << 30) == 1
+
+    def test_auto_workers_byte_identical_to_serial(self):
+        code = small_code("tip")
+        codec = StripeCodec(code)
+        data = random_matrix(code.num_data, 4096 * 4, seed=37)
+        expected = codec.encode_into(data)
+        auto = parallel_encode_into(codec, data, workers=None)
+        assert np.array_equal(auto, expected)
+
+    def test_segment_pool_reuses_segments_across_calls(self):
+        from repro.codec import parallel as par
+
+        code = small_code("tip")
+        codec = StripeCodec(code)
+        data = random_matrix(code.num_data, 4096 * 4, seed=41)
+        expected = codec.encode_into(data)
+        first = parallel_encode_into(codec, data, workers=2)
+        names_after_first = {
+            role: shm.name for role, shm in par._segments._segments.items()
+        }
+        second = parallel_encode_into(codec, data, workers=2)
+        names_after_second = {
+            role: shm.name for role, shm in par._segments._segments.items()
+        }
+        assert names_after_first == names_after_second  # reused, not remade
+        assert np.array_equal(first, expected)
+        assert np.array_equal(second, expected)

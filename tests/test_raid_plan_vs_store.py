@@ -163,3 +163,79 @@ class TestAggregateConsistency:
         BlockDevice(store).replay(trace)
         measured = store.io.snapshot() - before
         assert sim_result.total_element_ios == measured.total_chunks
+
+
+class TestCachedStrategy:
+    """The "cached" strategy's exactness guarantee, cross-code.
+
+    The shadow cache replays the real :class:`repro.raid.StripeCache`
+    logic over a recording backend, so the planned element I/Os must
+    equal the cached store's measured chunk I/Os for *every* request in
+    a sequence (cache state is stateful — order matters), plus the
+    final flush.
+    """
+
+    @pytest.mark.parametrize("family,n", FAMILIES)
+    def test_cached_sequence_matches(self, tmp_path, family, n):
+        code = make_code(family, n)
+        store = ArrayStore(
+            code, tmp_path / f"{family}{n}", stripes=4, chunk_bytes=CHUNK,
+            cache_stripes=2,
+        )
+        rng = np.random.default_rng(hash(("cached", family, n)) & 0xFFFF)
+        store.write_chunks(
+            0,
+            rng.integers(0, 256, size=(store.capacity_chunks, CHUNK),
+                         dtype=np.uint8),
+        )
+        store.flush()
+        controller = RaidController(
+            code, CHUNK, write_strategy="cached", cache_stripes=2
+        )
+        capacity = store.capacity_bytes
+        device = BlockDevice(store)
+        for i in range(40):
+            offset = int(rng.integers(0, capacity - 1))
+            length = int(rng.integers(1, min(capacity - offset, 6 * CHUNK) + 1))
+            is_write = bool(rng.random() < 0.7)
+            planned = plan_io_counters(
+                code,
+                controller.plan(TraceRequest(float(i), offset, length,
+                                             is_write)),
+            )
+            if is_write:
+                device.write(offset, bytes(length))
+            else:
+                device.read(offset, length)
+            measured = store.last_io
+            context = (family, n, i, offset, length, is_write)
+            assert planned.data_chunks_read == measured.data_chunks_read, (
+                context
+            )
+            assert (
+                planned.parity_chunks_read == measured.parity_chunks_read
+            ), context
+            assert (
+                planned.data_chunks_written == measured.data_chunks_written
+            ), context
+            assert (
+                planned.parity_chunks_written
+                == measured.parity_chunks_written
+            ), context
+        planned_flush = plan_io_counters(code, controller.planner.plan_flush())
+        before = store.io.snapshot()
+        store.flush()
+        measured_flush = store.io.snapshot() - before
+        assert planned_flush.data_chunks_read == (
+            measured_flush.data_chunks_read
+        )
+        assert planned_flush.parity_chunks_read == (
+            measured_flush.parity_chunks_read
+        )
+        assert planned_flush.data_chunks_written == (
+            measured_flush.data_chunks_written
+        )
+        assert planned_flush.parity_chunks_written == (
+            measured_flush.parity_chunks_written
+        )
+        assert store.scrub() == []

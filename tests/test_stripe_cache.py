@@ -1,0 +1,386 @@
+"""Tests for the write-back stripe cache and its crash-safety story.
+
+Covers the three claims the cache layer makes:
+
+* **equivalence** — a cached store externalizes exactly the bytes an
+  uncached store does, healthy and across failure/rebuild transitions;
+* **coalescing** — repeated writes to a stripe fold their parity deltas
+  into one commit per flush, with exactly predictable chunk counters
+  (TIP's update optimality makes the arithmetic closed-form);
+* **crash safety** — an exception at *any* element write during a flush
+  leaves the cache retryable: data is never discarded before its write
+  returns, parity is never persisted ahead of its stripe's data, and
+  re-running ``flush()`` completes the commit idempotently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_code
+from repro.raid import StripeCache
+from repro.raid.planner import RequestPlanner, plan_io_counters
+from repro.store import ArrayStore
+from repro.traces import TraceRequest
+
+CHUNK = 512
+STRIPES = 4
+
+
+def make_store(tmp_path, cache_stripes, subdir="cached", n=6):
+    path = tmp_path / subdir
+    path.mkdir(exist_ok=True)
+    return ArrayStore(
+        make_code("tip", n), path, stripes=STRIPES, chunk_bytes=CHUNK,
+        cache_stripes=cache_stripes,
+    )
+
+
+def random_bytes(length, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=length, dtype=np.uint8)
+
+
+def mixed_requests(store, count=60, seed=0):
+    """Random byte-addressed reads/writes over the store's capacity."""
+    rng = np.random.default_rng(seed)
+    capacity = store.capacity_bytes
+    requests = []
+    for _ in range(count):
+        length = int(rng.integers(1, 4 * CHUNK))
+        offset = int(rng.integers(0, capacity - length))
+        requests.append((offset, length, bool(rng.random() < 0.7)))
+    return requests
+
+
+class TestEquivalence:
+    def test_cached_store_matches_uncached(self, tmp_path):
+        cached = make_store(tmp_path, cache_stripes=2, subdir="cached")
+        plain = make_store(tmp_path, cache_stripes=0, subdir="plain")
+        for i, (offset, length, is_write) in enumerate(
+            mixed_requests(cached, seed=1)
+        ):
+            if is_write:
+                payload = random_bytes(length, seed=100 + i)
+                cached.write_bytes(offset, payload)
+                plain.write_bytes(offset, payload)
+            else:
+                got = cached.read_bytes(offset, length)
+                want = plain.read_bytes(offset, length)
+                assert np.array_equal(got, want), (i, offset, length)
+        cached.flush()
+        assert np.array_equal(
+            cached.read_bytes(0, cached.capacity_bytes),
+            plain.read_bytes(0, plain.capacity_bytes),
+        )
+        assert cached.scrub() == []
+
+    def test_close_flushes(self, tmp_path):
+        payload = random_bytes(3 * CHUNK, seed=5)
+        with make_store(tmp_path, cache_stripes=4) as store:
+            store.write_bytes(CHUNK, payload)
+        reopened = make_store(tmp_path, cache_stripes=0)
+        assert np.array_equal(reopened.read_bytes(CHUNK, payload.size), payload)
+        assert reopened.scrub() == []
+
+    def test_degraded_transitions(self, tmp_path):
+        """Failing a disk drains the cache; writes/reads stay correct."""
+        store = make_store(tmp_path, cache_stripes=4)
+        image = random_bytes(store.capacity_bytes, seed=6)
+        store.write_bytes(0, image)
+        patch = random_bytes(2 * CHUNK, seed=7)
+        store.write_bytes(5 * CHUNK + 11, patch)  # dirty cached state
+        image[5 * CHUNK + 11 : 5 * CHUNK + 11 + patch.size] = patch
+        store.fail_disk(1)
+        assert len(store.cache) == 0  # drained, not serving stale state
+        degraded_patch = random_bytes(CHUNK, seed=8)
+        store.write_bytes(0, degraded_patch)
+        image[: CHUNK] = degraded_patch
+        assert np.array_equal(
+            store.read_bytes(0, store.capacity_bytes), image
+        )
+        assert store.rebuild() == STRIPES
+        assert store.scrub() == []
+        assert np.array_equal(
+            store.read_bytes(0, store.capacity_bytes), image
+        )
+
+
+class TestCoalescing:
+    def test_repeated_chunk_writes_coalesce_exactly(self, tmp_path):
+        """5 writes to one chunk: TIP prices each uncached write at
+        (1 data + 3 parity) reads and writes; the cache pays one data
+        miss read up front and one (data + 3 parity-anchor) commit at
+        flush — parity amortization exactly 5.0."""
+        store = make_store(tmp_path, cache_stripes=2)
+        store.write_bytes(0, random_bytes(store.capacity_bytes, seed=9))
+        store.flush()
+        base = store.cache.stats.snapshot()
+        for i in range(5):
+            store.write_bytes(0, random_bytes(CHUNK, seed=20 + i))
+        flushed = store.flush()
+        assert flushed == 1
+        delta = store.cache.stats.snapshot() - base
+        assert delta.write_chunk_misses == 1
+        assert delta.write_chunk_hits == 4
+        # Coalesced: 1 miss read + 3 parity anchors; 1 data + 3 parity.
+        assert delta.io.data_chunks_read == 1
+        assert delta.io.parity_chunks_read == 3
+        assert delta.io.data_chunks_written == 1
+        assert delta.io.parity_chunks_written == 3
+        # Uncached pricing: 5 x (1+3 reads, 1+3 writes).
+        assert delta.raw_io.data_chunks_read == 5
+        assert delta.raw_io.parity_chunks_read == 15
+        assert delta.raw_io.data_chunks_written == 5
+        assert delta.raw_io.parity_chunks_written == 15
+        assert delta.parity_write_amortization == 5.0
+        assert delta.chunk_ios_saved == 40 - 8
+
+    def test_flush_is_idempotent(self, tmp_path):
+        store = make_store(tmp_path, cache_stripes=2)
+        store.write_bytes(0, random_bytes(CHUNK, seed=10))
+        assert store.flush() == 1
+        io_after = store.cache.stats.io.snapshot()
+        assert store.flush() == 0  # nothing dirty: no further I/O
+        assert store.cache.stats.io.total_chunks == io_after.total_chunks
+
+    def test_lru_eviction_flushes_victim(self, tmp_path):
+        store = make_store(tmp_path, cache_stripes=2)
+        cache = store.cache
+        per_stripe = store.code.num_data * CHUNK
+        for stripe in range(3):
+            store.write_bytes(stripe * per_stripe, random_bytes(CHUNK, seed=stripe))
+        assert cache.cached_stripes == (1, 2)
+        assert cache.stats.evictions == 1
+        assert cache.dirty_stripes == (1, 2)  # stripe 0 was flushed out
+        assert store.scrub() == []  # eviction committed stripe 0 fully
+
+    def test_reads_do_not_allocate_stripe_entries(self, tmp_path):
+        """A read-heavy scan must not evict write-back state."""
+        store = make_store(tmp_path, cache_stripes=1)
+        store.write_bytes(0, random_bytes(store.capacity_bytes, seed=11))
+        store.flush()
+        per_stripe = store.code.num_data * CHUNK
+        store.write_bytes(0, random_bytes(CHUNK, seed=12))  # dirty stripe 0
+        for stripe in range(1, STRIPES):
+            store.read_bytes(stripe * per_stripe, CHUNK)
+        assert store.cache.cached_stripes == (0,)
+        assert store.cache.stats.evictions == 0
+
+    def test_full_stripe_write_bypasses_cache(self, tmp_path):
+        store = make_store(tmp_path, cache_stripes=2)
+        per_stripe = store.code.num_data * CHUNK
+        payload = random_bytes(per_stripe, seed=13)
+        base = store.cache.stats.snapshot()
+        store.write_bytes(0, payload)
+        delta = store.cache.stats.snapshot() - base
+        assert delta.bypass_chunks == store.code.num_data
+        # Zero pre-reads: encode fresh, write every stored element.
+        assert delta.io.chunks_read == 0
+        assert delta.io.data_chunks_written == store.code.num_data
+        assert delta.io.parity_chunks_written == (
+            len(store.code.parity_positions)
+        )
+        assert store.cache.cached_stripes == ()  # nothing retained
+        assert np.array_equal(store.read_bytes(0, per_stripe), payload)
+        assert store.scrub() == []
+
+
+class TestCachedPlannerStrategy:
+    def test_plan_matches_measured_sequence(self, tmp_path):
+        """The "cached" strategy predicts a cached store's measured
+        counters exactly, request for request, including the flush."""
+        store = make_store(tmp_path, cache_stripes=2)
+        planner = RequestPlanner(
+            store.code, CHUNK, write_strategy="cached", cache_stripes=2
+        )
+        for i, (offset, length, is_write) in enumerate(
+            mixed_requests(store, count=40, seed=2)
+        ):
+            request = TraceRequest(float(i), offset, length, is_write)
+            planned = plan_io_counters(store.code, planner.plan(request))
+            if is_write:
+                store.write_bytes(offset, random_bytes(length, seed=i))
+            else:
+                store.read_bytes(offset, length)
+            measured = store.last_io
+            context = (i, offset, length, is_write)
+            assert planned.data_chunks_read == measured.data_chunks_read, context
+            assert (
+                planned.parity_chunks_read == measured.parity_chunks_read
+            ), context
+            assert (
+                planned.data_chunks_written == measured.data_chunks_written
+            ), context
+            assert (
+                planned.parity_chunks_written == measured.parity_chunks_written
+            ), context
+        planned_flush = plan_io_counters(store.code, planner.plan_flush())
+        before = store.io.snapshot()
+        store.flush()
+        measured_flush = store.io - before
+        assert planned_flush.data_chunks_written == (
+            measured_flush.data_chunks_written
+        )
+        assert planned_flush.parity_chunks_written == (
+            measured_flush.parity_chunks_written
+        )
+        assert planned_flush.parity_chunks_read == (
+            measured_flush.parity_chunks_read
+        )
+
+    def test_cached_strategy_rejects_degraded_plans(self):
+        planner = RequestPlanner(
+            make_code("tip", 6), CHUNK, write_strategy="cached"
+        )
+        with pytest.raises(ValueError, match="healthy array"):
+            planner.plan(TraceRequest(0.0, 0, CHUNK, True), failed=(1,))
+
+    def test_other_strategies_have_empty_flush_plan(self):
+        planner = RequestPlanner(make_code("tip", 6), CHUNK)
+        plan = planner.plan_flush()
+        assert plan.reads == [] and plan.writes == []
+
+
+class CrashingStore:
+    """Wraps a store's ``write_element`` to fail after N element writes,
+    logging every element I/O so ordering invariants can be audited."""
+
+    def __init__(self, store):
+        self.store = store
+        self.log = []  # (stripe, pos, is_write)
+        self.remaining = None  # writes allowed before the injected crash
+        self._write = store.write_element
+        self._read = store.read_element
+        store.write_element = self._crashing_write
+        store.read_element = self._logging_read
+
+    def _crashing_write(self, stripe, pos, chunk):
+        if self.remaining is not None:
+            if self.remaining == 0:
+                raise IOError("injected crash: element write lost")
+            self.remaining -= 1
+        self._write(stripe, pos, chunk)
+        self.log.append((stripe, pos, True))
+
+    def _logging_read(self, stripe, pos):
+        self.log.append((stripe, pos, False))
+        return self._read(stripe, pos)
+
+    def assert_data_before_parity(self, code):
+        """Within each stripe, no parity write may precede a data write
+        issued by the same flush epoch (writes here are all one flush)."""
+        parity_written = set()
+        for stripe, pos, is_write in self.log:
+            if not is_write:
+                continue
+            if pos in code.parity_positions:
+                parity_written.add(stripe)
+            else:
+                assert stripe not in parity_written, (
+                    f"stripe {stripe}: data write after parity write"
+                )
+
+
+class TestFlushCrashSafety:
+    def _dirty_store(self, tmp_path, subdir, seed):
+        """A cached store with several dirty stripes and a known image."""
+        store = make_store(tmp_path, cache_stripes=4, subdir=subdir)
+        image = random_bytes(store.capacity_bytes, seed=seed)
+        store.write_bytes(0, image)
+        store.flush()
+        per_stripe = store.code.num_data * CHUNK
+        edits = [
+            (0, 2 * CHUNK + 33),                    # stripe 0, unaligned
+            (per_stripe + CHUNK // 2, CHUNK),       # stripe 1, sub-chunk
+            (2 * per_stripe + 5, 3 * CHUNK),        # stripe 2, multi-chunk
+        ]
+        for i, (offset, length) in enumerate(edits):
+            patch = random_bytes(length, seed=1000 + seed + i)
+            store.write_bytes(offset, patch)
+            image[offset : offset + length] = patch
+        return store, image
+
+    def test_crash_at_every_flush_write_is_retryable(self, tmp_path):
+        """Sweep the crash point across every element write of the flush:
+        each prefix must obey data-before-parity per stripe, and a retry
+        must complete the commit — scrub clean, contents exact."""
+        probe, _ = self._dirty_store(tmp_path, "probe", seed=40)
+        wrapped = CrashingStore(probe)
+        probe.flush()
+        total_writes = sum(1 for *_, w in wrapped.log if w)
+        assert total_writes >= 8  # the sweep exercises a real window
+        for crash_at in range(total_writes):
+            subdir = f"crash{crash_at}"
+            store, image = self._dirty_store(tmp_path, subdir, seed=40)
+            wrapped = CrashingStore(store)
+            wrapped.remaining = crash_at
+            with pytest.raises(IOError, match="injected crash"):
+                store.flush()
+            wrapped.assert_data_before_parity(store.code)
+            # The fault clears; the cache retries exactly the remainder.
+            wrapped.remaining = None
+            wrapped.log.clear()
+            store.flush()
+            wrapped.assert_data_before_parity(store.code)
+            assert store.scrub() == [], crash_at
+            assert np.array_equal(
+                store.read_bytes(0, store.capacity_bytes), image
+            ), crash_at
+            store.close()
+
+    def test_retry_is_idempotent_not_reapplied(self, tmp_path):
+        """Parity deltas are anchored to absolute values before write-out,
+        so a retried flush never XORs a delta twice."""
+        store, image = self._dirty_store(tmp_path, "idem", seed=41)
+        wrapped = CrashingStore(store)
+        wrapped.remaining = 1  # crash after the first element write
+        with pytest.raises(IOError):
+            store.flush()
+        wrapped.remaining = None
+        store.flush()
+        store.flush()  # and once more for good measure
+        assert store.scrub() == []
+        assert np.array_equal(
+            store.read_bytes(0, store.capacity_bytes), image
+        )
+
+    def test_eviction_crash_mid_write_is_retryable(self, tmp_path):
+        """A crash inside the eviction flush triggered by a new write
+        leaves both the victim and the incoming request recoverable."""
+        store = make_store(tmp_path, cache_stripes=1, subdir="evict")
+        image = random_bytes(store.capacity_bytes, seed=42)
+        store.write_bytes(0, image)
+        store.flush()
+        per_stripe = store.code.num_data * CHUNK
+        patch0 = random_bytes(CHUNK, seed=43)
+        store.write_bytes(0, patch0)  # dirty stripe 0 (the victim)
+        image[: CHUNK] = patch0
+        wrapped = CrashingStore(store)
+        wrapped.remaining = 0
+        patch1 = random_bytes(CHUNK, seed=44)
+        with pytest.raises(IOError, match="injected crash"):
+            store.write_bytes(per_stripe, patch1)  # evicts stripe 0
+        wrapped.remaining = None
+        # Retry the request; the eviction flush resumes where it stopped.
+        store.write_bytes(per_stripe, patch1)
+        image[per_stripe : per_stripe + CHUNK] = patch1
+        store.flush()
+        wrapped.assert_data_before_parity(store.code)
+        assert store.scrub() == []
+        assert np.array_equal(
+            store.read_bytes(0, store.capacity_bytes), image
+        )
+
+
+class TestConstruction:
+    def test_capacity_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            make_store(tmp_path, cache_stripes=-1)
+        code = make_code("tip", 6)
+        with pytest.raises(ValueError):
+            StripeCache(object(), code, CHUNK, capacity_stripes=0)
+
+    def test_uncached_store_has_no_cache(self, tmp_path):
+        store = make_store(tmp_path, cache_stripes=0)
+        assert store.cache is None
+        assert store.flush() == 0
