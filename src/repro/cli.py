@@ -12,14 +12,26 @@ Commands:
 * ``replay --family F --n N --trace T`` — replay a trace (CSV file or
   ``synthetic:<workload>``) against a *real* file-backed store through
   the byte-addressed block device, printing Table-3-style trace stats
-  plus the measured data/parity chunk I/O split.
-* ``reliability N [--mttf H] [--rebuild H]`` — MTTDL of 1/2/3-fault
-  arrays at this size (the paper's 3DFT motivation).
+  plus the measured data/parity chunk I/O split. With ``--fault-plan``
+  the replay runs under injected faults (fail-stop, latent sectors,
+  bit flips, transients) with online repair; ``--scrub-every`` /
+  ``--repair-chunks`` throttle the background repair loop.
+* ``scrub --family F --n N`` — populate (or open with ``--dir``) a
+  store, optionally under ``--fault-plan``, and run a full scrub pass,
+  printing the classification of every error found.
+* ``reliability N [--mttf H] [--rebuild H] [--latent-rate R]
+  [--scrub-interval H]`` — MTTDL of 1/2/3-fault arrays at this size
+  (the paper's 3DFT motivation), optionally with the sector-error
+  model.
+
+``--log-level LEVEL`` (global) enables the ``repro`` package's
+structured logging (fail/rebuild/scrub-repair/cache events).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import tempfile
 
@@ -45,6 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="TIP-code (DSN 2015) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="enable repro package logging at this level",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -91,6 +108,36 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--cache-stripes", type=int, default=0,
                         help="write-back stripe cache capacity in stripes "
                              "(default 0 = uncached)")
+    replay.add_argument("--fault-plan", default=None,
+                        help="inject faults during replay, e.g. "
+                             "'seed=7;fail_stop:disk=2,at_op=40;"
+                             "latent:disk=1,rate=0.01;bit_flip:disk=3,at_op=25'")
+    replay.add_argument("--scrub-every", type=int, default=0,
+                        help="run one background repair tick every N "
+                             "requests (0 = repair only on faults)")
+    replay.add_argument("--repair-chunks", type=int, default=256,
+                        help="chunk-I/O budget per background repair tick "
+                             "(default 256)")
+
+    scrub = sub.add_parser(
+        "scrub", help="scrub a store, classifying and repairing errors"
+    )
+    scrub.add_argument("--family", default="tip",
+                       help="code family (default tip)")
+    scrub.add_argument("--n", type=int, default=8,
+                       help="array size in disks (default 8)")
+    scrub.add_argument("--stripes", type=int, default=64,
+                       help="store stripes (default 64)")
+    scrub.add_argument("--chunk-bytes", type=int, default=4096,
+                       help="chunk size in bytes (default 4096)")
+    scrub.add_argument("--dir", default=None,
+                       help="existing store directory (default: build a "
+                            "fresh populated store in a tmpdir)")
+    scrub.add_argument("--fault-plan", default=None,
+                       help="inject faults while populating/scrubbing "
+                            "(same spec syntax as replay)")
+    scrub.add_argument("--batch", type=int, default=8,
+                       help="stripes per scrub batch (default 8)")
 
     rel = sub.add_parser("reliability", help="MTTDL of 1/2/3-fault arrays")
     rel.add_argument("n", type=int)
@@ -98,6 +145,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disk MTTF in hours")
     rel.add_argument("--rebuild", type=float, default=24.0,
                      help="rebuild time in hours")
+    rel.add_argument("--latent-rate", type=float, default=0.0,
+                     help="latent sector errors per disk-hour "
+                          "(default 0 = sector model off)")
+    rel.add_argument("--scrub-interval", type=float, default=0.0,
+                     help="background scrub period in hours "
+                          "(0 = never scrubbed)")
+    rel.add_argument("--detection-fraction", type=float, default=0.5,
+                     help="mean fraction of the scrub interval before "
+                          "detection (default 0.5; use a measured "
+                          "ScrubReport.detection_fraction)")
     return parser
 
 
@@ -169,6 +226,23 @@ def _cmd_simulate(workload: str, n: int, requests: int) -> int:
     return 0
 
 
+def _print_scrub_report(report) -> None:
+    for finding in report.findings:
+        where = (
+            f"element {finding.position}" if finding.position is not None
+            else "unlocated"
+        )
+        outcome = "fixed" if finding.fixed else "NOT FIXED"
+        detail = f" ({finding.detail})" if finding.detail else ""
+        print(f"  stripe {finding.stripe:4d}: {finding.kind:10s} {where} "
+              f"-> {outcome}{detail}")
+    print(f"scrub: {report.summary()}")
+    fraction = report.detection_fraction()
+    if fraction is not None:
+        print(f"scrub: mean detection at {fraction:.1%} of a scan pass "
+              f"(feeds reliability --detection-fraction)")
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.raid import BlockDevice
     from repro.store import ArrayStore
@@ -188,6 +262,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
           f"{stats.duration_s:.1f} s, {stats.iops:.1f} IOPS, "
           f"{stats.write_fraction:.1%} writes, "
           f"avg {stats.avg_request_kb:.2f} KB")
+    plan = None
+    repair = None
+    scrub_report = None
     with tempfile.TemporaryDirectory(prefix="repro-replay-") as tmpdir:
         store = ArrayStore(
             code,
@@ -199,6 +276,14 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         with store:
             for disk in args.fail:
                 store.fail_disk(disk)
+            if args.fault_plan:
+                from repro.faults import FaultPlan, RepairController
+
+                plan = FaultPlan.parse(args.fault_plan)
+                store.set_fault_plan(plan)
+                repair = RepairController(
+                    store, max_chunks_per_tick=args.repair_chunks
+                )
             device = BlockDevice(store)
             print(f"replaying on {code.name} (n={code.n}, {store.stripes} "
                   f"stripes x {store.chunk_bytes} B chunks, "
@@ -206,8 +291,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                   + (f", failed disks {tuple(args.fail)}" if args.fail else "")
                   + (f", cache {args.cache_stripes} stripes"
                      if args.cache_stripes else "")
+                  + (", fault injection on" if plan else "")
                   + ")")
-            result = device.replay(trace)
+            result = device.replay(
+                trace, repair=repair, scrub_every=args.scrub_every
+            )
+            if repair is not None:
+                # Close the loop: a final full scrub pass proves the
+                # array came out of the faulty replay consistent.
+                repair.scrubber.reset()
+                scrub_report = repair.scrubber.run()
     io = result.io
     print(f"requests: {result.reads} reads ({result.bytes_read} B), "
           f"{result.writes} writes ({result.bytes_written} B)")
@@ -229,16 +322,78 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print(f"parity writes: {cache.raw_io.parity_chunks_written} uncached "
               f"-> {cache.io.parity_chunks_written} coalesced "
               f"(amortization {amortization:.2f}x)")
+    if plan is not None:
+        stats = plan.stats
+        print(f"faults injected: {stats.fail_stops} fail-stops, "
+              f"{stats.latent_minted} latent sectors, "
+              f"{stats.flips_minted} bit flips, "
+              f"{stats.transient_retries} transient retries")
+        rs = result.repair
+        print(f"repair: {rs.fail_stops_handled} fail-stops handled, "
+              f"{rs.latent_handled} latent repairs, "
+              f"{rs.stripes_rebuilt} stripes rebuilt "
+              f"({rs.rebuilds_completed} rebuilds), "
+              f"{result.retried_requests} requests retried, "
+              f"{rs.rebuild_io.total_chunks} repair chunk I/Os")
+        if scrub_report is not None:
+            _print_scrub_report(scrub_report)
     return 0
 
 
-def _cmd_reliability(n: int, mttf: float, rebuild: float) -> int:
-    print(f"{n}-disk array, disk MTTF {mttf:.0f} h, rebuild {rebuild:.0f} h")
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    from repro.faults import FaultError, FaultPlan, RepairController, Scrubber
+    from repro.store import ArrayStore
+
+    code = make_code(args.family, args.n)
+    plan = FaultPlan.parse(args.fault_plan) if args.fault_plan else None
+    with tempfile.TemporaryDirectory(prefix="repro-scrub-") as tmpdir:
+        store = ArrayStore(
+            code,
+            args.dir if args.dir else tmpdir,
+            stripes=args.stripes,
+            chunk_bytes=args.chunk_bytes,
+            fault_plan=plan,
+        )
+        with store:
+            repair = RepairController(store)
+            if args.dir is None:
+                # Demo store: deterministic payload so faults injected
+                # while writing are real, detectable damage.
+                pattern = (
+                    np.arange(store.capacity_bytes, dtype=np.int64) % 251
+                ).astype(np.uint8).reshape(-1, store.chunk_bytes)
+                for chunk in range(0, store.capacity_chunks, code.num_data):
+                    batch = pattern[chunk : chunk + code.num_data]
+                    for attempt in range(4):
+                        try:
+                            store.write_chunks(chunk, batch)
+                            break
+                        except FaultError as exc:
+                            if not repair.handle_fault(exc):
+                                raise
+                repair.drain()
+            print(f"scrubbing {code.name} (n={code.n}, {store.stripes} "
+                  f"stripes x {store.chunk_bytes} B chunks"
+                  + (", fault injection on" if plan else "") + ")")
+            scrubber = Scrubber(store, batch_stripes=args.batch)
+            report = scrubber.run()
+    _print_scrub_report(report)
+    return 0 if report.unfixable == 0 else 1
+
+
+def _cmd_reliability(args: argparse.Namespace) -> int:
+    n, mttf, rebuild = args.n, args.mttf, args.rebuild
+    print(f"{n}-disk array, disk MTTF {mttf:.0f} h, rebuild {rebuild:.0f} h"
+          + (f", latent rate {args.latent_rate:g}/disk-h, scrub every "
+             f"{args.scrub_interval:g} h" if args.latent_rate else ""))
     print(f"{'tolerance':>10s} {'MTTDL (years)':>16s} {'P(loss)/year':>14s}")
     for faults, label in ((1, "RAID-5"), (2, "RAID-6"), (3, "3DFT")):
         model = ArrayReliability(
             disks=n, faults_tolerated=faults,
             disk_mttf_hours=mttf, rebuild_hours=rebuild,
+            latent_error_rate=args.latent_rate,
+            scrub_interval_hours=args.scrub_interval,
+            latent_detection_fraction=args.detection_fraction,
         )
         print(f"{label:>10s} {model.mttdl_years():16.3e} "
               f"{model.annual_loss_probability():14.3e}")
@@ -248,6 +403,11 @@ def _cmd_reliability(n: int, mttf: float, rebuild: float) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        logging.basicConfig(
+            format="%(levelname)s %(name)s: %(message)s",
+        )
+        logging.getLogger("repro").setLevel(args.log_level.upper())
     try:
         if args.command == "list":
             return _cmd_list()
@@ -261,8 +421,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_simulate(args.workload, args.n, args.requests)
         if args.command == "replay":
             return _cmd_replay(args)
+        if args.command == "scrub":
+            return _cmd_scrub(args)
         if args.command == "reliability":
-            return _cmd_reliability(args.n, args.mttf, args.rebuild)
+            return _cmd_reliability(args)
     except (ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -25,10 +25,17 @@ import numpy as np
 from repro.traces.model import Trace, TraceRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.faults.inject import FaultPlan
+    from repro.faults.repair import RepairController, RepairStats
     from repro.raid.cache import CacheStats
     from repro.store import ArrayStore, IoCounters
 
 __all__ = ["BlockDevice", "ReplayResult"]
+
+#: Per-request cap on fault-handle-and-retry cycles during replay: every
+#: retry follows a state-changing repair (disk replaced, stripe fixed),
+#: so the bound only guards against a pathological fault plan.
+_MAX_REQUEST_ATTEMPTS = 6
 
 
 @dataclass
@@ -48,6 +55,11 @@ class ReplayResult:
     #: Write-back cache stats for this replay (None when uncached):
     #: hit rate, raw-vs-coalesced I/O, parity-write amortization.
     cache: "CacheStats | None" = None
+    #: Repair-loop stats for this replay (None when no controller was
+    #: attached): faults handled, stripes rebuilt, rebuild I/O.
+    repair: "RepairStats | None" = None
+    #: Requests retried after an injected fault was handled.
+    retried_requests: int = 0
 
     @property
     def chunks_per_write(self) -> float:
@@ -70,10 +82,14 @@ class BlockDevice:
             (``store.capacity_chunks * store.chunk_bytes`` bytes).
     """
 
-    def __init__(self, store: "ArrayStore") -> None:
+    def __init__(
+        self, store: "ArrayStore", fault_plan: "FaultPlan | None" = None
+    ) -> None:
         self.store = store
         self.mapping = store.planner.mapping
         self.capacity_bytes = store.capacity_chunks * store.chunk_bytes
+        if fault_plan is not None:
+            store.set_fault_plan(fault_plan)
 
     def _check_range(self, offset: int, length: int) -> None:
         if offset < 0:
@@ -124,13 +140,54 @@ class BlockDevice:
         length = min(request.length, self.capacity_bytes - offset)
         return offset, length
 
-    def replay(self, trace: Trace) -> ReplayResult:
+    def _attempt(
+        self, request: TraceRequest, offset: int, length: int,
+        repair: "RepairController | None",
+    ) -> int:
+        """Execute one request, dispatching injected faults through the
+        repair controller and retrying; returns the retries consumed."""
+        from repro.faults.inject import FaultError
+
+        store = self.store
+        for attempt in range(_MAX_REQUEST_ATTEMPTS):
+            try:
+                if request.is_write:
+                    store.write_bytes(offset, _payload(request, length))
+                else:
+                    store.read_bytes(offset, length)
+                return attempt
+            except FaultError as exc:
+                if repair is None or not repair.handle_fault(exc):
+                    raise
+        raise IOError(
+            f"request at offset {offset} still faulting after "
+            f"{_MAX_REQUEST_ATTEMPTS} repair-and-retry attempts"
+        )
+
+    def replay(
+        self,
+        trace: Trace,
+        repair: "RepairController | None" = None,
+        scrub_every: int = 0,
+    ) -> ReplayResult:
         """Replay every request of ``trace`` against the real store.
 
         Returns measured per-request and aggregate
         :class:`~repro.store.IoCounters` — the store meters actual chunk
         transfers to/from its backing files, so these numbers are
         evidence, not estimates.
+
+        With a :class:`~repro.faults.repair.RepairController` attached,
+        injected faults surfacing from a request are handled (disk
+        replaced and queued for rebuild, latent stripe repaired, write
+        journal rolled forward) and the request retried; with
+        ``scrub_every > 0`` the controller additionally gets one
+        throttled :meth:`~repro.faults.repair.RepairController.tick`
+        every that many requests, interleaving rebuild/scrub bandwidth
+        with foreground traffic. Any rebuild still in flight is drained
+        before returning, so the device always hands back a healthy
+        array. Background repair I/O lands in the aggregate ``io`` but
+        not in ``per_request`` — the split ``bench_scrub`` reports.
         """
         store = self.store
         cache = getattr(store, "cache", None)
@@ -140,16 +197,15 @@ class BlockDevice:
         reads = writes = 0
         bytes_read = bytes_written = 0
         read_chunks = write_chunks = 0
-        for request in trace:
+        retried = 0
+        for index, request in enumerate(trace):
             offset, length = self._map_request(request)
             before = store.io.snapshot()
+            retried += self._attempt(request, offset, length, repair)
             if request.is_write:
-                payload = _payload(request, length)
-                store.write_bytes(offset, payload)
                 writes += 1
                 bytes_written += length
             else:
-                store.read_bytes(offset, length)
                 reads += 1
                 bytes_read += length
             done = store.io.snapshot() - before
@@ -158,6 +214,14 @@ class BlockDevice:
             else:
                 read_chunks += done.total_chunks
             per_request.append(done)
+            if (
+                repair is not None
+                and scrub_every > 0
+                and (index + 1) % scrub_every == 0
+            ):
+                repair.tick()
+        if repair is not None:
+            repair.drain()
         if cache is not None:
             # Flush so the aggregate counters cover everything the trace
             # made durable; the final flush belongs to the replay as a
@@ -179,6 +243,8 @@ class BlockDevice:
                 if cache is not None
                 else None
             ),
+            repair=repair.stats if repair is not None else None,
+            retried_requests=retried,
         )
 
 

@@ -57,6 +57,7 @@ always consistent either with the old data or with data already written.
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Protocol
@@ -67,6 +68,8 @@ from repro.codes.base import ArrayCode, Cell, Position
 from repro.raid.mapping import ArrayMapping, ChunkRun
 from repro.raid.planner import RequestPlanner
 from repro.store.metering import IoCounters
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "CacheBackend",
@@ -337,9 +340,15 @@ class StripeCache:
             return state
         while len(self._stripes) >= self.capacity_stripes:
             victim, victim_state = next(iter(self._stripes.items()))
+            was_dirty = victim_state.is_dirty
             self._flush_stripe(victim, victim_state)
             del self._stripes[victim]
             self.stats.evictions += 1
+            if logger.isEnabledFor(logging.DEBUG):
+                logger.debug(
+                    "cache: evicted stripe %d for %d (%s)",
+                    victim, stripe, "flushed" if was_dirty else "clean",
+                )
         state = ParityDeltaAccumulator()
         self._stripes[stripe] = state
         return state
@@ -474,10 +483,16 @@ class StripeCache:
         for stripe in list(self._stripes):
             if self._flush_stripe(stripe, self._stripes[stripe]):
                 flushed += 1
+        if flushed and logger.isEnabledFor(logging.DEBUG):
+            logger.debug("cache: flushed %d dirty stripes", flushed)
         return flushed
 
     def drop(self) -> None:
         """Flush everything, then empty the cache entirely."""
+        logger.info(
+            "cache: dropping %d cached stripes (flush + disengage)",
+            len(self._stripes),
+        )
         self.flush()
         self._stripes.clear()
 

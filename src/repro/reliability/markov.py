@@ -6,6 +6,20 @@ absorbing. From state ``k`` the array fails at rate ``(n-k) * lambda``
 in parallel; set ``parallel_rebuild=False`` for one-at-a-time rebuild).
 MTTDL is the expected absorption time from state 0, solved exactly from
 the fundamental-matrix linear system — no simulation, no approximation.
+
+**Sector-error extension** (default off): with a nonzero
+``latent_error_rate``, a rebuild completing in the *critical* state (all
+``m`` redundancy exhausted) must read every surviving disk with no
+redundancy left to cover an unreadable sector, so with probability
+:meth:`ArrayReliability.critical_sector_loss_probability` the rebuild
+absorbs into data loss instead of recovering — the mixed failure mode
+(disk + latent sector) that motivates scrubbing. The exposure window of
+an undetected latent error is ``scrub_interval_hours *
+latent_detection_fraction``; the detection fraction is exactly what the
+online scrubber measures (:meth:`repro.faults.scrub.ScrubReport.
+detection_fraction`), closing the loop from injected fault to MTTDL. In
+sub-critical states a latent error is repaired from remaining redundancy
+and does not absorb.
 """
 
 from __future__ import annotations
@@ -29,6 +43,18 @@ class ArrayReliability:
         disk_mttf_hours: mean time to failure of one disk (1/lambda).
         rebuild_hours: mean rebuild time of one disk (1/mu).
         parallel_rebuild: rebuild all failed disks concurrently.
+        latent_error_rate: latent sector errors developing per disk per
+            hour (0, the default, disables the sector-error model and
+            reproduces the pure disk-failure chain exactly).
+        scrub_interval_hours: period of the background scrub pass that
+            detects and repairs latent errors; 0 with a nonzero
+            ``latent_error_rate`` means *never scrubbed* — the exposure
+            window becomes the disk MTTF.
+        latent_detection_fraction: mean fraction of the scrub interval a
+            latent error survives before the scanning scrubber reaches
+            it (0.5 for a uniformly arriving error under a linear scan;
+            feed the measured :meth:`repro.faults.scrub.ScrubReport.
+            detection_fraction` here).
     """
 
     disks: int
@@ -36,6 +62,9 @@ class ArrayReliability:
     disk_mttf_hours: float = 1_000_000.0
     rebuild_hours: float = 24.0
     parallel_rebuild: bool = True
+    latent_error_rate: float = 0.0
+    scrub_interval_hours: float = 0.0
+    latent_detection_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if self.disks <= self.faults_tolerated:
@@ -44,6 +73,33 @@ class ArrayReliability:
             raise ValueError("faults_tolerated must be >= 0")
         if self.disk_mttf_hours <= 0 or self.rebuild_hours <= 0:
             raise ValueError("MTTF and rebuild time must be positive")
+        if self.latent_error_rate < 0:
+            raise ValueError("latent_error_rate must be >= 0")
+        if self.scrub_interval_hours < 0:
+            raise ValueError("scrub_interval_hours must be >= 0")
+        if not 0.0 <= self.latent_detection_fraction <= 1.0:
+            raise ValueError("latent_detection_fraction must be in [0, 1]")
+
+    def critical_sector_loss_probability(self) -> float:
+        """P(a critical-state rebuild hits an undetected latent error).
+
+        A latent error lives undetected for ``scrub_interval_hours *
+        latent_detection_fraction`` on average (no scrubbing: the disk's
+        whole lifetime), so one disk is carrying one at the moment of
+        truth with probability ``1 - exp(-rate * exposure)``; a critical
+        rebuild reads all ``n - m`` survivors and any one bad disk kills
+        it.
+        """
+        if self.latent_error_rate == 0.0:
+            return 0.0
+        exposure = (
+            self.scrub_interval_hours * self.latent_detection_fraction
+            if self.scrub_interval_hours > 0
+            else self.disk_mttf_hours
+        )
+        per_disk = 1.0 - float(np.exp(-self.latent_error_rate * exposure))
+        survivors = self.disks - self.faults_tolerated
+        return 1.0 - (1.0 - per_disk) ** survivors
 
     def mttdl_hours(self) -> float:
         """Mean time to data loss in hours (exact chain solution)."""
@@ -56,6 +112,7 @@ class ArrayReliability:
         size = m + 1
         matrix = np.zeros((size, size))
         rhs = np.ones(size)
+        sector_p = self.critical_sector_loss_probability()
         for k in range(size):
             fail = (n - k) * lam
             repair = (k * mu if self.parallel_rebuild else (mu if k else 0.0))
@@ -64,7 +121,11 @@ class ArrayReliability:
                 matrix[k, k + 1] = -fail
             # k == m: failure leads to absorption (T = 0 contribution)
             if k > 0:
-                matrix[k, k - 1] = -repair
+                # In the critical state a completing rebuild absorbs
+                # with probability sector_p (unreadable sector, no
+                # redundancy left) instead of recovering to k-1.
+                recovered = 1.0 - (sector_p if k == m else 0.0)
+                matrix[k, k - 1] = -repair * recovered
         times = np.linalg.solve(matrix, rhs)
         return float(times[0])
 
@@ -82,11 +143,18 @@ def mttdl(
     faults_tolerated: int,
     disk_mttf_hours: float = 1_000_000.0,
     rebuild_hours: float = 24.0,
+    latent_error_rate: float = 0.0,
+    scrub_interval_hours: float = 0.0,
+    latent_detection_fraction: float = 0.5,
 ) -> float:
-    """Convenience wrapper: MTTDL in hours for the default rebuild model."""
+    """Convenience wrapper: MTTDL in hours for the default rebuild model
+    (sector-error parameters default off)."""
     return ArrayReliability(
         disks=disks,
         faults_tolerated=faults_tolerated,
         disk_mttf_hours=disk_mttf_hours,
         rebuild_hours=rebuild_hours,
+        latent_error_rate=latent_error_rate,
+        scrub_interval_hours=scrub_interval_hours,
+        latent_detection_fraction=latent_detection_fraction,
     ).mttdl_hours()

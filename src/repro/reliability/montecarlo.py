@@ -25,6 +25,9 @@ class MonteCarloResult:
     mean_hours: float
     min_hours: float
     max_hours: float
+    #: Trials lost to an undetected latent sector error surfacing during
+    #: a critical-state rebuild (0 unless the sector-error model is on).
+    sector_losses: int = 0
 
     @property
     def mean_years(self) -> float:
@@ -40,6 +43,9 @@ def simulate_mttdl(
     trials: int = 200,
     seed: int = 0,
     deterministic_rebuild: bool = False,
+    latent_error_rate: float = 0.0,
+    scrub_interval_hours: float = 0.0,
+    latent_detection_fraction: float = 0.5,
 ) -> MonteCarloResult:
     """Estimate MTTDL by simulating the failure/rebuild process to loss.
 
@@ -52,25 +58,54 @@ def simulate_mttdl(
         seed: RNG seed; results are deterministic given it.
         deterministic_rebuild: rebuilds take exactly ``rebuild_hours``
             instead of exponentially distributed time.
+        latent_error_rate: latent sector errors per disk per hour; 0
+            (default) disables the sector-error model — the RNG stream,
+            and therefore every seeded result, is byte-identical to the
+            pre-sector-model simulator.
+        scrub_interval_hours: background scrub period bounding how long
+            a latent error survives undetected (0 with a nonzero rate:
+            never scrubbed).
+        latent_detection_fraction: mean fraction of the scrub interval
+            before detection (the scrubber's measured
+            :meth:`~repro.faults.scrub.ScrubReport.detection_fraction`).
+
+    A critical-state rebuild (all redundancy spent) absorbs into data
+    loss with the same probability the Markov model uses
+    (:meth:`~repro.reliability.markov.ArrayReliability.
+    critical_sector_loss_probability`), keeping the two models
+    cross-validatable under identical parameters.
     """
     if disks <= faults_tolerated or faults_tolerated < 0:
         raise ValueError("need disks > faults_tolerated >= 0")
     if trials <= 0:
         raise ValueError("trials must be positive")
+    from repro.reliability.markov import ArrayReliability
+
+    sector_p = ArrayReliability(
+        disks=disks,
+        faults_tolerated=faults_tolerated,
+        disk_mttf_hours=disk_mttf_hours,
+        rebuild_hours=rebuild_hours,
+        latent_error_rate=latent_error_rate,
+        scrub_interval_hours=scrub_interval_hours,
+        latent_detection_fraction=latent_detection_fraction,
+    ).critical_sector_loss_probability()
     rng = random.Random(seed)
     losses: list[float] = []
+    sector_losses = 0
     for _ in range(trials):
-        losses.append(
-            _one_trial(
-                rng, disks, faults_tolerated, disk_mttf_hours,
-                rebuild_hours, deterministic_rebuild,
-            )
+        hours, by_sector = _one_trial(
+            rng, disks, faults_tolerated, disk_mttf_hours,
+            rebuild_hours, deterministic_rebuild, sector_p,
         )
+        losses.append(hours)
+        sector_losses += by_sector
     return MonteCarloResult(
         trials=trials,
         mean_hours=sum(losses) / trials,
         min_hours=min(losses),
         max_hours=max(losses),
+        sector_losses=sector_losses,
     )
 
 
@@ -81,12 +116,17 @@ def _one_trial(
     mttf: float,
     rebuild: float,
     deterministic: bool,
-) -> float:
-    """Simulate one array until ``faults + 1`` disks are down at once.
+    sector_p: float = 0.0,
+) -> tuple[float, int]:
+    """Simulate one array until ``faults + 1`` disks are down at once
+    (or a critical rebuild trips a latent sector error); returns
+    ``(hours, lost_to_sector_error)``.
 
     Memorylessness of the exponential failure law lets us redraw each
     healthy disk's residual lifetime after every event, so the event queue
     holds only the next failure and the in-flight rebuild completions.
+    The sector-error draw is guarded by ``sector_p > 0`` so the default
+    (off) configuration consumes exactly the historical RNG stream.
     """
     now = 0.0
     failed = 0
@@ -96,11 +136,20 @@ def _one_trial(
         next_failure = now + rng.expovariate(healthy / mttf)
         if rebuild_queue and rebuild_queue[0] <= next_failure:
             now = heapq.heappop(rebuild_queue)
+            if (
+                sector_p > 0.0
+                and failed == faults
+                and rng.random() < sector_p
+            ):
+                # The rebuild that would have left the critical state
+                # hit an undetected latent error with no redundancy
+                # left to reconstruct around it.
+                return now, 1
             failed -= 1
             continue
         now = next_failure
         failed += 1
         if failed > faults:
-            return now
+            return now, 0
         duration = rebuild if deterministic else rng.expovariate(1.0 / rebuild)
         heapq.heappush(rebuild_queue, now + duration)

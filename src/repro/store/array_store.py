@@ -40,8 +40,9 @@ chunk I/O; the store's own counters then meter the coalesced traffic.
 
 from __future__ import annotations
 
+import logging
 from pathlib import Path
-from typing import BinaryIO
+from typing import TYPE_CHECKING, BinaryIO
 
 import numpy as np
 
@@ -50,7 +51,12 @@ from repro.raid.mapping import ChunkRun
 from repro.raid.planner import RequestPlanner, RunPlan
 from repro.store.metering import IoCounters
 
+if TYPE_CHECKING:
+    from repro.faults.inject import FaultPlan
+
 __all__ = ["ArrayStore", "DiskFailedError", "IoCounters", "WRITE_MODES"]
+
+logger = logging.getLogger(__name__)
 
 #: Valid ``write_mode`` arguments: ``auto`` picks per run via the cost
 #: model, ``delta``/``stripe`` force one path (degraded writes always use
@@ -93,6 +99,14 @@ class ArrayStore:
             one stripe are XOR-coalesced, committed on eviction /
             :meth:`flush` / :meth:`close` with data strictly before
             parity. While degraded the cache is drained and bypassed.
+        fault_plan: a :class:`repro.faults.inject.FaultPlan` to inject
+            at the span-I/O boundary (every backing-file read/write
+            passes through a :class:`~repro.faults.inject.
+            FaultyDiskBackend`); ``None`` (default) runs faultless.
+            With a plan set, mutating writes additionally keep an
+            in-memory journal so a write interrupted mid-flight by an
+            injected fault can be rolled forward with
+            :meth:`complete_interrupted_write`.
 
     Reopening a directory whose backing files don't match the requested
     geometry raises ``ValueError`` rather than destroying the contents.
@@ -110,6 +124,7 @@ class ArrayStore:
         batch_workers: int = 1,
         rebuild_batch: int = 32,
         cache_stripes: int = 0,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         if stripes <= 0 or chunk_bytes <= 0:
             raise ValueError("stripes and chunk_bytes must be positive")
@@ -154,6 +169,21 @@ class ArrayStore:
         self._disk_bytes = self.planner.mapping.disk_bytes(stripes)
         self._handles: dict[int, BinaryIO] = {}
         self._decoder: Decoder | None = None
+        #: Pending span writes of the in-flight mutating operation:
+        #: ``(disk, offset, payload, (data_chunks, parity_chunks))``.
+        #: Maintained only under a fault plan (the journal exists to roll
+        #: an injected-fault-interrupted write forward; absolute values
+        #: make the replay idempotent).
+        self._journal: list[tuple[int, int, bytes, tuple[int, int]]] = []
+        #: Observers of foreground writes: each registered set collects
+        #: the stripe indices mutated while it is watching (used by the
+        #: incremental repair loop to re-rebuild stripes written during
+        #: a rebuild tick).
+        self._write_watchers: list[set[int]] = []
+        self.fault_plan: "FaultPlan | None" = None
+        self._backend = None
+        if fault_plan is not None:
+            self.set_fault_plan(fault_plan)
         # Chunks a whole-column transfer moves, split (data, parity) —
         # EMPTY cells carry no information and are not metered.
         self._col_profile = [
@@ -192,12 +222,36 @@ class ArrayStore:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Flush the cache, then close all backing-file handles
-        (reopened lazily if reused)."""
-        if self.cache is not None:
-            self.cache.flush()
-        for handle in self._handles.values():
-            handle.close()
-        self._handles.clear()
+        (reopened lazily if reused).
+
+        The handle close runs even when the cache flush raises (the
+        flush error still propagates): dirty write-back state must
+        never silently pin open file handles.
+        """
+        try:
+            if self.cache is not None:
+                self.cache.flush()
+        finally:
+            for handle in self._handles.values():
+                handle.close()
+            self._handles.clear()
+
+    def set_fault_plan(self, plan: "FaultPlan | None") -> None:
+        """Attach (or with ``None`` detach) a fault-injection plan.
+
+        All subsequent span I/O flows through a
+        :class:`~repro.faults.inject.FaultyDiskBackend` consulting the
+        plan; the raw backing files stay the source of truth.
+        """
+        self.fault_plan = plan
+        if plan is None:
+            self._backend = None
+            return
+        from repro.faults.inject import FaultyDiskBackend
+
+        self._backend = FaultyDiskBackend(
+            self._raw_read_span, self._raw_write_span, plan, self.chunk_bytes
+        )
 
     def flush(self) -> int:
         """Write back every dirty cached stripe; returns stripes flushed
@@ -234,7 +288,7 @@ class ArrayStore:
             self._handles[disk] = handle
         return handle
 
-    def _read_span(self, disk: int, offset: int, length: int) -> bytes:
+    def _raw_read_span(self, disk: int, offset: int, length: int) -> bytes:
         handle = self._handle(disk)
         handle.seek(offset)
         parts = []
@@ -248,6 +302,22 @@ class ArrayStore:
             parts.append(piece)
             remaining -= len(piece)
         return b"".join(parts) if len(parts) > 1 else parts[0]
+
+    def _raw_write_span(self, disk: int, offset: int, data: bytes) -> None:
+        handle = self._handle(disk)
+        handle.seek(offset)
+        handle.write(data)
+
+    def _read_span(self, disk: int, offset: int, length: int) -> bytes:
+        if self._backend is not None:
+            return self._backend.read(disk, offset, length)
+        return self._raw_read_span(disk, offset, length)
+
+    def _write_span(self, disk: int, offset: int, data: bytes) -> None:
+        if self._backend is not None:
+            self._backend.write(disk, offset, data)
+        else:
+            self._raw_write_span(disk, offset, data)
 
     def _count(self, data: int, parity: int, *, wrote: bool) -> None:
         for counters in (self.io, self.last_io):
@@ -292,10 +362,13 @@ class ArrayStore:
         if col in self.failed:
             return  # writes to failed disks are dropped, as in a real array
         offset = (stripe * self.code.rows + row) * self.chunk_bytes
-        handle = self._handle(col)
-        handle.seek(offset)
-        handle.write(chunk.tobytes())
+        self._write_span(col, offset, chunk.tobytes())
         self._count_element(pos, wrote=True)
+        # Element writes mutate surviving columns outside the planner
+        # path (scrubber repairs, cache flushes): an in-flight rebuild
+        # must re-reconstruct the stripe afterwards.
+        for watcher in self._write_watchers:
+            watcher.add(stripe)
 
     def read_element(self, stripe: int, pos: tuple[int, int]) -> np.ndarray:
         """Raw element read for the cache layer (no parity maintenance)."""
@@ -357,11 +430,62 @@ class ArrayStore:
         for col in range(self.code.cols):
             if col in self.failed and col not in writable:
                 continue
-            handle = self._handle(col)
-            handle.seek(stripe * span)
-            handle.write(data[:, col, :].tobytes())
+            self._write_span(col, stripe * span, data[:, col, :].tobytes())
             data_cells, parity_cells = self._col_profile[col]
             self._count(data_cells, parity_cells, wrote=True)
+
+    # ------------------------------------------------------------------
+    # write journal & write watchers (fault-plan support)
+    # ------------------------------------------------------------------
+    def _journal_entry(
+        self, stripe: int, pos: tuple[int, int], chunk: np.ndarray
+    ) -> None:
+        """Record one pending element write (no-op without a fault plan)."""
+        if self.fault_plan is None:
+            return
+        row, col = pos
+        kind = self.code.kind(row, col)
+        meter = (int(kind == Cell.DATA), int(kind == Cell.PARITY))
+        offset = (stripe * self.code.rows + row) * self.chunk_bytes
+        self._journal.append((col, offset, chunk.tobytes(), meter))
+
+    def complete_interrupted_write(self) -> int:
+        """Roll the journal of an interrupted write forward; returns the
+        span writes replayed.
+
+        A fault surfacing mid-write (a disk fail-stopping between the
+        data and parity writes of a delta run, say) leaves the stripe's
+        parity chains inconsistent — the classic write hole. The journal
+        holds every span the interrupted operation intended to write, as
+        *absolute* values, so replaying it (skipping disks that have
+        since failed) is idempotent and restores consistency no matter
+        where the original write stopped. Call after handling the fault
+        (replacing / failing the disk); a clean journal returns 0.
+        """
+        replayed = 0
+        for disk, offset, payload, (data, parity) in list(self._journal):
+            if disk in self.failed:
+                continue
+            self._write_span(disk, offset, payload)
+            self._count(data, parity, wrote=True)
+            replayed += 1
+        self._journal.clear()
+        if replayed and logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "store: rolled forward %d journaled span writes", replayed
+            )
+        return replayed
+
+    def watch_writes(self) -> set[int]:
+        """Register and return a live set that collects the stripe index
+        of every foreground write executed while watching."""
+        watcher: set[int] = set()
+        self._write_watchers.append(watcher)
+        return watcher
+
+    def unwatch_writes(self, watcher: set[int]) -> None:
+        """Deregister a set returned by :meth:`watch_writes`."""
+        self._write_watchers.remove(watcher)
 
     # ------------------------------------------------------------------
     # logical byte / chunk I/O
@@ -440,6 +564,8 @@ class ArrayStore:
             else:
                 self._stripe_write_run(run, payload, plan)
                 self.slow_path_writes += 1
+            for watcher in self._write_watchers:
+                watcher.add(run.stripe)
             cursor += run.nbytes
 
     def _splice(
@@ -464,9 +590,21 @@ class ArrayStore:
 
     def _delta_write_run(self, run: ChunkRun, payload: np.ndarray) -> None:
         """Delta RMW: read old data + dependent parities only, XOR the
-        data delta through each dependent chain, write back."""
+        data delta through each dependent chain, write back.
+
+        Two strict phases, matching the planner's read-then-write plan
+        shape: *every* pre-read (old data, then old parity) completes
+        before the first byte is mutated, so a read-side injected fault
+        (latent sector, fail-stop) surfaces while the stripe is still
+        untouched and the whole run can simply be retried after repair.
+        The write phase is journaled first (see
+        :meth:`complete_interrupted_write`), then lands data before
+        parity.
+        """
         code = self.code
+        # -- read phase -------------------------------------------------
         parity_deltas: dict[tuple[int, int], np.ndarray] = {}
+        new_data: list[tuple[tuple[int, int], np.ndarray]] = []
         cursor = 0
         for index in range(run.length):
             pos = code.data_positions[run.start + index]
@@ -474,7 +612,7 @@ class ArrayStore:
             new, consumed = self._splice(run, index, cursor, payload, old)
             cursor += consumed
             delta = np.bitwise_xor(old, new)
-            self._write_element(run.stripe, pos, new)
+            new_data.append((pos, new))
             for parity in code.parity_dependents[pos]:
                 acc = parity_deltas.get(parity)
                 if acc is None:
@@ -482,10 +620,19 @@ class ArrayStore:
                     parity_deltas[parity] = delta.copy()
                 else:
                     np.bitwise_xor(acc, delta, out=acc)
+        new_parity: list[tuple[tuple[int, int], np.ndarray]] = []
         for parity in sorted(parity_deltas):
             old = self._read_element(run.stripe, parity)
             np.bitwise_xor(old, parity_deltas[parity], out=old)
-            self._write_element(run.stripe, parity, old)
+            new_parity.append((parity, old))
+        # -- write phase ------------------------------------------------
+        for pos, chunk in new_data + new_parity:
+            self._journal_entry(run.stripe, pos, chunk)
+        for pos, chunk in new_data:
+            self._write_element(run.stripe, pos, chunk)
+        for pos, chunk in new_parity:
+            self._write_element(run.stripe, pos, chunk)
+        self._journal.clear()
 
     def _stripe_write_run(
         self, run: ChunkRun, payload: np.ndarray, plan: RunPlan
@@ -515,7 +662,21 @@ class ArrayStore:
             cursor += consumed
             grid[row, col] = new
         self.code.encode(grid)
+        if self.fault_plan is not None:
+            span = self.code.rows * self.chunk_bytes
+            for col in range(self.code.cols):
+                if col in self.failed:
+                    continue
+                self._journal.append(
+                    (
+                        col,
+                        run.stripe * span,
+                        grid[:, col, :].tobytes(),
+                        self._col_profile[col],
+                    )
+                )
         self._store_stripe(run.stripe, grid)
+        self._journal.clear()
 
     def read_chunks(self, start: int, count: int) -> np.ndarray:
         """Read ``count`` logical chunks from ``start`` (degraded-safe)."""
@@ -590,9 +751,13 @@ class ArrayStore:
                 f"({self.code.faults})"
             )
         self.failed.add(disk)
-        handle = self._handle(disk)
-        handle.seek(0)
-        handle.write(b"\0" * self._disk_bytes)
+        logger.info(
+            "store: disk %d failed (%d/%d fault budget used)",
+            disk, len(self.failed), self.code.faults,
+        )
+        # Raw write: the zeroed file models a factory-fresh replacement
+        # drive, so the wipe itself is never subject to fault injection.
+        self._raw_write_span(disk, 0, b"\0" * self._disk_bytes)
         if self.cache is not None:
             # Drain write-back state immediately under degraded semantics:
             # deltas land in surviving parity, and no stale chunk can be
@@ -618,6 +783,29 @@ class ArrayStore:
         if not self.failed:
             return 0
         self.last_io = IoCounters()
+        logger.info(
+            "store: rebuild of disks %s starting (%d stripes)",
+            sorted(self.failed), self.stripes,
+        )
+        self.rebuild_stripes(0, self.stripes)
+        self.finish_rebuild()
+        return self.stripes
+
+    def rebuild_stripes(self, start: int, count: int) -> int:
+        """Reconstruct the failed columns of ``count`` stripes from
+        ``start``, in place, *without* changing the failure state.
+
+        This is the incremental unit the throttled repair loop drives:
+        the array stays formally degraded (reads keep reconstructing on
+        the fly, writes keep skipping failed columns) until every stripe
+        — including any re-dirtied by concurrent foreground writes, see
+        :meth:`watch_writes` — has been rebuilt and the caller invokes
+        :meth:`finish_rebuild`. Returns the stripes rebuilt.
+        """
+        if not self.failed:
+            return 0
+        if start < 0 or count < 0 or start + count > self.stripes:
+            raise ValueError("stripe range out of bounds")
         if self.cache is not None:
             # Commit coalesced deltas to surviving parity and drop the
             # cache before reading stripes straight off the disks.
@@ -625,18 +813,50 @@ class ArrayStore:
         failed = frozenset(self.failed)
         decoder = self._current_decoder()
         rows, cols, chunk = self.code.rows, self.code.cols, self.chunk_bytes
-        batch = max(1, min(self.rebuild_batch, self.stripes))
-        for start in range(0, self.stripes, batch):
-            count = min(batch, self.stripes - start)
-            wide = self._load_stripe_batch(start, count)
+        batch = max(1, min(self.rebuild_batch, count or 1))
+        for base in range(start, start + count, batch):
+            n = min(batch, start + count - base)
+            wide = self._load_stripe_batch(base, n)
             decoder.decode_columns(wide, workers=self.batch_workers)
-            by_stripe = wide.reshape(rows, cols, count, chunk)
-            for i in range(count):
+            by_stripe = wide.reshape(rows, cols, n, chunk)
+            for i in range(n):
                 self._store_stripe(
-                    start + i, by_stripe[:, :, i, :], writable=failed
+                    base + i, by_stripe[:, :, i, :], writable=failed
                 )
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "store: rebuilt stripes [%d, %d) for disks %s",
+                start, start + count, sorted(failed),
+            )
+        return count
+
+    def finish_rebuild(self) -> None:
+        """Declare the rebuild complete: clear the failure set.
+
+        Only call once every stripe has been reconstructed via
+        :meth:`rebuild_stripes` (and any stripes written during the
+        rebuild re-reconstructed); :meth:`rebuild` does this bookkeeping
+        itself.
+        """
+        if self.failed:
+            logger.info(
+                "store: rebuild of disks %s complete", sorted(self.failed)
+            )
         self.failed.clear()
-        return self.stripes
+
+    def read_stripes(self, start: int, count: int) -> np.ndarray:
+        """Read ``count`` consecutive stripes as one metered wide grid of
+        shape ``(rows, cols, count * chunk_bytes)``; failed columns come
+        back zeroed. Stripe ``start + i`` is the
+        ``[:, :, i*chunk : (i+1)*chunk]`` slice — the layout
+        ``Decoder.decode_columns`` and the scrubber's batched syndrome
+        check consume directly.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if start < 0 or start + count > self.stripes:
+            raise ValueError("stripe range out of bounds")
+        return self._load_stripe_batch(start, count)
 
     def scrub(self) -> list[int]:
         """Verify all stripes; returns the indices of corrupt stripes."""

@@ -53,6 +53,14 @@ class IoCounters:
         """An independent copy of the current counts."""
         return replace(self)
 
+    def __add__(self, other: "IoCounters") -> "IoCounters":
+        return IoCounters(
+            self.data_chunks_read + other.data_chunks_read,
+            self.parity_chunks_read + other.parity_chunks_read,
+            self.data_chunks_written + other.data_chunks_written,
+            self.parity_chunks_written + other.parity_chunks_written,
+        )
+
     def __sub__(self, other: "IoCounters") -> "IoCounters":
         return IoCounters(
             self.data_chunks_read - other.data_chunks_read,

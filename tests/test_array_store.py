@@ -230,3 +230,63 @@ class TestRebuildCrashSafety:
         with pytest.raises(RuntimeError, match="bad decode"):
             store.rebuild()
         assert store.failed == {1}
+
+
+class TestCloseFlushAudit:
+    """close()/__exit__ must flush the write-back cache, and must close
+    the backing handles even when that flush raises."""
+
+    def make_cached(self, tmp_path):
+        return ArrayStore(
+            make_code("tip", 6), tmp_path, stripes=4, chunk_bytes=CHUNK,
+            cache_stripes=4,
+        )
+
+    def test_close_flushes_dirty_cache(self, tmp_path):
+        store = self.make_cached(tmp_path)
+        data = random_chunks(6, seed=31)
+        store.write_chunks(0, data)
+        assert len(store.cache.dirty_stripes) > 0
+        store.close()
+        reopened = ArrayStore(
+            make_code("tip", 6), tmp_path, stripes=4, chunk_bytes=CHUNK
+        )
+        assert np.array_equal(reopened.read_chunks(0, 6), data)
+        assert reopened.scrub() == []
+
+    def test_context_manager_flushes_on_exception_path(self, tmp_path):
+        data = random_chunks(6, seed=32)
+        with pytest.raises(RuntimeError, match="app error"):
+            with self.make_cached(tmp_path) as store:
+                store.write_chunks(0, data)
+                assert len(store.cache.dirty_stripes) > 0
+                raise RuntimeError("app error")
+        reopened = ArrayStore(
+            make_code("tip", 6), tmp_path, stripes=4, chunk_bytes=CHUNK
+        )
+        assert np.array_equal(reopened.read_chunks(0, 6), data)
+        assert reopened.scrub() == []
+
+    def test_close_closes_handles_even_when_flush_raises(
+        self, tmp_path, monkeypatch
+    ):
+        store = self.make_cached(tmp_path)
+        store.write_chunks(0, random_chunks(2, seed=33))
+        store.read_chunks(0, 1)  # force handles open
+        assert store._handles
+        monkeypatch.setattr(
+            type(store.cache),
+            "flush",
+            lambda self: (_ for _ in ()).throw(IOError("flush failed")),
+        )
+        with pytest.raises(IOError, match="flush failed"):
+            store.close()
+        assert not store._handles  # handles released despite the error
+
+    def test_close_idempotent_and_uncached_noop(self, store):
+        store.write_chunks(0, random_chunks(2, seed=34))
+        assert store.flush() == 0  # write-through: nothing pending
+        store.close()
+        store.close()  # second close is a no-op
+        # Lazy reopen after close still works.
+        assert store.read_chunks(0, 1).shape == (1, CHUNK)

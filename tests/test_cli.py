@@ -158,3 +158,77 @@ def test_replay_cache_coalesces_parity_writes(capsys):
     _, uncached_out, _ = run(capsys, *argv)
     _, cached_out, _ = run(capsys, *argv, "--cache-stripes", "8")
     assert parity_written(cached_out) < parity_written(uncached_out)
+
+
+def test_scrub_clean_store(capsys):
+    code, out, _ = run(
+        capsys, "scrub", "--family", "tip", "--n", "6",
+        "--stripes", "8", "--chunk-bytes", "512",
+    )
+    assert code == 0
+    assert "scrubbing tip-p5" in out
+    assert "0 errors" in out and "0 unfixable" in out
+
+
+def test_scrub_with_fault_plan_repairs(capsys):
+    code, out, _ = run(
+        capsys, "scrub", "--family", "tip", "--n", "6",
+        "--stripes", "8", "--chunk-bytes", "512",
+        "--fault-plan", "seed=3;bit_flip:disk=1,at_op=40;"
+                        "latent:disk=0,rate=0.01",
+    )
+    assert code == 0  # exit 1 would mean unfixable stripes remained
+    assert "fault injection on" in out
+    assert "0 unfixable" in out
+    assert "NOT FIXED" not in out
+
+
+def test_scrub_existing_dir(capsys, tmp_path):
+    from repro.codes import make_code
+    from repro.store import ArrayStore
+
+    with ArrayStore(
+        make_code("star", 6), tmp_path, stripes=4, chunk_bytes=512
+    ) as store:
+        store.write_bytes(0, bytes(range(256)) * 8)
+    code, out, _ = run(
+        capsys, "scrub", "--family", "star", "--n", "6",
+        "--stripes", "4", "--chunk-bytes", "512", "--dir", str(tmp_path),
+    )
+    assert code == 0
+    assert "scanned 4 stripes" in out
+
+
+def test_replay_with_fault_plan_and_scrub_every(capsys):
+    code, out, _ = run(
+        capsys, "replay", "--family", "tip", "--n", "6",
+        "--trace", "synthetic:src2_0", "--requests", "120",
+        "--stripes", "8", "--chunk-bytes", "1024",
+        "--fault-plan", "seed=7;fail_stop:disk=2,at_op=80;"
+                        "latent:disk=1,rate=0.005;bit_flip:disk=3,at_op=25",
+        "--scrub-every", "20",
+    )
+    assert code == 0
+    assert "fault injection on" in out
+    assert "faults injected: 1 fail-stops" in out
+    assert "repair: 1 fail-stops handled" in out
+    assert "0 unfixable" in out
+
+
+def test_replay_fault_plan_parse_error(capsys):
+    code, _, err = run(
+        capsys, "replay", "--trace", "synthetic:src2_0",
+        "--fault-plan", "meltdown:disk=1",
+    )
+    assert code == 2
+    assert "unknown fault kind" in err or "meltdown" in err
+
+
+def test_reliability_with_sector_model(capsys):
+    code, out, _ = run(
+        capsys, "reliability", "12", "--latent-rate", "1e-4",
+        "--scrub-interval", "168",
+    )
+    assert code == 0
+    assert "latent rate 0.0001/disk-h" in out
+    assert "scrub every 168 h" in out

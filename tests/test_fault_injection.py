@@ -1,0 +1,235 @@
+"""Tests for the deterministic fault-injection layer (repro.faults.inject)."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_code
+from repro.faults import (
+    FailStopError,
+    FaultPlan,
+    FaultyDiskBackend,
+    LatentSectorError,
+    TransientIOError,
+)
+from repro.faults.inject import FaultRule
+from repro.store import ArrayStore
+
+CHUNK = 64
+
+
+def make_store(tmp_path, plan=None, stripes=4, chunk_bytes=CHUNK):
+    return ArrayStore(
+        make_code("tip", 6), tmp_path, stripes=stripes,
+        chunk_bytes=chunk_bytes, fault_plan=plan,
+    )
+
+
+def fill(store, seed=0):
+    rng = np.random.default_rng(seed)
+    cap = store.capacity_chunks * store.chunk_bytes
+    data = rng.integers(0, 256, cap, dtype=np.uint8)
+    store.write_bytes(0, data)
+    return data
+
+
+class TestFaultRule:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            FaultRule("meltdown", 0)
+
+    def test_trigger_rule_defaults_to_first_access(self):
+        rule = FaultRule("latent", 1)
+        assert rule.at_op == 1
+
+    def test_transient_needs_rate(self):
+        with pytest.raises(ValueError):
+            FaultRule("transient", 0)
+
+    def test_trigger_rule_fires_once(self):
+        rule = FaultRule("bit_flip", 0, at_op=3)
+        assert not rule.exhausted()
+        rule.fired = 1
+        assert rule.exhausted()
+
+    def test_rate_rule_respects_count(self):
+        rule = FaultRule("latent", 0, rate=0.5, count=2)
+        rule.fired = 2
+        assert rule.exhausted()
+
+    def test_lba_range_forms(self):
+        assert FaultRule("latent", 0, lba=7).lba_range() == (7, 7)
+        assert FaultRule("latent", 0, lba=(3, 9)).lba_range() == (3, 9)
+        assert FaultRule("latent", 0).lba_range() is None
+
+
+class TestParse:
+    def test_full_spec(self):
+        plan = FaultPlan.parse(
+            "seed=7;max_retries=5;fail_stop:disk=2,at_op=40;"
+            "latent:disk=1,rate=0.002,lba=3-9;bit_flip:disk=3,at_op=25;"
+            "transient:disk=0,rate=0.01,during=rebuild"
+        )
+        assert plan.seed == 7
+        assert plan.max_retries == 5
+        kinds = [r.kind for r in plan.rules]
+        assert kinds == ["fail_stop", "latent", "bit_flip", "transient"]
+        assert plan.rules[1].lba == (3, 9)
+        assert plan.rules[3].during == "rebuild"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("latent:disk=1,flavor=sour")
+
+    def test_missing_disk_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("latent:rate=0.5")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("entropy=9")
+
+
+class TestDeterminism:
+    def run_plan(self, tmp_path, sub):
+        plan = FaultPlan.parse(
+            "seed=13;latent:disk=1,rate=0.02;bit_flip:disk=3,rate=0.01"
+        )
+        store = make_store(tmp_path / sub, plan=plan, stripes=8)
+        fill(store)
+        # Same deterministic access pattern both times.
+        for chunk in range(0, store.capacity_chunks, 3):
+            try:
+                store.read_chunks(chunk, 1)
+            except LatentSectorError:
+                pass
+        return [(f.kind, f.disk, f.lba, f.op) for f in plan.injected]
+
+    def test_same_seed_same_faults(self, tmp_path):
+        assert self.run_plan(tmp_path, "a") == self.run_plan(tmp_path, "b")
+
+
+class TestBackendSemantics:
+    def test_fail_stop_persists_until_replacement(self, tmp_path):
+        plan = FaultPlan(seed=0).fail_stop(disk=2, at_op=1)
+        store = make_store(tmp_path, plan=plan)
+        with pytest.raises(FailStopError):
+            fill(store)
+        with pytest.raises(FailStopError):
+            store._read_span(2, 0, CHUNK)
+        plan.replace_disk(2)
+        assert not plan.is_fail_stopped(2)
+        fill(store)  # all disks answer again
+
+    def test_latent_is_read_only_and_cleared_by_write(self, tmp_path):
+        store = make_store(tmp_path)
+        data = fill(store)
+        plan = FaultPlan(seed=0).latent(disk=0, lba=0)
+        store.set_fault_plan(plan)
+        with pytest.raises(LatentSectorError) as exc_info:
+            store.read_chunks(0, 1)
+        assert exc_info.value.disk == 0
+        assert exc_info.value.lba == 0
+        # The stored bytes were never damaged: a raw read still returns
+        # the original contents (the error is in the read path only).
+        raw = store._raw_read_span(0, 0, CHUNK)
+        assert (0, 0) in plan.active_latent()
+        # A covering write remaps the sector and clears the error.
+        store._write_span(0, 0, raw)
+        assert plan.active_latent() == set()
+        assert plan.injected[-1].status == "repaired"
+        store.set_fault_plan(None)
+        assert np.array_equal(
+            np.asarray(store.read_bytes(0, data.size)).reshape(-1), data
+        )
+
+    def test_bit_flip_is_durable_and_silent(self, tmp_path):
+        store = make_store(tmp_path)
+        fill(store)
+        before = bytes(store._raw_read_span(0, 0, CHUNK))
+        plan = FaultPlan(seed=3).bit_flip(disk=0, lba=0)
+        store.set_fault_plan(plan)
+        corrupted = bytes(store._read_span(0, 0, CHUNK))  # read succeeds
+        assert corrupted != before
+        diff = np.bitwise_xor(
+            np.frombuffer(corrupted, dtype=np.uint8),
+            np.frombuffer(before, dtype=np.uint8),
+        )
+        assert int(np.unpackbits(diff).sum()) == 1  # exactly one bit
+        store.set_fault_plan(None)
+        # Durable: the flip lives in the stored bytes.
+        assert bytes(store._raw_read_span(0, 0, CHUNK)) == corrupted
+        assert (0, 0) in plan.active_corruptions()
+
+    def test_bit_flip_overwritten_by_write(self, tmp_path):
+        store = make_store(tmp_path)
+        fill(store)
+        plan = FaultPlan(seed=3).bit_flip(disk=0, lba=0)
+        store.set_fault_plan(plan)
+        store._write_span(0, 0, b"\x00" * CHUNK)
+        assert plan.active_corruptions() == set()
+        assert plan.injected[-1].status == "overwritten"
+        assert bytes(store._raw_read_span(0, 0, CHUNK)) == b"\x00" * CHUNK
+
+    def test_transient_retried_internally(self, tmp_path):
+        # rate=1 burns every internal retry and then surfaces.
+        plan = FaultPlan(seed=0, max_retries=3).transient(disk=1, rate=1.0)
+        store = make_store(tmp_path, plan=plan)
+        with pytest.raises(TransientIOError):
+            store._read_span(1, 0, CHUNK)
+        assert plan.stats.transient_retries == 4  # 1 + max_retries draws
+        assert plan.stats.transient_raised == 1
+
+    def test_transient_low_rate_absorbed(self, tmp_path):
+        plan = FaultPlan(seed=1).transient(disk=1, rate=0.05)
+        store = make_store(tmp_path, plan=plan, stripes=8)
+        fill(store)  # no raise: isolated failures retried away
+        assert plan.stats.transient_raised == 0
+
+    def test_replace_disk_loses_resident_faults(self, tmp_path):
+        store = make_store(tmp_path)
+        fill(store)
+        plan = (
+            FaultPlan(seed=0)
+            .latent(disk=2, lba=1)
+            .bit_flip(disk=2, lba=3)
+        )
+        store.set_fault_plan(plan)
+        with pytest.raises(LatentSectorError):
+            store._read_span(2, 0, 4 * CHUNK)
+        plan.replace_disk(2)
+        assert plan.active_latent() == set()
+        assert plan.active_corruptions() == set()
+        assert {f.status for f in plan.injected} == {"lost"}
+
+    def test_during_phase_gates_rules(self, tmp_path):
+        plan = FaultPlan(seed=0).latent(disk=0, lba=0, during="rebuild")
+        store = make_store(tmp_path, plan=plan)
+        fill(store)
+        store.read_chunks(0, 1)  # outside the phase: nothing minted
+        assert plan.active_latent() == set()
+        with plan.phase("rebuild"):
+            with pytest.raises(LatentSectorError):
+                store.read_chunks(0, 1)
+        assert (0, 0) in plan.active_latent()
+
+    def test_lba_window_restricts_minting(self, tmp_path):
+        plan = FaultPlan(seed=5).latent(disk=0, rate=1.0, lba=(2, 2))
+        store = make_store(tmp_path, plan=plan)
+        backend = store._backend
+        assert isinstance(backend, FaultyDiskBackend)
+        # Accesses outside the window never mint.
+        store._read_span(0, 0, CHUNK)
+        assert plan.active_latent() == set()
+        with pytest.raises(LatentSectorError):
+            store._read_span(0, 2 * CHUNK, CHUNK)
+        assert plan.active_latent() == {(0, 2)}
+
+    def test_ops_counted_per_disk(self, tmp_path):
+        plan = FaultPlan(seed=0)
+        store = make_store(tmp_path, plan=plan)
+        store._read_span(0, 0, CHUNK)
+        store._read_span(0, 0, CHUNK)
+        store._read_span(1, 0, CHUNK)
+        assert plan.ops(0) == 2
+        assert plan.ops(1) == 1
+        assert plan.stats.ops == 3

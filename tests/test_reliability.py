@@ -90,3 +90,88 @@ class TestMonteCarlo:
             simulate_mttdl(3, 3)
         with pytest.raises(ValueError):
             simulate_mttdl(6, 1, trials=0)
+
+
+class TestSectorErrors:
+    """The sector-error extension (latent errors + scrubbing)."""
+
+    def test_zero_rate_is_exact_identity(self):
+        """Golden preservation: rate=0 must reproduce the pure
+        disk-failure chain bit for bit."""
+        base = ArrayReliability(12, 3)
+        extended = ArrayReliability(
+            12, 3, latent_error_rate=0.0, scrub_interval_hours=168.0
+        )
+        assert extended.mttdl_hours() == base.mttdl_hours()
+        assert extended.critical_sector_loss_probability() == 0.0
+
+    def test_monte_carlo_zero_rate_preserves_rng_stream(self):
+        """The sector draw is guarded: seeded results with the model off
+        are byte-identical to the pre-extension simulator."""
+        fast = dict(disk_mttf_hours=500.0, rebuild_hours=100.0)
+        base = simulate_mttdl(8, 2, trials=60, seed=4, **fast)
+        extended = simulate_mttdl(
+            8, 2, trials=60, seed=4, latent_error_rate=0.0,
+            scrub_interval_hours=168.0, **fast,
+        )
+        assert extended.mean_hours == base.mean_hours
+        assert extended.min_hours == base.min_hours
+        assert extended.max_hours == base.max_hours
+        assert extended.sector_losses == 0
+
+    def test_latent_errors_reduce_mttdl(self):
+        with_lse = mttdl(
+            12, 3, latent_error_rate=1e-5, scrub_interval_hours=168.0
+        )
+        without = mttdl(12, 3)
+        assert with_lse < without
+
+    def test_scrubbing_recovers_reliability(self):
+        """Shorter scrub interval -> shorter exposure -> higher MTTDL;
+        never scrubbed (interval 0) is the worst case."""
+        never = mttdl(12, 3, latent_error_rate=1e-6)
+        weekly = mttdl(
+            12, 3, latent_error_rate=1e-6, scrub_interval_hours=168.0
+        )
+        daily = mttdl(
+            12, 3, latent_error_rate=1e-6, scrub_interval_hours=24.0
+        )
+        assert never < weekly < daily
+
+    def test_detection_fraction_scales_exposure(self):
+        early = ArrayReliability(
+            12, 3, latent_error_rate=1e-4, scrub_interval_hours=168.0,
+            latent_detection_fraction=0.1,
+        )
+        late = ArrayReliability(
+            12, 3, latent_error_rate=1e-4, scrub_interval_hours=168.0,
+            latent_detection_fraction=0.9,
+        )
+        assert early.critical_sector_loss_probability() < (
+            late.critical_sector_loss_probability()
+        )
+        assert early.mttdl_hours() > late.mttdl_hours()
+
+    def test_markov_and_monte_carlo_agree_with_sectors(self):
+        """Cross-validation under identical sector parameters (the
+        rates are pushed up so losses happen within few trials)."""
+        kwargs = dict(
+            disks=8,
+            faults_tolerated=1,
+            disk_mttf_hours=2000.0,
+            rebuild_hours=500.0,
+            latent_error_rate=1e-3,
+            scrub_interval_hours=500.0,
+        )
+        exact = ArrayReliability(**kwargs).mttdl_hours()
+        sim = simulate_mttdl(trials=3000, seed=11, **kwargs)
+        assert sim.mean_hours == pytest.approx(exact, rel=0.1)
+        assert sim.sector_losses > 0
+
+    def test_sector_params_validated(self):
+        with pytest.raises(ValueError):
+            ArrayReliability(8, 2, latent_error_rate=-1.0)
+        with pytest.raises(ValueError):
+            ArrayReliability(8, 2, scrub_interval_hours=-1.0)
+        with pytest.raises(ValueError):
+            ArrayReliability(8, 2, latent_detection_fraction=1.5)
