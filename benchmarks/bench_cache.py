@@ -154,15 +154,21 @@ def test_cache_replay_ablation():
             _assert_counters_equal(cache.raw_io, baseline.io, (name, size))
             parity = result.io.parity_chunks_written
             amortization = cache.parity_write_amortization
+            # JSON-safe: inf (parity absorbed, none flushed yet) becomes
+            # null — json.dumps would emit the non-standard `Infinity`.
+            finite = cache.parity_write_amortization_or_none
             rows.append([
                 name, size, f"{cache.hit_rate:.1%}", parity,
-                f"{parity / writes:.2f}", f"{amortization:.2f}",
+                f"{parity / writes:.2f}",
+                f"{amortization:.2f}" if finite is not None else "inf",
             ])
             sweep[str(size)] = {
                 "hit_rate": round(cache.hit_rate, 4),
                 "parity_chunk_writes": parity,
                 "parity_writes_per_request": round(parity / writes, 3),
-                "parity_write_amortization": round(amortization, 3),
+                "parity_write_amortization": (
+                    round(finite, 3) if finite is not None else None
+                ),
                 "chunk_ios_saved": cache.chunk_ios_saved,
             }
             assert parity <= base_parity, (name, size, parity, base_parity)
@@ -189,7 +195,11 @@ def test_cache_replay_ablation():
             ),
         ],
     )
-    JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    # allow_nan=False: any inf/nan sneaking into the payload is a bug in
+    # the metrics, not something to serialize as non-standard JSON.
+    JSON_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
+    )
 
 
 def test_cached_replay_content_matches_uncached():

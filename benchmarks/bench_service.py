@@ -1,0 +1,170 @@
+"""Latency vs offered load through the concurrent block service.
+
+The serial benchmarks answer "what does one caller cost"; this one
+answers the service-layer question PR 6 exists for: what happens to
+request latency when *N* closed-loop callers contend on one array.
+Each sweep point replays the same write-heavy Table III trace split
+into N disjoint stripe partitions (:func:`repro.service.split_disjoint`)
+through :class:`repro.service.BlockService`, recording throughput and
+p50/p99/mean request latency — offered load is the worker count, the
+closed-loop load-generator convention.
+
+Two guards make the sweep evidence rather than narrative:
+
+* **serial equivalence** — at one sweep point the concurrent replay's
+  final device image must be byte-identical to replaying the same
+  partitions back-to-back serially, with identical aggregate
+  ``IoCounters`` (the PR's acceptance criterion, run on every CI pass);
+* **repair under load** — one configuration runs with fault injection
+  and throttled background repair ticks active, and must still finish
+  with a clean scrub.
+
+Results land in ``results/bench_service.txt`` and ``BENCH_service.json``
+(p50/p99 per concurrency level, plus the repair-active configuration).
+"""
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from _common import emit, format_table
+from repro.codes import make_code
+from repro.faults import FaultPlan, RepairController, Scrubber
+from repro.raid import BlockDevice
+from repro.service import replay_concurrent, split_disjoint
+from repro.store import ArrayStore
+from repro.traces import generate_trace
+
+N = 8
+CHUNK = 4096
+STRIPES = 64
+REQUESTS = int(os.environ.get("REPRO_BENCH_SERVICE_REQUESTS", "600"))
+WORKLOAD = "prxy_0"
+CONCURRENCY_LEVELS = (1, 2, 4, 8)
+EQUIVALENCE_LEVEL = 4
+REPAIR_LEVEL = 4
+REPAIR_EVERY = 25
+FAULT_SPEC = "seed=11;latent:disk=2,rate=0.002;transient:disk=4,rate=0.002"
+
+ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_service.json"
+
+
+def _make_store(tmpdir, fault_plan=None):
+    store = ArrayStore(
+        make_code("tip", N), tmpdir, stripes=STRIPES, chunk_bytes=CHUNK,
+        cache_stripes=0,
+    )
+    if fault_plan is not None:
+        store.set_fault_plan(fault_plan)
+    return store
+
+
+def _point(result):
+    return {
+        "workers": result.workers,
+        "requests": result.requests,
+        "throughput_iops": round(result.throughput_iops, 1),
+        "p50_latency_ms": round(result.p50_latency_ms, 4),
+        "p99_latency_ms": round(result.p99_latency_ms, 4),
+        "mean_latency_ms": round(result.mean_latency_ms, 4),
+        "retried_requests": result.retried_requests,
+        "repair_ticks": result.repair_ticks,
+    }
+
+
+def _row(label, result):
+    return [
+        label, result.workers, f"{result.throughput_iops:.0f}",
+        f"{result.p50_latency_ms:.3f}", f"{result.p99_latency_ms:.3f}",
+        f"{result.mean_latency_ms:.3f}", result.repair_ticks,
+    ]
+
+
+def test_service_latency_vs_offered_load():
+    """Sweep closed-loop workers; guard equivalence and record latency."""
+    trace = generate_trace(WORKLOAD, requests=REQUESTS, seed=42)
+    rows = []
+    payload = {
+        "code": "tip",
+        "n": N,
+        "chunk_bytes": CHUNK,
+        "stripes": STRIPES,
+        "requests": REQUESTS,
+        "trace": WORKLOAD,
+        "sweep": [],
+        "repair_active": None,
+    }
+
+    for workers in CONCURRENCY_LEVELS:
+        with tempfile.TemporaryDirectory(prefix="bench-svc-") as tmpdir:
+            with _make_store(tmpdir) as store:
+                parts = split_disjoint(trace, workers, store)
+                result = replay_concurrent(store, parts)
+                image = store.read_bytes(0, store.capacity_bytes).copy()
+        assert result.requests == REQUESTS
+        assert len(result.latencies_ms) == REQUESTS
+        assert result.p99_latency_ms >= result.p50_latency_ms
+        rows.append(_row("healthy", result))
+        payload["sweep"].append(_point(result))
+
+        if workers == EQUIVALENCE_LEVEL:
+            # The acceptance criterion: concurrent replay of disjoint
+            # partitions ≡ serial replay, byte for byte and counter for
+            # counter.
+            with tempfile.TemporaryDirectory(prefix="bench-svc-") as ref:
+                with _make_store(ref) as serial:
+                    before = serial.io.snapshot()
+                    device = BlockDevice(serial)
+                    for part in parts:
+                        device.replay(part)
+                    serial_io = serial.io.snapshot() - before
+                    serial_image = serial.read_bytes(
+                        0, serial.capacity_bytes
+                    ).copy()
+            assert np.array_equal(image, serial_image), workers
+            assert result.io == serial_io, workers
+
+    # One configuration with background repair arbitrated against the
+    # foreground: injected faults, one throttled tick per REPAIR_EVERY
+    # completed requests, and a clean scrub at the end.
+    plan = FaultPlan.parse(FAULT_SPEC)
+    with tempfile.TemporaryDirectory(prefix="bench-svc-") as tmpdir:
+        with _make_store(tmpdir, fault_plan=plan) as store:
+            repair = RepairController(store)
+            parts = split_disjoint(trace, REPAIR_LEVEL, store)
+            result = replay_concurrent(
+                store, parts, repair=repair, repair_every=REPAIR_EVERY
+            )
+            store.set_fault_plan(None)  # audit, don't mint new faults
+            report = Scrubber(store).run()
+    assert report.unfixable == 0, report.summary()
+    assert result.repair_ticks == REQUESTS // REPAIR_EVERY
+    rows.append(_row("repair-on", result))
+    payload["repair_active"] = {
+        **_point(result),
+        "fault_spec": FAULT_SPEC,
+        "repair_every": REPAIR_EVERY,
+        "faults_injected": plan.stats.latent_minted
+        + plan.stats.fail_stops,
+        "scrub": report.summary(),
+    }
+
+    emit(
+        "bench_service",
+        [
+            f"code=tip n={N} stripes={STRIPES} chunk={CHUNK} "
+            f"requests={REQUESTS} trace={WORKLOAD}",
+            *format_table(
+                ["config", "workers", "req/s", "p50 ms", "p99 ms",
+                 "mean ms", "ticks"],
+                rows,
+            ),
+        ],
+    )
+    JSON_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
+    )

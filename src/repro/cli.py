@@ -15,7 +15,14 @@ Commands:
   plus the measured data/parity chunk I/O split. With ``--fault-plan``
   the replay runs under injected faults (fail-stop, latent sectors,
   bit flips, transients) with online repair; ``--scrub-every`` /
-  ``--repair-chunks`` throttle the background repair loop.
+  ``--repair-chunks`` throttle the background repair loop;
+  ``--concurrency K`` splits the trace into K disjoint stripe
+  partitions and replays them through the concurrent block service.
+* ``serve --family F --n N [--concurrency 1 2 4 ...]`` — closed-loop
+  latency-vs-offered-load sweep: for each worker count, replay the
+  trace concurrently through :class:`repro.service.BlockService` and
+  print throughput plus p50/p99/mean request latency (optionally with
+  ``--fault-plan`` and throttled ``--repair-every`` ticks active).
 * ``scrub --family F --n N`` — populate (or open with ``--dir``) a
   store, optionally under ``--fault-plan``, and run a full scrub pass,
   printing the classification of every error found.
@@ -118,6 +125,39 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--repair-chunks", type=int, default=256,
                         help="chunk-I/O budget per background repair tick "
                              "(default 256)")
+    replay.add_argument("--concurrency", type=int, default=1,
+                        help="closed-loop workers replaying the trace "
+                             "concurrently over disjoint stripe "
+                             "partitions (default 1 = serial replay)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="closed-loop latency-vs-load sweep over the block service",
+    )
+    serve.add_argument("--family", default="tip",
+                       help="code family (default tip)")
+    serve.add_argument("--n", type=int, default=8,
+                       help="array size in disks (default 8)")
+    serve.add_argument("--trace", default="synthetic:prxy_0",
+                       help="CSV trace path or synthetic:<workload> "
+                            "(default synthetic:prxy_0)")
+    serve.add_argument("--requests", type=int, default=1000,
+                       help="total requests per sweep point (default 1000)")
+    serve.add_argument("--stripes", type=int, default=64,
+                       help="store stripes (default 64)")
+    serve.add_argument("--chunk-bytes", type=int, default=4096,
+                       help="chunk size in bytes (default 4096)")
+    serve.add_argument("--cache-stripes", type=int, default=0,
+                       help="write-back stripe cache capacity (default 0)")
+    serve.add_argument("--concurrency", type=int, nargs="+",
+                       default=(1, 2, 4),
+                       help="worker counts to sweep (default 1 2 4)")
+    serve.add_argument("--fault-plan", default=None,
+                       help="inject faults during the sweep (replay's "
+                            "spec syntax); repair runs online")
+    serve.add_argument("--repair-every", type=int, default=0,
+                       help="one background repair tick per N completed "
+                            "requests (0 = tick only on faults)")
 
     scrub = sub.add_parser(
         "scrub", help="scrub a store, classifying and repairing errors"
@@ -262,6 +302,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
           f"{stats.duration_s:.1f} s, {stats.iops:.1f} IOPS, "
           f"{stats.write_fraction:.1%} writes, "
           f"avg {stats.avg_request_kb:.2f} KB")
+    if args.concurrency < 1:
+        raise ValueError("--concurrency must be >= 1")
     plan = None
     repair = None
     scrub_report = None
@@ -292,10 +334,22 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                   + (f", cache {args.cache_stripes} stripes"
                      if args.cache_stripes else "")
                   + (", fault injection on" if plan else "")
+                  + (f", {args.concurrency} workers"
+                     if args.concurrency > 1 else "")
                   + ")")
-            result = device.replay(
-                trace, repair=repair, scrub_every=args.scrub_every
-            )
+            if args.concurrency > 1:
+                from repro.service import replay_concurrent, split_disjoint
+
+                result = replay_concurrent(
+                    store,
+                    split_disjoint(trace, args.concurrency, store),
+                    repair=repair,
+                    repair_every=args.scrub_every,
+                )
+            else:
+                result = device.replay(
+                    trace, repair=repair, scrub_every=args.scrub_every
+                )
             if repair is not None:
                 # Close the loop: a final full scrub pass proves the
                 # array came out of the faulty replay consistent.
@@ -308,11 +362,19 @@ def _cmd_replay(args: argparse.Namespace) -> int:
           f"{io.data_chunks_written:8d} written")
     print(f"parity chunks: {io.parity_chunks_read:8d} read "
           f"{io.parity_chunks_written:8d} written")
-    print(f"measured avg chunk I/Os: {result.chunks_per_write:.2f} per write, "
-          f"{result.chunks_per_read:.2f} per read")
+    if args.concurrency > 1:
+        print(f"latency over {result.workers} closed-loop workers: "
+              f"p50 {result.p50_latency_ms:.3f} ms, "
+              f"p99 {result.p99_latency_ms:.3f} ms, "
+              f"{result.throughput_iops:.0f} req/s "
+              f"({result.elapsed_s:.2f} s wall)")
+    else:
+        print(f"measured avg chunk I/Os: "
+              f"{result.chunks_per_write:.2f} per write, "
+              f"{result.chunks_per_read:.2f} per read")
     if result.cache is not None:
         cache = result.cache
-        amortization = cache.parity_write_amortization
+        amortization = cache.parity_write_amortization_or_none
         print(f"cache: {cache.hit_rate:.1%} hit rate "
               f"({cache.hits}/{cache.lookups} chunk lookups), "
               f"{cache.flushes} flushes, {cache.evictions} evictions")
@@ -321,7 +383,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
               f"({cache.chunk_ios_saved} saved)")
         print(f"parity writes: {cache.raw_io.parity_chunks_written} uncached "
               f"-> {cache.io.parity_chunks_written} coalesced "
-              f"(amortization {amortization:.2f}x)")
+              + (f"(amortization {amortization:.2f}x)"
+                 if amortization is not None
+                 else "(amortization n/a: nothing flushed yet)"))
     if plan is not None:
         stats = plan.stats
         print(f"faults injected: {stats.fail_stops} fail-stops, "
@@ -337,6 +401,62 @@ def _cmd_replay(args: argparse.Namespace) -> int:
               f"{rs.rebuild_io.total_chunks} repair chunk I/Os")
         if scrub_report is not None:
             _print_scrub_report(scrub_report)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import replay_concurrent, split_disjoint
+    from repro.store import ArrayStore
+
+    if args.trace.startswith("synthetic:"):
+        workload = args.trace.split(":", 1)[1]
+        if workload not in workload_names():
+            raise ValueError(
+                f"unknown workload {workload!r}; pick one of {workload_names()}"
+            )
+        trace = generate_trace(workload, requests=args.requests, seed=42)
+    else:
+        trace = parse_csv_trace(args.trace)
+    code = make_code(args.family, args.n)
+    levels = sorted(set(args.concurrency))
+    if levels[0] < 1:
+        raise ValueError("--concurrency levels must be >= 1")
+    print(f"service sweep on {code.name} (n={code.n}, {args.stripes} "
+          f"stripes x {args.chunk_bytes} B chunks, trace {trace.name}, "
+          f"{len(trace)} requests"
+          + (f", cache {args.cache_stripes} stripes"
+             if args.cache_stripes else "")
+          + (", fault injection on" if args.fault_plan else "")
+          + (f", repair tick every {args.repair_every} requests"
+             if args.repair_every else "")
+          + ")")
+    print(f"{'workers':>7s} {'req/s':>9s} {'p50 ms':>9s} {'p99 ms':>9s} "
+          f"{'mean ms':>9s} {'retries':>7s} {'ticks':>6s}")
+    for workers in levels:
+        repair = None
+        with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmpdir:
+            with ArrayStore(
+                code,
+                tmpdir,
+                stripes=args.stripes,
+                chunk_bytes=args.chunk_bytes,
+                cache_stripes=args.cache_stripes,
+            ) as store:
+                if args.fault_plan:
+                    from repro.faults import FaultPlan, RepairController
+
+                    store.set_fault_plan(FaultPlan.parse(args.fault_plan))
+                    repair = RepairController(store)
+                result = replay_concurrent(
+                    store,
+                    split_disjoint(trace, workers, store),
+                    repair=repair,
+                    repair_every=args.repair_every,
+                )
+        print(f"{result.workers:7d} {result.throughput_iops:9.0f} "
+              f"{result.p50_latency_ms:9.3f} {result.p99_latency_ms:9.3f} "
+              f"{result.mean_latency_ms:9.3f} {result.retried_requests:7d} "
+              f"{result.repair_ticks:6d}")
     return 0
 
 
@@ -421,6 +541,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_simulate(args.workload, args.n, args.requests)
         if args.command == "replay":
             return _cmd_replay(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "scrub":
             return _cmd_scrub(args)
         if args.command == "reliability":

@@ -30,6 +30,7 @@ can never leave a stale reconstructed column behind.
 from __future__ import annotations
 
 import logging
+import threading
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -93,6 +94,12 @@ class RepairController:
         #: (and restorable) so a repair loop can resume across restarts.
         self.rebuild_cursor = 0
         self._watch: set[int] | None = None
+        # Serializes fault dispatch and repair ticks: several worker
+        # threads can surface the same injected fault at once, and two
+        # concurrent ``handle_fault`` calls for one fail-stop must fold
+        # into one replace-and-restart, not two. Reentrant: handling a
+        # fault raised *during* a tick re-enters from the same thread.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @property
@@ -120,19 +127,20 @@ class RepairController:
         budget) propagate as the store's own errors — the caller sees
         real data loss, not a silent swallow.
         """
-        if isinstance(exc, FailStopError):
-            return self._handle_fail_stop(exc)
-        if isinstance(exc, LatentSectorError):
-            self.stats.latent_handled += 1
-            self._repair_lba_stripe(exc.lba)
-            self.store.complete_interrupted_write()
-            return True
-        if isinstance(exc, TransientIOError):
-            # The backend already burned its internal retries; one more
-            # attempt at request granularity is the last resort.
-            self.stats.transient_handled += 1
-            return True
-        return False
+        with self._lock:
+            if isinstance(exc, FailStopError):
+                return self._handle_fail_stop(exc)
+            if isinstance(exc, LatentSectorError):
+                self.stats.latent_handled += 1
+                self._repair_lba_stripe(exc.lba)
+                self.store.complete_interrupted_write()
+                return True
+            if isinstance(exc, TransientIOError):
+                # The backend already burned its internal retries; one
+                # more attempt at request granularity is the last resort.
+                self.stats.transient_handled += 1
+                return True
+            return False
 
     def _handle_fail_stop(self, exc: FailStopError) -> bool:
         store = self.store
@@ -177,15 +185,16 @@ class RepairController:
         :meth:`handle_fault` and the slice is abandoned — the next tick
         resumes where appropriate.
         """
-        self.stats.ticks += 1
-        try:
-            if self.rebuilding:
-                return self._rebuild_tick()
-            return self.scrubber.step(max_stripes=self.stripes_per_tick)
-        except FaultError as exc:
-            if not self.handle_fault(exc):
-                raise
-            return 0
+        with self._lock:
+            self.stats.ticks += 1
+            try:
+                if self.rebuilding:
+                    return self._rebuild_tick()
+                return self.scrubber.step(max_stripes=self.stripes_per_tick)
+            except FaultError as exc:
+                if not self.handle_fault(exc):
+                    raise
+                return 0
 
     def _rebuild_tick(self) -> int:
         store = self.store

@@ -149,6 +149,7 @@ class BlockDevice:
         from repro.faults.inject import FaultError
 
         store = self.store
+        last_fault: FaultError | None = None
         for attempt in range(_MAX_REQUEST_ATTEMPTS):
             try:
                 if request.is_write:
@@ -159,10 +160,13 @@ class BlockDevice:
             except FaultError as exc:
                 if repair is None or not repair.handle_fault(exc):
                     raise
+                last_fault = exc
+        # Chain the final fault: the retry cap firing is a symptom, the
+        # root cause is whatever kept faulting after repair.
         raise IOError(
             f"request at offset {offset} still faulting after "
             f"{_MAX_REQUEST_ATTEMPTS} repair-and-retry attempts"
-        )
+        ) from last_fault
 
     def replay(
         self,
@@ -191,7 +195,7 @@ class BlockDevice:
         """
         store = self.store
         cache = getattr(store, "cache", None)
-        cache_before = cache.stats.snapshot() if cache is not None else None
+        cache_before = cache.snapshot_stats() if cache is not None else None
         start = store.io.snapshot()
         per_request: list[IoCounters] = []
         reads = writes = 0
@@ -239,7 +243,7 @@ class BlockDevice:
             io=store.io.snapshot() - start,
             per_request=per_request,
             cache=(
-                cache.stats.snapshot() - cache_before
+                cache.snapshot_stats() - cache_before
                 if cache is not None
                 else None
             ),

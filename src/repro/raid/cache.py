@@ -58,6 +58,7 @@ always consistent either with the old data or with data already written.
 from __future__ import annotations
 
 import logging
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Protocol
@@ -145,13 +146,26 @@ class CacheStats:
 
     @property
     def parity_write_amortization(self) -> float:
-        """Uncached parity chunk writes per coalesced parity chunk write."""
+        """Uncached parity chunk writes per coalesced parity chunk write.
+
+        ``inf`` when the cache absorbed parity writes but flushed none
+        yet (all deltas still pending). Use
+        :attr:`parity_write_amortization_or_none` anywhere the value is
+        serialized: ``json.dumps`` renders ``inf`` as the non-standard
+        token ``Infinity``, which strict parsers reject.
+        """
         if self.io.parity_chunks_written == 0:
             return float("inf") if self.raw_io.parity_chunks_written else 1.0
         return (
             self.raw_io.parity_chunks_written
             / self.io.parity_chunks_written
         )
+
+    @property
+    def parity_write_amortization_or_none(self) -> float | None:
+        """JSON-safe amortization: ``None`` instead of ``inf``."""
+        ratio = self.parity_write_amortization
+        return None if ratio == float("inf") else ratio
 
     @property
     def chunk_ios_saved(self) -> int:
@@ -259,22 +273,39 @@ class StripeCache:
         )
         self.stats = CacheStats()
         self._stripes: OrderedDict[int, ParityDeltaAccumulator] = OrderedDict()
+        # One reentrant lock guards every cache transition (LRU order,
+        # accumulator fold, flush, eviction, stats). Coarse by design:
+        # each transition is cheap relative to the backend chunk I/O it
+        # coalesces, and holding the lock across a whole fold/flush makes
+        # the per-stripe state machine atomic — a concurrent writer can
+        # never observe (or fold into) a stripe mid-flush. Reentrant
+        # because ``drop()`` calls ``flush()`` and eviction inside
+        # ``write()`` flushes the victim.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._stripes)
+        with self._lock:
+            return len(self._stripes)
 
     @property
     def cached_stripes(self) -> tuple[int, ...]:
         """Cached stripe indices, least recently used first."""
-        return tuple(self._stripes)
+        with self._lock:
+            return tuple(self._stripes)
 
     @property
     def dirty_stripes(self) -> tuple[int, ...]:
         """Cached stripes still owing writes, least recently used first."""
-        return tuple(s for s, st in self._stripes.items() if st.is_dirty)
+        with self._lock:
+            return tuple(s for s, st in self._stripes.items() if st.is_dirty)
+
+    def snapshot_stats(self) -> CacheStats:
+        """An atomic copy of the running stats (no torn counter sets)."""
+        with self._lock:
+            return self.stats.snapshot()
 
     # ------------------------------------------------------------------
     # metered backend I/O
@@ -355,7 +386,8 @@ class StripeCache:
 
     def invalidate(self, stripe: int) -> None:
         """Drop a stripe's cached state without flushing it."""
-        self._stripes.pop(stripe, None)
+        with self._lock:
+            self._stripes.pop(stripe, None)
 
     # ------------------------------------------------------------------
     # byte I/O
@@ -373,14 +405,17 @@ class StripeCache:
         cursor = 0
         for run in self.mapping.byte_runs(offset, buf.size):
             payload = buf[cursor : cursor + run.nbytes]
-            self._price_raw_write(run)
-            if (
-                run.length == self.code.num_data
-                and not run.is_partial(self.chunk_bytes)
-            ):
-                self._bypass_full_stripe(run, payload)
-            else:
-                self._absorb_run(run, payload)
+            # Lock per stripe-run, not per request: a multi-stripe write
+            # holds the cache only as long as one stripe's transition.
+            with self._lock:
+                self._price_raw_write(run)
+                if (
+                    run.length == self.code.num_data
+                    and not run.is_partial(self.chunk_bytes)
+                ):
+                    self._bypass_full_stripe(run, payload)
+                else:
+                    self._absorb_run(run, payload)
             cursor += run.nbytes
 
     def _bypass_full_stripe(self, run: ChunkRun, payload: np.ndarray) -> None:
@@ -444,33 +479,34 @@ class StripeCache:
         chunk_bytes = self.chunk_bytes
         cursor = 0
         for run in self.mapping.byte_runs(offset, length):
-            state = self._stripes.get(run.stripe)
-            if state is not None:
-                self._stripes.move_to_end(run.stripe)
-            consumed = 0
-            for index in range(run.length):
-                within = run.start + index
-                pos = self.code.data_positions[within]
-                chunk = None if state is None else state.data.get(within)
-                if chunk is None:
-                    chunk = self._read(run.stripe, pos)
-                    self.stats.read_chunk_misses += 1
-                    if state is not None:
-                        state.data[within] = chunk
-                else:
-                    self.stats.read_chunk_hits += 1
-                skip = run.skip if index == 0 else 0
-                take = min(chunk_bytes - skip, run.nbytes - consumed)
-                out[cursor : cursor + take] = chunk[skip : skip + take]
-                cursor += take
-                consumed += take
-            self._count_raw_positions(
-                (
-                    self.code.data_positions[run.start + i]
-                    for i in range(run.length)
-                ),
-                wrote=False,
-            )
+            with self._lock:
+                state = self._stripes.get(run.stripe)
+                if state is not None:
+                    self._stripes.move_to_end(run.stripe)
+                consumed = 0
+                for index in range(run.length):
+                    within = run.start + index
+                    pos = self.code.data_positions[within]
+                    chunk = None if state is None else state.data.get(within)
+                    if chunk is None:
+                        chunk = self._read(run.stripe, pos)
+                        self.stats.read_chunk_misses += 1
+                        if state is not None:
+                            state.data[within] = chunk
+                    else:
+                        self.stats.read_chunk_hits += 1
+                    skip = run.skip if index == 0 else 0
+                    take = min(chunk_bytes - skip, run.nbytes - consumed)
+                    out[cursor : cursor + take] = chunk[skip : skip + take]
+                    cursor += take
+                    consumed += take
+                self._count_raw_positions(
+                    (
+                        self.code.data_positions[run.start + i]
+                        for i in range(run.length)
+                    ),
+                    wrote=False,
+                )
         return out
 
     # ------------------------------------------------------------------
@@ -478,23 +514,34 @@ class StripeCache:
     # ------------------------------------------------------------------
     def flush(self) -> int:
         """Write back every dirty stripe (LRU order); returns stripes
-        flushed. Entries stay cached (clean) for future hits."""
-        flushed = 0
-        for stripe in list(self._stripes):
-            if self._flush_stripe(stripe, self._stripes[stripe]):
-                flushed += 1
-        if flushed and logger.isEnabledFor(logging.DEBUG):
-            logger.debug("cache: flushed %d dirty stripes", flushed)
-        return flushed
+        flushed. Entries stay cached (clean) for future hits.
+
+        A stripe invalidated while the flush walks the list — e.g. by
+        :meth:`ArrayStore.fail_disk` reacting to a fault surfaced by
+        this very flush, or a full-stripe bypass write racing in — is
+        simply skipped: its state is gone and owes nothing.
+        """
+        with self._lock:
+            flushed = 0
+            for stripe in list(self._stripes):
+                state = self._stripes.get(stripe)
+                if state is None:
+                    continue  # invalidated mid-flush
+                if self._flush_stripe(stripe, state):
+                    flushed += 1
+            if flushed and logger.isEnabledFor(logging.DEBUG):
+                logger.debug("cache: flushed %d dirty stripes", flushed)
+            return flushed
 
     def drop(self) -> None:
         """Flush everything, then empty the cache entirely."""
-        logger.info(
-            "cache: dropping %d cached stripes (flush + disengage)",
-            len(self._stripes),
-        )
-        self.flush()
-        self._stripes.clear()
+        with self._lock:
+            logger.info(
+                "cache: dropping %d cached stripes (flush + disengage)",
+                len(self._stripes),
+            )
+            self.flush()
+            self._stripes.clear()
 
     def _flush_stripe(
         self, stripe: int, state: ParityDeltaAccumulator

@@ -1,0 +1,42 @@
+"""Concurrent block-service layer: many callers, one array.
+
+Everything below this package — :class:`~repro.store.ArrayStore`, the
+write-back :class:`~repro.raid.StripeCache`, the
+:class:`~repro.faults.repair.RepairController` — began life assuming
+exactly one caller. This package is the front-end that removes the
+assumption:
+
+* :mod:`repro.service.locks` — the locking discipline: an array-level
+  readers-writer lock (foreground shared, maintenance exclusive) above
+  refcounted per-stripe mutexes acquired in ascending order (deadlock-
+  free by construction);
+* :mod:`repro.service.scheduler` — :class:`BlockService`, the
+  thread-pool request front-end with semaphore admission and the QoS
+  arbiter that interleaves throttled repair ticks with foreground
+  traffic;
+* :mod:`repro.service.loadgen` — the closed-loop load generator:
+  barrier-synchronized workers replaying traces concurrently, per-
+  request latency sampling (p50/p99 vs offered load), and the
+  :func:`split_disjoint` partitioner behind the serial-equivalence
+  contract (disjoint concurrent replay ≡ serial replay, byte for byte
+  and counter for counter).
+"""
+
+from repro.service.loadgen import (
+    ConcurrentReplayResult,
+    replay_concurrent,
+    split_disjoint,
+)
+from repro.service.locks import ArrayRWLock, StripeLockManager
+from repro.service.scheduler import BlockService, ServiceStats, percentile
+
+__all__ = [
+    "ArrayRWLock",
+    "BlockService",
+    "ConcurrentReplayResult",
+    "ServiceStats",
+    "StripeLockManager",
+    "percentile",
+    "replay_concurrent",
+    "split_disjoint",
+]

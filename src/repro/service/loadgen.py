@@ -1,0 +1,232 @@
+"""Closed-loop concurrent trace replay against the block service.
+
+The serial :meth:`repro.raid.BlockDevice.replay` answers "what does one
+caller cost"; this module answers the ROADMAP's fleet question: what
+happens to tail latency when *N* callers contend. Each worker replays
+its own trace closed-loop — issue a request, wait for completion, issue
+the next — so offered load is set by the worker count, the classic
+closed-loop load-generator model. Latency is sampled per request
+(admission to completion) and summarized as p50/p99.
+
+Determinism contract (the cross-validation PR 3 established, extended to
+concurrency): payload bytes are the same offset-derived pattern serial
+replay uses, so replaying **disjoint** traces concurrently must produce
+a byte-identical array and identical aggregate ``IoCounters`` to
+replaying them back-to-back serially — per-stripe state never depends
+on cross-stripe interleaving. :func:`split_disjoint` builds such traces
+by confining one source trace to per-worker stripe-aligned partitions;
+``tests/test_service.py`` and ``benchmarks/bench_service.py`` hold the
+service to the contract.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.raid.blockdevice import _payload
+from repro.service.scheduler import BlockService, percentile
+from repro.traces.model import Trace, TraceRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.repair import RepairStats
+    from repro.raid.cache import CacheStats
+    from repro.store import ArrayStore, IoCounters
+
+__all__ = ["ConcurrentReplayResult", "replay_concurrent", "split_disjoint"]
+
+
+@dataclass
+class ConcurrentReplayResult:
+    """Measured outcome of a closed-loop concurrent replay."""
+
+    workers: int
+    requests: int
+    reads: int
+    writes: int
+    bytes_read: int
+    bytes_written: int
+    elapsed_s: float
+    #: Aggregate measured chunk I/O over the whole replay (foreground +
+    #: any repair), from the store's own meters.
+    io: "IoCounters"
+    #: Per-request latency samples (ms) across all workers.
+    latencies_ms: list[float] = field(repr=False, default_factory=list)
+    cache: "CacheStats | None" = None
+    repair: "RepairStats | None" = None
+    retried_requests: int = 0
+    repair_ticks: int = 0
+
+    @property
+    def throughput_iops(self) -> float:
+        """Completed requests per wall-clock second."""
+        return self.requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def p50_latency_ms(self) -> float:
+        """Median request latency in milliseconds."""
+        return percentile(self.latencies_ms, 0.50)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        """99th-percentile request latency in milliseconds."""
+        return percentile(self.latencies_ms, 0.99)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean request latency in milliseconds."""
+        if not self.latencies_ms:
+            return 0.0
+        return sum(self.latencies_ms) / len(self.latencies_ms)
+
+
+def split_disjoint(
+    trace: Trace, parts: int, store: "ArrayStore"
+) -> list[Trace]:
+    """Split ``trace`` into ``parts`` traces over disjoint stripe ranges.
+
+    The store's stripes are divided into ``parts`` equal contiguous
+    partitions (stripe-aligned, so no two partitions share any parity
+    chain); requests are dealt round-robin and each request's offset is
+    folded into its partition's byte range, lengths clamped to the
+    partition — the same wrap-and-clamp convention serial replay applies
+    at device scale. Replaying the pieces concurrently is then free of
+    data races *by address*, which is what makes the serial-equivalence
+    contract testable.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if len(trace) < parts:
+        raise ValueError(
+            f"trace has {len(trace)} requests, cannot feed {parts} workers"
+        )
+    stripes_per_part = store.stripes // parts
+    if stripes_per_part < 1:
+        raise ValueError(
+            f"{store.stripes} stripes cannot host {parts} disjoint partitions"
+        )
+    part_bytes = stripes_per_part * store.code.num_data * store.chunk_bytes
+    buckets: list[list[TraceRequest]] = [[] for _ in range(parts)]
+    for index, request in enumerate(trace):
+        part = index % parts
+        offset = request.offset % part_bytes
+        buckets[part].append(
+            TraceRequest(
+                timestamp=request.timestamp,
+                offset=part * part_bytes + offset,
+                length=min(request.length, part_bytes - offset),
+                is_write=request.is_write,
+            )
+        )
+    return [
+        Trace(f"{trace.name}[{part}/{parts}]", requests)
+        for part, requests in enumerate(buckets)
+    ]
+
+
+def _replay_worker(
+    service: BlockService,
+    trace: Trace,
+    barrier: threading.Barrier,
+    errors: list[BaseException],
+) -> None:
+    """One closed-loop client: replay ``trace`` request by request."""
+    capacity = service.capacity_bytes
+    try:
+        barrier.wait()
+        for request in trace:
+            offset = request.offset % capacity
+            length = min(request.length, capacity - offset)
+            if request.is_write:
+                service.write(offset, _payload(request, length))
+            else:
+                service.read(offset, length)
+    except BaseException as exc:
+        # Recorded for the caller to re-raise after join — swallowed
+        # here so the thread dies quietly instead of double-reporting.
+        errors.append(exc)
+        # Unblock workers still waiting on the start barrier.
+        barrier.abort()
+
+
+def replay_concurrent(
+    store: "ArrayStore",
+    traces: Sequence[Trace],
+    *,
+    repair=None,
+    repair_every: int = 0,
+    join_timeout_s: float = 600.0,
+) -> ConcurrentReplayResult:
+    """Replay ``traces`` concurrently, one closed-loop worker per trace.
+
+    Workers start together (barrier-synchronized) and each replays its
+    trace through a shared :class:`BlockService`; the service is closed
+    (repair drained, cache flushed) before the result is assembled, so
+    the aggregate counters cover everything the replay made durable —
+    mirroring what serial :meth:`~repro.raid.BlockDevice.replay` counts.
+    """
+    service = BlockService(
+        store,
+        workers=max(1, len(traces)),
+        repair=repair,
+        repair_every=repair_every,
+    )
+    io_before = store.io.snapshot()
+    cache = store.cache
+    cache_before = cache.snapshot_stats() if cache is not None else None
+    barrier = threading.Barrier(len(traces))
+    errors: list[BaseException] = []
+    threads = [
+        threading.Thread(
+            target=_replay_worker,
+            args=(service, trace, barrier, errors),
+            name=f"repro-loadgen-{index}",
+            daemon=True,
+        )
+        for index, trace in enumerate(traces)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=join_timeout_s)
+        if thread.is_alive():
+            raise TimeoutError(
+                f"load worker {thread.name} still running after "
+                f"{join_timeout_s}s — suspected deadlock"
+            )
+    service.close()
+    elapsed = time.perf_counter() - started
+    if errors:
+        # Prefer the root cause over the BrokenBarrierError fallout the
+        # abort caused in the other workers.
+        raise next(
+            (
+                error
+                for error in errors
+                if not isinstance(error, threading.BrokenBarrierError)
+            ),
+            errors[0],
+        )
+    stats = service.stats
+    return ConcurrentReplayResult(
+        workers=len(traces),
+        requests=stats.requests,
+        reads=stats.reads,
+        writes=stats.writes,
+        bytes_read=stats.bytes_read,
+        bytes_written=stats.bytes_written,
+        elapsed_s=elapsed,
+        io=store.io.snapshot() - io_before,
+        latencies_ms=list(stats.latencies_ms),
+        cache=(
+            cache.snapshot_stats() - cache_before
+            if cache is not None
+            else None
+        ),
+        repair=repair.stats if repair is not None else None,
+        retried_requests=stats.retried_requests,
+        repair_ticks=stats.repair_ticks,
+    )

@@ -1,0 +1,157 @@
+"""Locking primitives for the concurrent block service.
+
+Two levels, always acquired in the same global order:
+
+1. the **array lock** (:class:`ArrayRWLock`) — shared by foreground
+   requests, exclusive for operations that change what *every* stripe
+   means: failing a disk, rebuild/scrub ticks, draining the write-back
+   cache. Exclusive acquisition waits for in-flight requests to retire
+   and blocks new ones, so a repair tick always sees a quiescent array;
+2. **per-stripe locks** (:class:`StripeLockManager`) — a request takes
+   the locks of every stripe its byte range touches, in ascending stripe
+   order. Ordered acquisition makes deadlock impossible: any two
+   requests contending on two stripes block on them in the same order.
+
+Stripe locks are refcounted and created on demand, so the manager's
+memory footprint follows the *contended* stripe set, not the array size.
+
+The lock order is ``array (shared|exclusive) → stripes ascending``;
+nothing in the service acquires an array lock while holding a stripe
+lock. The write-back cache adds its own internal reentrant lock *below*
+the stripe level (see :class:`repro.raid.cache.StripeCache`); it never
+acquires service locks, keeping the hierarchy acyclic.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterable, Iterator
+
+__all__ = ["ArrayRWLock", "StripeLockManager"]
+
+
+class ArrayRWLock:
+    """A readers-writer lock with writer preference.
+
+    Foreground requests hold it shared; maintenance (disk failure,
+    repair ticks, cache drains) holds it exclusive. Writer preference —
+    a waiting writer blocks *new* readers — keeps a steady foreground
+    stream from starving repair forever; repair ticks are rare and
+    bounded, so the foreground stall per tick is the tick's own cost.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_shared(self) -> None:
+        """Take the lock shared; blocks while a writer holds or waits."""
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_shared(self) -> None:
+        """Drop a shared hold, waking a waiting writer if we were last."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_exclusive(self) -> None:
+        """Take the lock exclusive once every reader has retired."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_exclusive(self) -> None:
+        """Drop the exclusive hold and wake all waiters."""
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def shared(self) -> Iterator[None]:
+        """Hold the lock shared for the duration of the block."""
+        self.acquire_shared()
+        try:
+            yield
+        finally:
+            self.release_shared()
+
+    @contextmanager
+    def exclusive(self) -> Iterator[None]:
+        """Hold the lock exclusive for the duration of the block."""
+        self.acquire_exclusive()
+        try:
+            yield
+        finally:
+            self.release_exclusive()
+
+
+class _StripeLock:
+    """One stripe's lock plus the refcount keeping it alive."""
+
+    __slots__ = ("lock", "refs")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.refs = 0
+
+
+class StripeLockManager:
+    """On-demand, refcounted per-stripe mutexes with ordered acquisition.
+
+    :meth:`locked` takes the locks of a stripe set in ascending index
+    order and releases them in reverse. Because every caller sorts, the
+    wait-for graph over stripe locks is acyclic — two requests touching
+    stripes {3, 7} and {7, 3} both lock 3 before 7, so neither can hold
+    7 while waiting on 3.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._locks: dict[int, _StripeLock] = {}
+
+    def __len__(self) -> int:
+        """Stripe locks currently alive (held or being waited on)."""
+        with self._mutex:
+            return len(self._locks)
+
+    def _checkout(self, stripe: int) -> _StripeLock:
+        with self._mutex:
+            entry = self._locks.get(stripe)
+            if entry is None:
+                entry = self._locks[stripe] = _StripeLock()
+            entry.refs += 1
+            return entry
+
+    def _checkin(self, stripe: int, entry: _StripeLock) -> None:
+        with self._mutex:
+            entry.refs -= 1
+            if entry.refs == 0:
+                del self._locks[stripe]
+
+    @contextmanager
+    def locked(self, stripes: Iterable[int]) -> Iterator[None]:
+        """Hold the locks of ``stripes`` (deduplicated, ascending)."""
+        ordered = sorted(set(stripes))
+        held: list[tuple[int, _StripeLock]] = []
+        try:
+            for stripe in ordered:
+                entry = self._checkout(stripe)
+                entry.lock.acquire()
+                held.append((stripe, entry))
+            yield
+        finally:
+            for stripe, entry in reversed(held):
+                entry.lock.release()
+                self._checkin(stripe, entry)

@@ -1,0 +1,307 @@
+"""The concurrent block service: a thread-pool front-end over the store.
+
+Every layer below this one was written single-caller first and made
+thread-safe by PR 6; :class:`BlockService` is the component that lets
+callers actually contend. It owns the locking discipline:
+
+* each request resolves its byte range to the stripe set it touches and
+  executes under the array lock (shared) plus those stripes' locks in
+  ascending order — overlapping requests serialize per stripe,
+  disjoint requests run in parallel;
+* maintenance — injected-fault handling, throttled
+  :class:`~repro.faults.repair.RepairController` rebuild/scrub ticks —
+  runs under the array lock (exclusive), so it always sees a quiescent
+  array, exactly like the serial replay loop it generalizes;
+* admission is a counting semaphore (``max_inflight``): requests beyond
+  the limit queue at the door rather than piling onto the lock tables,
+  and the QoS arbiter interleaves one repair tick per
+  ``repair_every`` completed foreground requests — the concurrent
+  analogue of ``BlockDevice.replay(scrub_every=...)``.
+
+Latency is measured per request from admission to completion
+(:class:`ServiceStats` collects the samples; `p50/p99` come from
+:func:`percentile`), which is what the closed-loop load generator in
+:mod:`repro.service.loadgen` sweeps against offered load.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.raid.blockdevice import BlockDevice
+from repro.service.locks import ArrayRWLock, StripeLockManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.repair import RepairController
+    from repro.store import ArrayStore
+
+__all__ = ["BlockService", "ServiceStats", "percentile"]
+
+#: Per-request cap on fault-handle-and-retry cycles, matching
+#: ``BlockDevice.replay``'s bound: every retry follows a state-changing
+#: repair, so the cap only guards against a pathological fault plan.
+_MAX_REQUEST_ATTEMPTS = 6
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1])."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+    ordered = sorted(samples)
+    # Standard nearest-rank: the ceil(f*N)-th order statistic (1-based);
+    # round() would banker's-round the 5-sample median down to rank 2.
+    rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class ServiceStats:
+    """What the service did, and how long each request took."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    retried_requests: int = 0
+    repair_ticks: int = 0
+    #: Per-request latency in milliseconds, admission to completion.
+    latencies_ms: list[float] = field(repr=False, default_factory=list)
+
+    @property
+    def requests(self) -> int:
+        """Foreground requests completed."""
+        return self.reads + self.writes
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean request latency in milliseconds."""
+        if not self.latencies_ms:
+            return 0.0
+        return sum(self.latencies_ms) / len(self.latencies_ms)
+
+    @property
+    def p50_latency_ms(self) -> float:
+        """Median request latency in milliseconds."""
+        return percentile(self.latencies_ms, 0.50)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        """99th-percentile request latency in milliseconds."""
+        return percentile(self.latencies_ms, 0.99)
+
+
+class BlockService:
+    """Thread-safe byte-addressed front-end over an array store.
+
+    Args:
+        store: the (thread-safe) :class:`~repro.store.ArrayStore` to
+            serve. A :class:`~repro.raid.BlockDevice` is built over it
+            for address math; its serial :meth:`~repro.raid.BlockDevice.
+            replay` remains available and unaffected.
+        workers: threads in the request pool used by :meth:`submit_read`
+            / :meth:`submit_write`. Synchronous :meth:`read` /
+            :meth:`write` execute on the caller's thread (a closed-loop
+            client *is* its own worker) but share the same admission and
+            locking discipline.
+        repair: optional :class:`~repro.faults.repair.RepairController`;
+            injected faults surfacing from requests are dispatched
+            through it (under the exclusive array lock) and the request
+            retried, as in serial replay.
+        repair_every: run one background repair tick after every this
+            many completed foreground requests (0 = tick only on
+            faults). The tick runs exclusive — foreground admission
+            stalls for exactly the tick's bounded chunk budget.
+        max_inflight: admission bound on concurrently executing
+            requests; defaults to ``4 * workers``.
+    """
+
+    def __init__(
+        self,
+        store: "ArrayStore",
+        *,
+        workers: int = 4,
+        repair: "RepairController | None" = None,
+        repair_every: int = 0,
+        max_inflight: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if repair_every < 0:
+            raise ValueError("repair_every must be >= 0")
+        if repair_every and repair is None:
+            raise ValueError("repair_every needs a repair controller")
+        self.store = store
+        self.device = BlockDevice(store)
+        self.workers = workers
+        self.repair = repair
+        self.repair_every = repair_every
+        self.stats = ServiceStats()
+        self._array = ArrayRWLock()
+        self._stripe_locks = StripeLockManager()
+        self._admission = threading.BoundedSemaphore(
+            max_inflight if max_inflight is not None else 4 * workers
+        )
+        self._stats_lock = threading.Lock()
+        self._completed_since_tick = 0
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        """Addressable bytes (the device's full logical capacity)."""
+        return self.device.capacity_bytes
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-service",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Drain repair, flush the cache, shut the pool down."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        with self._array.exclusive():
+            if self.repair is not None:
+                self.repair.drain()
+            self.store.flush()
+
+    def __enter__(self) -> "BlockService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # public I/O
+    # ------------------------------------------------------------------
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset`` (admitted, stripe-locked)."""
+        self.device._check_range(offset, length)
+        return self._admitted(False, offset, length, None).tobytes()
+
+    def write(self, offset: int, data: bytes | bytearray | np.ndarray) -> None:
+        """Write ``data`` at ``offset`` (admitted, stripe-locked)."""
+        buf = (
+            np.ascontiguousarray(data, dtype=np.uint8).reshape(-1)
+            if isinstance(data, np.ndarray)
+            else np.frombuffer(bytes(data), dtype=np.uint8)
+        )
+        self.device._check_range(offset, buf.size)
+        self._admitted(True, offset, buf.size, buf)
+
+    def submit_read(self, offset: int, length: int) -> "Future[bytes]":
+        """Queue a read on the service pool; returns its future."""
+        self.device._check_range(offset, length)
+        return self._executor().submit(self.read, offset, length)
+
+    def submit_write(
+        self, offset: int, data: bytes | bytearray | np.ndarray
+    ) -> "Future[None]":
+        """Queue a write on the service pool; returns its future."""
+        return self._executor().submit(self.write, offset, data)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _admitted(
+        self,
+        is_write: bool,
+        offset: int,
+        length: int,
+        payload: np.ndarray | None,
+    ) -> np.ndarray | None:
+        """Admission + timing wrapper around one request execution."""
+        started = time.perf_counter()
+        with self._admission:
+            result = self._execute(is_write, offset, length, payload)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        with self._stats_lock:
+            stats = self.stats
+            if is_write:
+                stats.writes += 1
+                stats.bytes_written += length
+            else:
+                stats.reads += 1
+                stats.bytes_read += length
+            stats.latencies_ms.append(elapsed_ms)
+            run_tick = False
+            if self.repair_every:
+                self._completed_since_tick += 1
+                if self._completed_since_tick >= self.repair_every:
+                    self._completed_since_tick = 0
+                    run_tick = True
+        if run_tick:
+            self._repair_tick()
+        return result
+
+    def _execute(
+        self,
+        is_write: bool,
+        offset: int,
+        length: int,
+        payload: np.ndarray | None,
+    ) -> np.ndarray | None:
+        from repro.faults.inject import FaultError
+
+        stripes = [
+            run.stripe for run in self.device.mapping.byte_runs(offset, length)
+        ]
+        last_fault: FaultError | None = None
+        for attempt in range(_MAX_REQUEST_ATTEMPTS):
+            try:
+                with self._array.shared(), self._stripe_locks.locked(stripes):
+                    if is_write:
+                        self.store.write_bytes(offset, payload)
+                        return None
+                    return self.store.read_bytes(offset, length)
+            except FaultError as exc:
+                # All locks are released here: the shared/stripe context
+                # managers unwound with the exception, so taking the
+                # exclusive lock below cannot self-deadlock.
+                if self.repair is None:
+                    raise
+                with self._array.exclusive():
+                    if not self.repair.handle_fault(exc):
+                        raise
+                last_fault = exc
+                with self._stats_lock:
+                    self.stats.retried_requests += 1
+        raise IOError(
+            f"request at offset {offset} still faulting after "
+            f"{_MAX_REQUEST_ATTEMPTS} repair-and-retry attempts"
+        ) from last_fault
+
+    def _repair_tick(self) -> None:
+        """One throttled repair tick under the exclusive array lock."""
+        if self.repair is None:
+            return
+        with self._array.exclusive():
+            self.repair.tick()
+        with self._stats_lock:
+            self.stats.repair_ticks += 1
+
+    def drain_repair(self) -> None:
+        """Run repair ticks (exclusive) until the array is healthy."""
+        if self.repair is None:
+            return
+        with self._array.exclusive():
+            self.repair.drain()

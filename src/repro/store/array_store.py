@@ -41,6 +41,8 @@ chunk I/O; the store's own counters then meter the coalesced traffic.
 from __future__ import annotations
 
 import logging
+import os
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, BinaryIO
 
@@ -169,12 +171,24 @@ class ArrayStore:
         self._disk_bytes = self.planner.mapping.disk_bytes(stripes)
         self._handles: dict[int, BinaryIO] = {}
         self._decoder: Decoder | None = None
+        # Thread-safety primitives. Span I/O itself is positional
+        # (os.pread/os.pwrite — no shared file cursor); these locks cover
+        # the remaining shared mutable state so concurrent callers under
+        # the service layer's per-stripe discipline cannot corrupt
+        # bookkeeping: handle open/close, counter increments, the decoder
+        # memo, and the write-watcher registry.
+        self._handles_lock = threading.Lock()
+        self._meter_lock = threading.Lock()
+        self._decoder_lock = threading.Lock()
+        self._watchers_lock = threading.Lock()
         #: Pending span writes of the in-flight mutating operation:
         #: ``(disk, offset, payload, (data_chunks, parity_chunks))``.
         #: Maintained only under a fault plan (the journal exists to roll
         #: an injected-fault-interrupted write forward; absolute values
-        #: make the replay idempotent).
-        self._journal: list[tuple[int, int, bytes, tuple[int, int]]] = []
+        #: make the replay idempotent). Thread-local: each thread's
+        #: in-flight write owns its own journal, and the thread that saw
+        #: the fault rolls its own journal forward.
+        self._journal_tls = threading.local()
         #: Observers of foreground writes: each registered set collects
         #: the stripe indices mutated while it is watching (used by the
         #: incremental repair loop to re-rebuild stripes written during
@@ -232,9 +246,10 @@ class ArrayStore:
             if self.cache is not None:
                 self.cache.flush()
         finally:
-            for handle in self._handles.values():
-                handle.close()
-            self._handles.clear()
+            with self._handles_lock:
+                for handle in self._handles.values():
+                    handle.close()
+                self._handles.clear()
 
     def set_fault_plan(self, plan: "FaultPlan | None") -> None:
         """Attach (or with ``None`` detach) a fault-injection plan.
@@ -282,31 +297,39 @@ class ArrayStore:
 
     def _handle(self, disk: int) -> BinaryIO:
         """The disk's persistent unbuffered file handle (opened once)."""
-        handle = self._handles.get(disk)
-        if handle is None or handle.closed:
-            handle = self._disk_path(disk).open("r+b", buffering=0)
-            self._handles[disk] = handle
-        return handle
+        with self._handles_lock:
+            handle = self._handles.get(disk)
+            if handle is None or handle.closed:
+                handle = self._disk_path(disk).open("r+b", buffering=0)
+                self._handles[disk] = handle
+            return handle
 
     def _raw_read_span(self, disk: int, offset: int, length: int) -> bytes:
-        handle = self._handle(disk)
-        handle.seek(offset)
+        # Positional read: no shared file cursor, so concurrent span I/Os
+        # on one disk never interleave seek/read pairs.
+        fd = self._handle(disk).fileno()
         parts = []
         remaining = length
+        cursor = offset
         while remaining:
-            piece = handle.read(remaining)
+            piece = os.pread(fd, remaining, cursor)
             if not piece:
                 raise IOError(
                     f"short read on disk {disk} at offset {offset}"
                 )
             parts.append(piece)
             remaining -= len(piece)
+            cursor += len(piece)
         return b"".join(parts) if len(parts) > 1 else parts[0]
 
     def _raw_write_span(self, disk: int, offset: int, data: bytes) -> None:
-        handle = self._handle(disk)
-        handle.seek(offset)
-        handle.write(data)
+        fd = self._handle(disk).fileno()
+        view = memoryview(data)
+        cursor = offset
+        while view:
+            written = os.pwrite(fd, view, cursor)
+            view = view[written:]
+            cursor += written
 
     def _read_span(self, disk: int, offset: int, length: int) -> bytes:
         if self._backend is not None:
@@ -319,14 +342,28 @@ class ArrayStore:
         else:
             self._raw_write_span(disk, offset, data)
 
+    def _reset_last_io(self) -> None:
+        """Start a fresh ``last_io`` window for one public operation.
+
+        ``last_io`` is inherently a *single-caller* diagnostic: under
+        concurrent callers the windows of different operations overlap
+        and the per-operation attribution is meaningless (the aggregate
+        :attr:`io` stays exact — every increment happens under the meter
+        lock). The service layer therefore reports per-request latency
+        and aggregate counters instead of per-request ``last_io``.
+        """
+        with self._meter_lock:
+            self.last_io = IoCounters()
+
     def _count(self, data: int, parity: int, *, wrote: bool) -> None:
-        for counters in (self.io, self.last_io):
-            if wrote:
-                counters.data_chunks_written += data
-                counters.parity_chunks_written += parity
-            else:
-                counters.data_chunks_read += data
-                counters.parity_chunks_read += parity
+        with self._meter_lock:
+            for counters in (self.io, self.last_io):
+                if wrote:
+                    counters.data_chunks_written += data
+                    counters.parity_chunks_written += parity
+                else:
+                    counters.data_chunks_read += data
+                    counters.parity_chunks_read += parity
 
     def _count_element(self, pos: tuple[int, int], *, wrote: bool) -> None:
         kind = self.code.kind(*pos)
@@ -339,9 +376,10 @@ class ArrayStore:
         """The decoder for the present failure set, reused across stripes
         and operations (the algebra is solved once per ``(code, failed)``)."""
         key = tuple(sorted(self.failed))
-        if self._decoder is None or self._decoder.failed != key:
-            self._decoder = self.code.decoder_for(key)
-        return self._decoder
+        with self._decoder_lock:
+            if self._decoder is None or self._decoder.failed != key:
+                self._decoder = self.code.decoder_for(key)
+            return self._decoder
 
     # ------------------------------------------------------------------
     # element / stripe I/O
@@ -366,8 +404,10 @@ class ArrayStore:
         self._count_element(pos, wrote=True)
         # Element writes mutate surviving columns outside the planner
         # path (scrubber repairs, cache flushes): an in-flight rebuild
-        # must re-reconstruct the stripe afterwards.
-        for watcher in self._write_watchers:
+        # must re-reconstruct the stripe afterwards. Snapshot the
+        # registry (C-level copy, atomic under the GIL) so concurrent
+        # register/deregister can't disturb the iteration.
+        for watcher in tuple(self._write_watchers):
             watcher.add(stripe)
 
     def read_element(self, stripe: int, pos: tuple[int, int]) -> np.ndarray:
@@ -437,6 +477,20 @@ class ArrayStore:
     # ------------------------------------------------------------------
     # write journal & write watchers (fault-plan support)
     # ------------------------------------------------------------------
+    @property
+    def _journal(self) -> list[tuple[int, int, bytes, tuple[int, int]]]:
+        """The calling thread's pending-span journal.
+
+        Journals are per thread: a mutating operation journals on the
+        thread executing it, a fault interrupts that same thread, and
+        the repair path rolls forward on it too — so concurrent writers
+        can never clear each other's in-flight entries.
+        """
+        entries = getattr(self._journal_tls, "entries", None)
+        if entries is None:
+            entries = self._journal_tls.entries = []
+        return entries
+
     def _journal_entry(
         self, stripe: int, pos: tuple[int, int], chunk: np.ndarray
     ) -> None:
@@ -480,12 +534,14 @@ class ArrayStore:
         """Register and return a live set that collects the stripe index
         of every foreground write executed while watching."""
         watcher: set[int] = set()
-        self._write_watchers.append(watcher)
+        with self._watchers_lock:
+            self._write_watchers.append(watcher)
         return watcher
 
     def unwatch_writes(self, watcher: set[int]) -> None:
         """Deregister a set returned by :meth:`watch_writes`."""
-        self._write_watchers.remove(watcher)
+        with self._watchers_lock:
+            self._write_watchers.remove(watcher)
 
     # ------------------------------------------------------------------
     # logical byte / chunk I/O
@@ -506,7 +562,7 @@ class ArrayStore:
             )
         if start < 0 or start + chunks.shape[0] > self.capacity_chunks:
             raise ValueError("write beyond store capacity")
-        self.last_io = IoCounters()
+        self._reset_last_io()
         self._route_write(
             start * self.chunk_bytes, np.ascontiguousarray(chunks).reshape(-1)
         )
@@ -528,7 +584,7 @@ class ArrayStore:
             raise ValueError("cannot write zero bytes")
         if offset < 0 or offset + buf.size > self.capacity_bytes:
             raise ValueError("write beyond store capacity")
-        self.last_io = IoCounters()
+        self._reset_last_io()
         self._route_write(offset, buf)
 
     def _route_write(self, offset: int, buf: np.ndarray) -> None:
@@ -564,7 +620,7 @@ class ArrayStore:
             else:
                 self._stripe_write_run(run, payload, plan)
                 self.slow_path_writes += 1
-            for watcher in self._write_watchers:
+            for watcher in tuple(self._write_watchers):
                 watcher.add(run.stripe)
             cursor += run.nbytes
 
@@ -684,7 +740,7 @@ class ArrayStore:
             raise ValueError("count must be positive")
         if start < 0 or start + count > self.capacity_chunks:
             raise ValueError("read beyond store capacity")
-        self.last_io = IoCounters()
+        self._reset_last_io()
         flat = self._route_read(start * self.chunk_bytes,
                                 count * self.chunk_bytes)
         return flat.reshape(count, self.chunk_bytes)
@@ -699,7 +755,7 @@ class ArrayStore:
             raise ValueError("length must be positive")
         if offset < 0 or offset + length > self.capacity_bytes:
             raise ValueError("read beyond store capacity")
-        self.last_io = IoCounters()
+        self._reset_last_io()
         return self._route_read(offset, length)
 
     def _route_read(self, offset: int, length: int) -> np.ndarray:
@@ -782,7 +838,7 @@ class ArrayStore:
         """
         if not self.failed:
             return 0
-        self.last_io = IoCounters()
+        self._reset_last_io()
         logger.info(
             "store: rebuild of disks %s starting (%d stripes)",
             sorted(self.failed), self.stripes,
@@ -862,7 +918,7 @@ class ArrayStore:
         """Verify all stripes; returns the indices of corrupt stripes."""
         if self.failed:
             raise DiskFailedError("cannot scrub a degraded array")
-        self.last_io = IoCounters()
+        self._reset_last_io()
         if self.cache is not None:
             self.cache.flush()
         return [

@@ -154,3 +154,27 @@ class TestReplay:
                              chunk_bytes=CHUNK)
         healthy_result = BlockDevice(healthy).replay(trace)
         assert result.read_chunks >= healthy_result.read_chunks
+
+
+class TestRetryCapChaining:
+    def test_retry_cap_ioerror_chains_the_final_fault(
+        self, device, monkeypatch
+    ):
+        """Regression: the retry-cap ``IOError`` was raised bare, hiding
+        which injected fault kept recurring. It must chain the final
+        ``FaultError`` as ``__cause__``."""
+        from repro.faults.inject import FailStopError
+
+        class AlwaysRepairs:
+            def handle_fault(self, exc):
+                return True  # claims success; the fault recurs anyway
+
+        def always_faults(offset, data):
+            raise FailStopError(2)
+
+        monkeypatch.setattr(device.store, "write_bytes", always_faults)
+        trace = Trace("cap", [TraceRequest(0.0, 0, 64, True)])
+        with pytest.raises(IOError, match="still faulting") as info:
+            device.replay(trace, repair=AlwaysRepairs())
+        assert isinstance(info.value.__cause__, FailStopError)
+        assert info.value.__cause__.disk == 2

@@ -232,3 +232,65 @@ def test_reliability_with_sector_model(capsys):
     assert code == 0
     assert "latent rate 0.0001/disk-h" in out
     assert "scrub every 168 h" in out
+
+
+def test_replay_concurrent(capsys):
+    code, out, _ = run(
+        capsys, "replay", "--trace", "synthetic:prxy_0",
+        "--requests", "200", "--concurrency", "4",
+        "--stripes", "16", "--chunk-bytes", "512",
+    )
+    assert code == 0
+    assert "4 workers" in out
+    assert "p50" in out and "p99" in out
+    assert "closed-loop workers" in out
+
+
+def test_replay_concurrent_with_faults_scrubs_clean(capsys):
+    code, out, _ = run(
+        capsys, "replay", "--trace", "synthetic:prxy_0",
+        "--requests", "200", "--concurrency", "4",
+        "--fault-plan", "seed=7;latent:disk=1,rate=0.003",
+        "--scrub-every", "25",
+    )
+    assert code == 0
+    assert "repair:" in out
+    assert "0 unfixable" in out
+
+
+def test_replay_rejects_bad_concurrency(capsys):
+    code, _, err = run(
+        capsys, "replay", "--trace", "synthetic:prxy_0",
+        "--concurrency", "0",
+    )
+    assert code == 2
+    assert "concurrency" in err
+
+
+def test_serve_sweep(capsys):
+    code, out, _ = run(
+        capsys, "serve", "--requests", "120",
+        "--concurrency", "1", "2",
+        "--stripes", "16", "--chunk-bytes", "512",
+        "--cache-stripes", "16",
+    )
+    assert code == 0
+    assert "service sweep" in out
+    assert "p50 ms" in out and "p99 ms" in out
+    rows = [line for line in out.splitlines()
+            if line.strip() and line.split()[0] in ("1", "2")]
+    assert len(rows) == 2
+
+
+def test_serve_with_repair_ticks(capsys):
+    code, out, _ = run(
+        capsys, "serve", "--requests", "100",
+        "--concurrency", "2",
+        "--fault-plan", "seed=3;latent:disk=1,rate=0.002",
+        "--repair-every", "25",
+    )
+    assert code == 0
+    assert "repair tick every 25 requests" in out
+    row = [line for line in out.splitlines()
+           if line.strip().startswith("2 ")][0]
+    assert int(row.split()[-1]) == 4  # 100 requests / 25 per tick

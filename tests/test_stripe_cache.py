@@ -384,3 +384,39 @@ class TestConstruction:
         store = make_store(tmp_path, cache_stripes=0)
         assert store.cache is None
         assert store.flush() == 0
+
+
+class TestFlushInvalidationRace:
+    def test_flush_skips_stripe_invalidated_mid_walk(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: ``flush()`` snapshotted the stripe list, then did
+        a bare ``self._stripes[stripe]`` lookup per entry — a stripe
+        invalidated while the walk was in progress (fault handling,
+        bypass write) raised ``KeyError`` and aborted the whole flush.
+        It must be skipped instead, and the rest must still commit."""
+        store = make_store(tmp_path, cache_stripes=STRIPES)
+        cache = store.cache
+        per_stripe = store.code.num_data * CHUNK
+        for stripe in range(3):
+            store.write_bytes(
+                stripe * per_stripe, random_bytes(CHUNK, seed=stripe)
+            )
+        dirty = cache.dirty_stripes
+        assert len(dirty) == 3
+        first, victim = dirty[0], dirty[-1]
+        original = cache._flush_stripe
+        fired = []
+
+        def invalidating(stripe, state):
+            if not fired:
+                fired.append(stripe)
+                cache.invalidate(victim)
+            return original(stripe, state)
+
+        monkeypatch.setattr(cache, "_flush_stripe", invalidating)
+        flushed = cache.flush()  # KeyError before the fix
+        assert fired == [first]
+        assert flushed == 2  # the victim vanished mid-walk, unflushed
+        assert not cache.dirty_stripes
+        assert victim not in cache.cached_stripes
