@@ -26,12 +26,23 @@ from repro.bitmatrix.ops import (
     bm_identity,
     bm_is_invertible,
 )
-from repro.bitmatrix.plan import CompiledPlan, compile_schedule
-from repro.bitmatrix.schedule import XorSchedule, naive_schedule, smart_schedule
+from repro.bitmatrix.plan import CompiledPlan, compile_schedule, round_tile_bytes
+from repro.bitmatrix.schedule import (
+    XorSchedule,
+    fuse_stages,
+    naive_schedule,
+    smart_schedule,
+)
+from repro.bitmatrix.tuning import HostProfile, host_profile, set_host_profile
 
 __all__ = [
     "CompiledPlan",
     "compile_schedule",
+    "round_tile_bytes",
+    "HostProfile",
+    "host_profile",
+    "set_host_profile",
+    "fuse_stages",
     "bm_mul",
     "bm_mat_vec",
     "bm_inv",

@@ -1,4 +1,4 @@
-"""Compiled XOR plans: zero-allocation, cache-blocked schedule execution.
+"""Compiled XOR plans: run-fused, wide-word, cache-blocked execution.
 
 :meth:`XorSchedule.apply` is the *interpreted* reference executor: it
 allocates a fresh packet per assign step and a zero packet per empty row,
@@ -7,19 +7,29 @@ decode / rebuild paths where the same schedule runs thousands of times
 over large buffers. :class:`CompiledPlan` lowers a schedule once into a
 flat program that executes with **zero per-step allocation**:
 
-* every XOR runs as ``numpy.bitwise_xor(dest, src, out=dest)`` on
-  preallocated buffers; assigns are ``numpy.copyto`` into caller-owned
-  output rows (no intermediate ``ndarray.copy()``);
 * **dead-code elimination**: when only a subset of outputs is needed
   (``Decoder.decode_columns(only_cols=...)``), steps that feed no needed
   output are dropped entirely;
 * **liveness-based workspace reuse**: outputs that are only intermediate
   bases for other outputs live in a small workspace arena whose slots are
   recycled once their last reader has run;
-* **cache blocking**: execution is chunked into column tiles so the full
-  set of input/output/workspace rows for one tile stays cache-resident
-  while each tile's XOR chain runs — on wide buffers this keeps the hot
-  working set out of DRAM.
+* **run fusion**: consecutive ops sharing a destination lower into one
+  *run* — a multi-source XOR accumulate. A run with sources
+  ``s1 ^ s2 ^ ... ^ sk`` opens with the three-address form
+  ``bitwise_xor(s1, s2, out=dest)`` instead of ``copyto`` + XOR, saving
+  one full memory pass over the destination per run and one numpy
+  dispatch;
+* **wide-word execution**: 8-byte-aligned spans execute as ``uint64``
+  views (numpy moves whole machine words per element either way, but the
+  8x-shorter loops cut per-op shape handling); ragged widths fall back
+  to ``uint8`` only for the sub-8-byte tail span;
+* **measured cache blocking**: execution is chunked into column tiles
+  sized from the host calibration in :mod:`repro.bitmatrix.tuning` —
+  the measured effective cache divided by the plan's row footprint,
+  floored so per-call dispatch overhead stays amortized — instead of a
+  hard-coded footprint guess. All tile boundaries are 64-byte multiples
+  so ``uint64`` views never fall back mid-sweep; an explicit
+  ``tile_bytes`` is rounded **up** to the next 64-byte multiple.
 
 Plans are self-contained and picklable, which is what lets
 :mod:`repro.codec.parallel` ship them to worker processes that execute
@@ -32,23 +42,44 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.bitmatrix.tuning import host_profile
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.bitmatrix.schedule import XorSchedule
 
-__all__ = ["CompiledPlan", "compile_schedule"]
+__all__ = ["CompiledPlan", "compile_schedule", "round_tile_bytes"]
 
 #: Buffer codes used in lowered ops: input packet, output row, workspace.
 BUF_IN, BUF_OUT, BUF_WS = 0, 1, 2
 
-#: Aggregate tile footprint (all rows of one tile) the auto-tiler aims
-#: for. Large enough that per-tile Python dispatch overhead is amortized,
-#: small enough that one tile's rows fit comfortably in the outer cache
-#: levels of every machine we care about.
-_TILE_TARGET_BYTES = 32 << 20
+#: All tile boundaries are multiples of this, so every interior tile of
+#: an 8-aligned buffer stays ``uint64``-viewable (and cache-line whole).
+TILE_ALIGN = 64
 
-#: Auto-tile clamp range; tiles are multiples of 4 KiB (packet alignment).
+#: Auto-tile clamp range (both 64-byte multiples).
 _TILE_MIN = 32 << 10
-_TILE_MAX = 1 << 20
+_TILE_MAX = 4 << 20
+
+#: The auto tile is floored so measured per-call dispatch overhead is at
+#: most ~1/this of the cached per-op XOR time.
+_DISPATCH_AMORTIZE = 16
+
+#: Below this width, building per-row ``uint64`` views costs more than
+#: the shorter inner loops save; stay on the uint8 path.
+_WIDE_WORD_MIN = 1 << 14
+
+
+def round_tile_bytes(tile_bytes: int) -> int:
+    """Round an explicit tile request **up** to a 64-byte multiple.
+
+    The documented rule: tiles are always 64-byte multiples so that
+    8-byte-aligned buffers never lose their ``uint64`` view mid-sweep
+    (and no tile splits a cache line). Non-positive requests are
+    rejected rather than silently clamped.
+    """
+    if tile_bytes <= 0:
+        raise ValueError("tile_bytes must be positive")
+    return -(-tile_bytes // TILE_ALIGN) * TILE_ALIGN
 
 
 def compile_schedule(
@@ -167,6 +198,38 @@ class CompiledPlan:
         self.zero_rows: tuple[int, ...] = tuple(
             row for out, row in out_row.items() if out not in written
         )
+        self.runs = self._fuse_runs(ops)
+
+    @staticmethod
+    def _fuse_runs(
+        ops: list[tuple[int, int, int, int, bool]],
+    ) -> list[tuple]:
+        """Group the flat op list into multi-source accumulate runs.
+
+        Each run is ``(dest, head, sources)`` with ``dest`` a
+        ``(buffer, index)`` pair, ``head`` the assigning source (or
+        ``None`` for a run that re-accumulates into an already-written
+        destination), and ``sources`` the XOR-accumulated ``(buffer,
+        index)`` pairs. A new run opens on every assign and whenever the
+        destination changes — two distinct intermediates recycled into
+        the same workspace slot can never merge, because the second one
+        always begins with an assign.
+        """
+        runs: list[tuple] = []
+        current: tuple[int, int] | None = None
+        for dbuf, didx, sbuf, sidx, assign in ops:
+            dest = (dbuf, didx)
+            if assign:
+                runs.append((dest, (sbuf, sidx), []))
+                current = dest
+            elif dest == current and runs:
+                runs[-1][2].append((sbuf, sidx))
+            else:  # accumulate into a dest this program never assigned
+                runs.append((dest, None, [(sbuf, sidx)]))
+                current = dest
+        return [
+            (dest, head, tuple(sources)) for dest, head, sources in runs
+        ]
 
     # ------------------------------------------------------------------
     @property
@@ -174,12 +237,48 @@ class CompiledPlan:
         """Packet XORs per execution (excludes copies), after DCE."""
         return sum(1 for op in self.ops if not op[4])
 
+    @property
+    def memory_passes(self) -> int:
+        """Full-width buffer sweeps per execution after run fusion.
+
+        Each XOR source is streamed once; a run's head costs nothing
+        extra (the opening three-address XOR folds it into the first
+        accumulate) unless the run is a bare copy. The roofline stage of
+        ``bench_engine.py`` uses this to convert payload throughput into
+        achieved XOR-stream bandwidth.
+        """
+        passes = 0
+        for _dest, head, sources in self.runs:
+            if sources:
+                passes += len(sources) + (head is not None)
+            else:
+                passes += 2  # bare copy: read head, write dest
+        return passes
+
     def default_tile(self, width: int) -> int:
-        """Tile width (bytes) targeting a cache-resident per-tile footprint."""
+        """Tile width (bytes) from the measured host calibration.
+
+        The measured effective cache divided by the plan's total row
+        footprint, floored so per-call dispatch overhead stays under
+        ~1/:data:`_DISPATCH_AMORTIZE` of cached per-op XOR time, clamped
+        to [:data:`_TILE_MIN`, :data:`_TILE_MAX`] and rounded to a
+        64-byte multiple. Hosts whose caches swallow the whole working
+        set naturally get large tiles (fewer dispatches); small-cache
+        hosts get tiles that actually fit.
+        """
         rows = self.num_inputs + len(self.outputs) + self.num_workspace
-        tile = _TILE_TARGET_BYTES // max(rows, 1)
-        tile -= tile % 4096
-        return int(min(max(tile, _TILE_MIN), _TILE_MAX, max(width, 1)))
+        profile = host_profile()
+        cache_tile = profile.effective_cache_bytes // max(rows, 1)
+        floor = int(
+            profile.dispatch_overhead_s
+            * profile.xor_cached_gib_s
+            * (1 << 30)
+            * _DISPATCH_AMORTIZE
+        )
+        tile = min(max(cache_tile, floor, _TILE_MIN), _TILE_MAX)
+        if width > 0:
+            tile = min(tile, -(-width // TILE_ALIGN) * TILE_ALIGN)
+        return max(tile - tile % TILE_ALIGN, TILE_ALIGN)
 
     # ------------------------------------------------------------------
     # execution
@@ -252,40 +351,94 @@ class CompiledPlan:
             )
         for row in self.zero_rows:
             outs[row][:] = 0
-        if not self.ops:
+        if not self.runs:
             return
         if tile_bytes is None:
             tile = self.default_tile(width)
-        elif tile_bytes <= 0:
-            raise ValueError("tile_bytes must be positive")
         else:
-            tile = tile_bytes
-        ws = self._workspace(min(tile, width))
-        ops = self.ops
-        xor, copyto = np.bitwise_xor, np.copyto
+            tile = round_tile_bytes(tile_bytes)
+        ws_rows = list(self._workspace(min(tile, width)))
+        runs = self.runs
+        wide = (
+            width >= _WIDE_WORD_MIN
+            and _rows_u64_viewable(ins)
+            and _rows_u64_viewable(outs)
+            and _rows_u64_viewable(ws_rows)
+        )
         for lo in range(0, width, tile):
             hi = min(lo + tile, width)
             span = hi - lo
-            for dbuf, didx, sbuf, sidx, assign in ops:
-                if sbuf == BUF_IN:
-                    src = ins[sidx][lo:hi]
-                elif sbuf == BUF_OUT:
-                    src = outs[sidx][lo:hi]
+            if wide and span >= 8:
+                # Tile starts are 64-byte multiples, so lo preserves the
+                # rows' 8-byte base alignment; only the final tile can
+                # carry a ragged sub-8-byte tail.
+                w8 = span - (span & 7)
+                self._run_tile(
+                    (
+                        [r[lo : lo + w8].view(np.uint64) for r in ins],
+                        [r[lo : lo + w8].view(np.uint64) for r in outs],
+                        [r[:w8].view(np.uint64) for r in ws_rows],
+                    ),
+                    runs,
+                )
+                if w8 != span:
+                    self._run_tile(
+                        (
+                            [r[lo + w8 : hi] for r in ins],
+                            [r[lo + w8 : hi] for r in outs],
+                            [r[w8:span] for r in ws_rows],
+                        ),
+                        runs,
+                    )
+            else:
+                self._run_tile(
+                    (
+                        [r[lo:hi] for r in ins],
+                        [r[lo:hi] for r in outs],
+                        [r[:span] for r in ws_rows],
+                    ),
+                    runs,
+                )
+
+    @staticmethod
+    def _run_tile(bufs: tuple[list, list, list], runs: list[tuple]) -> None:
+        """Execute the fused runs over one tile's resolved row views.
+
+        ``bufs`` is indexed by buffer code (``BUF_IN``/``BUF_OUT``/
+        ``BUF_WS``). Each run with a head opens with the three-address
+        ``bitwise_xor(head, first_source, out=dest)`` — destination is
+        written, never read — then chains in-place XOR accumulates.
+        """
+        xor = np.bitwise_xor
+        for (dbuf, didx), head, sources in runs:
+            dest = bufs[dbuf][didx]
+            if head is not None:
+                harr = bufs[head[0]][head[1]]
+                if sources:
+                    first = sources[0]
+                    xor(harr, bufs[first[0]][first[1]], out=dest)
+                    rest = sources[1:]
                 else:
-                    src = ws[sidx][:span]
-                dest = outs[didx][lo:hi] if dbuf == BUF_OUT else ws[didx][:span]
-                if assign:
-                    copyto(dest, src)
-                else:
-                    xor(dest, src, out=dest)
+                    np.copyto(dest, harr)
+                    continue
+            else:
+                rest = sources
+            for sbuf, sidx in rest:
+                xor(dest, bufs[sbuf][sidx], out=dest)
 
     def _workspace(self, tile: int) -> np.ndarray:
-        """The reusable intermediate arena, grown on demand."""
+        """The reusable intermediate arena, grown on demand.
+
+        Row width is rounded up to a 64-byte multiple so every workspace
+        row stays 8-byte aligned (``uint64``-viewable) regardless of the
+        requested tile.
+        """
         if self.num_workspace == 0:
             return _EMPTY_WS
+        want = -(-tile // TILE_ALIGN) * TILE_ALIGN
         ws = self._ws
-        if ws is None or ws.shape[1] < tile:
-            ws = np.empty((self.num_workspace, tile), dtype=np.uint8)
+        if ws is None or ws.shape[1] < want:
+            ws = np.empty((self.num_workspace, want), dtype=np.uint8)
             self._ws = ws
         return ws
 
@@ -306,3 +459,13 @@ class CompiledPlan:
 
 
 _EMPTY_WS = np.empty((0, 0), dtype=np.uint8)
+
+
+def _rows_u64_viewable(rows: Sequence[np.ndarray]) -> bool:
+    """True when every row is contiguous and 8-byte aligned at its base.
+
+    Tile offsets are 64-byte multiples, so base alignment is the only
+    per-row condition needed for interior ``uint64`` views."""
+    return all(
+        row.strides[0] == 1 and row.ctypes.data % 8 == 0 for row in rows
+    )

@@ -20,7 +20,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["XorOp", "XorSchedule", "naive_schedule", "smart_schedule"]
+__all__ = [
+    "XorOp",
+    "XorSchedule",
+    "naive_schedule",
+    "smart_schedule",
+    "fuse_stages",
+]
 
 
 @dataclass(frozen=True)
@@ -119,6 +125,56 @@ def naive_schedule(matrix: np.ndarray) -> XorSchedule:
                 schedule.ops.append(XorOp(row, "in", col, assign=first))
                 first = False
     return schedule
+
+
+def fuse_stages(first: XorSchedule, second: XorSchedule) -> XorSchedule:
+    """Fuse two schedules where ``second``'s inputs are ``first``'s outputs.
+
+    The fused program reads ``first``'s inputs and produces
+    ``second``'s outputs at indices ``0..second.num_outputs-1``;
+    ``first``'s outputs ride along as trailing outputs (indices
+    ``second.num_outputs..``) so the result is still a complete,
+    independently executable :class:`XorSchedule`. Compiling the fusion
+    with ``needed_outputs=range(second.num_outputs)`` dead-code-
+    eliminates the trailing intermediates into recycled workspace rows —
+    one blocked sweep instead of two full passes with a materialized
+    intermediate matrix between them.
+
+    This is how the decoder joins its sparse syndrome stage to the dense
+    back-substitution stage: each cache tile computes syndromes and
+    consumes them while they are still resident.
+
+    ``second`` must not read an input that ``first`` never writes (an
+    all-zero first-stage row produces no ops); callers zero the
+    corresponding columns of the second stage's matrix before
+    scheduling it.
+    """
+    if second.num_inputs != first.num_outputs:
+        raise ValueError(
+            f"stage mismatch: first produces {first.num_outputs} outputs, "
+            f"second expects {second.num_inputs} inputs"
+        )
+    offset = second.num_outputs
+    written = {op.dest for op in first.ops}
+    fused = XorSchedule(
+        num_inputs=first.num_inputs,
+        num_outputs=offset + first.num_outputs,
+    )
+    for op in first.ops:
+        source = op.source if op.source_kind == "in" else op.source + offset
+        fused.ops.append(XorOp(op.dest + offset, op.source_kind, source, op.assign))
+    for op in second.ops:
+        if op.source_kind == "in":
+            if op.source not in written:
+                raise ValueError(
+                    f"second stage reads input {op.source}, which the "
+                    f"first stage never writes (all-zero row); zero that "
+                    f"column of the second stage's matrix instead"
+                )
+            fused.ops.append(XorOp(op.dest, "out", op.source + offset, op.assign))
+        else:
+            fused.ops.append(XorOp(op.dest, "out", op.source, op.assign))
+    return fused
 
 
 def smart_schedule(matrix: np.ndarray) -> XorSchedule:

@@ -14,6 +14,7 @@ from repro.codec.engine import (
     StripeCodec,
     ThroughputResult,
     encode_schedule_for,
+    kernel_name,
     measure_encode_throughput,
     measure_decode_throughput,
 )
@@ -21,15 +22,18 @@ from repro.codec.parallel import (
     parallel_decode_into,
     parallel_encode_into,
     parallel_execute,
+    shared_empty,
 )
 
 __all__ = [
     "StripeCodec",
     "ThroughputResult",
     "encode_schedule_for",
+    "kernel_name",
     "measure_encode_throughput",
     "measure_decode_throughput",
     "parallel_encode_into",
     "parallel_decode_into",
     "parallel_execute",
+    "shared_empty",
 ]

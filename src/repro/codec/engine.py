@@ -37,12 +37,20 @@ __all__ = [
     "StripeCodec",
     "ThroughputResult",
     "encode_schedule_for",
+    "kernel_name",
     "measure_encode_throughput",
     "measure_decode_throughput",
 ]
 
 #: Supported execution engines for the throughput measurers.
 ENGINES = ("compiled", "interpreted")
+
+#: Kernel identifiers the measurers dispatch to, pinned by tests so a
+#: refactor can never silently reroute a measurement (e.g. an
+#: interpreted ``schedule.apply`` leaking into a compiled-engine number).
+KERNEL_INTERPRETED = "XorSchedule.apply"
+KERNEL_COMPILED = "CompiledPlan.execute_into"
+KERNEL_PARALLEL = "parallel_execute[zero-copy]"
 
 # ----------------------------------------------------------------------
 # encode-schedule memoization
@@ -308,6 +316,29 @@ def _check_engine(engine: str, workers: int) -> None:
         raise ValueError("multicore fan-out requires the compiled engine")
 
 
+def kernel_name(engine: str, workers: int = 1) -> str:
+    """The kernel an ``(engine, workers)`` pair dispatches to.
+
+    Both throughput measurers branch on exactly this mapping, so a test
+    pinning it pins what every engine string actually measures:
+
+    * ``("interpreted", 1)`` → :data:`KERNEL_INTERPRETED` — the
+      reference ``XorSchedule.apply`` of the *dense* schedule;
+    * ``("compiled", 1)`` → :data:`KERNEL_COMPILED` — the same
+      run-fused ``CompiledPlan.execute_into`` that
+      :meth:`StripeCodec.encode_into` / :meth:`StripeCodec.decode_into`
+      execute;
+    * ``("compiled", >1)`` → :data:`KERNEL_PARALLEL` — multiprocess
+      fan-out of that same plan over pooled shared-memory buffers
+      (allocated with :func:`repro.codec.parallel.shared_empty`, so the
+      timed region contains no gather/scatter copies).
+    """
+    _check_engine(engine, workers)
+    if engine == "interpreted":
+        return KERNEL_INTERPRETED
+    return KERNEL_PARALLEL if workers > 1 else KERNEL_COMPILED
+
+
 def measure_encode_throughput(
     code: ArrayCode,
     data_bytes: int = 64 << 20,
@@ -325,33 +356,40 @@ def measure_encode_throughput(
     selects interpreted vs compiled execution; ``workers > 1`` fans the
     compiled plan out over processes on shared-memory buffers.
     """
-    _check_engine(engine, workers)
+    kernel = kernel_name(engine, workers)
     codec = StripeCodec(code, packet_size, tile_bytes=tile_bytes)
     stripes = -(-data_bytes // codec.data_bytes_per_stripe)  # ceil division
     width = stripes * packet_size
     rng = np.random.default_rng(seed)
-    data = rng.integers(
-        0, 256, size=(code.num_data, width), dtype=np.uint8
-    )
-    if engine == "interpreted":
-        packets = [data[i] for i in range(code.num_data)]
-        start = time.perf_counter()
-        codec.encode_packets(packets)
-        elapsed = time.perf_counter() - start
-    elif workers > 1:
-        from repro.codec.parallel import parallel_encode_into
+    if kernel == KERNEL_PARALLEL:
+        from repro.codec.parallel import parallel_encode_into, shared_empty
 
-        out = np.empty((code.num_parity, width), dtype=np.uint8)
+        # Zero-copy: inputs and outputs live in pooled shared memory, so
+        # the timed region is pure fan-out execution (no gather/scatter).
+        data = shared_empty((code.num_data, width), role="bench-enc-in")
+        data[...] = rng.integers(
+            0, 256, size=(code.num_data, width), dtype=np.uint8
+        )
+        out = shared_empty((code.num_parity, width), role="bench-enc-out")
         out.fill(0)  # fault the pages outside the timed region
         start = time.perf_counter()
         parallel_encode_into(codec, data, out, workers=workers)
         elapsed = time.perf_counter() - start
     else:
-        out = np.empty((code.num_parity, width), dtype=np.uint8)
-        out.fill(0)  # fault the pages outside the timed region
-        start = time.perf_counter()
-        codec.encode_into(data, out)
-        elapsed = time.perf_counter() - start
+        data = rng.integers(
+            0, 256, size=(code.num_data, width), dtype=np.uint8
+        )
+        if kernel == KERNEL_INTERPRETED:
+            packets = [data[i] for i in range(code.num_data)]
+            start = time.perf_counter()
+            codec.encode_packets(packets)
+            elapsed = time.perf_counter() - start
+        else:
+            out = np.empty((code.num_parity, width), dtype=np.uint8)
+            out.fill(0)  # fault the pages outside the timed region
+            start = time.perf_counter()
+            codec.encode_into(data, out)
+            elapsed = time.perf_counter() - start
     return ThroughputResult(
         name=code.name,
         total_bytes=code.num_data * width,
@@ -377,9 +415,13 @@ def measure_decode_throughput(
     survivors of a ``data_bytes``-sized region; throughput is data bytes
     per second of recovery work, averaged across patterns. Schedule
     construction and plan compilation (the algebra) are excluded,
-    matching the paper's steady-state measurement.
+    matching the paper's steady-state measurement. The compiled engine
+    times :meth:`StripeCodec.decode_into` itself — the fused two-stage
+    plan, exactly the production path — while ``xors_per_element``
+    always reports the dense schedule's count (the paper's decode cost
+    metric; see ``Decoder.fused_xor_count`` for the executed count).
     """
-    _check_engine(engine, workers)
+    kernel = kernel_name(engine, workers)
     codec = StripeCodec(code, packet_size, tile_bytes=tile_bytes)
     stripes = -(-data_bytes // codec.data_bytes_per_stripe)  # ceil division
     width = stripes * packet_size
@@ -397,36 +439,35 @@ def measure_decode_throughput(
     total_xor_per_elem = 0.0
     for combo in combos:
         decoder = code.decoder_for(combo)
-        known = rng_np.integers(
-            0,
-            256,
-            size=(len(decoder.plan.known_positions), width),
-            dtype=np.uint8,
+        num_known = len(decoder.plan.known_positions)
+        num_unknown = len(decoder.plan.unknown_positions)
+        fill = rng_np.integers(
+            0, 256, size=(num_known, width), dtype=np.uint8
         )
-        if engine == "interpreted":
-            packets = [known[i] for i in range(known.shape[0])]
+        if kernel == KERNEL_INTERPRETED:
+            packets = [fill[i] for i in range(num_known)]
             start = time.perf_counter()
             decoder.plan.schedule.apply(packets)
             total_seconds += time.perf_counter() - start
-        elif workers > 1:
-            from repro.codec.parallel import parallel_decode_into
+        elif kernel == KERNEL_PARALLEL:
+            from repro.codec.parallel import parallel_decode_into, shared_empty
 
-            out = np.empty(
-                (len(decoder.plan.unknown_positions), width), dtype=np.uint8
-            )
+            # Zero-copy: survivors and outputs in pooled shared memory,
+            # so the timed region is pure fan-out execution.
+            known = shared_empty((num_known, width), role="bench-dec-in")
+            known[...] = fill
+            out = shared_empty((num_unknown, width), role="bench-dec-out")
             out.fill(0)  # fault the pages outside the timed region
             decoder.compiled_plan()  # compile outside the timed region
             start = time.perf_counter()
             parallel_decode_into(codec, combo, known, out, workers=workers)
             total_seconds += time.perf_counter() - start
         else:
-            out = np.empty(
-                (len(decoder.plan.unknown_positions), width), dtype=np.uint8
-            )
+            out = np.empty((num_unknown, width), dtype=np.uint8)
             out.fill(0)  # fault the pages outside the timed region
             decoder.compiled_plan()  # compile outside the timed region
             start = time.perf_counter()
-            codec.decode_into(combo, known, out)
+            codec.decode_into(combo, fill, out)
             total_seconds += time.perf_counter() - start
         total_xor_per_elem += decoder.xor_count / code.num_data
     count = len(combos)

@@ -11,13 +11,25 @@ byte-identical for any worker count because every output byte is
 produced by exactly one worker running exactly the sequential program.
 
 Mechanics: inputs are gathered into one ``multiprocessing.shared_memory``
-segment, the pickled plan plus segment names and the span bounds go to a
-``ProcessPoolExecutor``, workers attach and execute in place, and the
-parent scatters the output segment back. Worker pools are created once
-per worker count and reused across calls, and the shared-memory segments
-are pooled too (grown geometrically, unlinked at interpreter exit), so
-steady-state fan-out pays neither fork/spawn nor segment create/unlink
-cost.
+segment, the pickled plan plus segment names, per-row byte offsets and
+the span bounds go to a ``ProcessPoolExecutor``, workers attach and
+execute in place, and the parent scatters the output segment back.
+Worker pools are created once per worker count and reused across calls,
+and the shared-memory segments are pooled too (grown geometrically,
+unlinked at interpreter exit), so steady-state fan-out pays neither
+fork/spawn nor segment create/unlink cost.
+
+**Zero-copy fan-out**: the gather/scatter copies are pure overhead when
+the caller's buffers already live in a pool-owned segment.
+:func:`shared_empty` hands out uint8 matrices backed by pooled shared
+memory; :func:`parallel_execute` recognizes rows residing in any pooled
+segment (by address range) and passes workers the segment name plus the
+rows' true offsets instead of copying — the batched rebuild path of
+``ArrayStore`` and the throughput measurers allocate their wide grids
+this way. A ``shared_empty`` matrix stays valid until the next
+``shared_empty`` call **for the same role with a larger size** (the pool
+grows by replacing segments), so treat it as a transient batch buffer:
+allocate, fill, execute, read back, re-request.
 
 Fan-out only pays past a per-worker size threshold: dispatching to the
 pool and copying through shared memory cost real time, and below roughly
@@ -54,6 +66,7 @@ __all__ = [
     "parallel_encode_into",
     "parallel_decode_into",
     "resolve_workers",
+    "shared_empty",
     "split_spans",
 ]
 
@@ -89,17 +102,14 @@ def resolve_workers(workers: int | None) -> int:
 
 
 def _serial_xor_bytes_per_second() -> float:
-    """Best-of-3 throughput of one in-process XOR over 8 MiB buffers."""
-    size = 8 << 20
-    a = np.ones(size, dtype=np.uint8)
-    b = np.full(size, 0x5A, dtype=np.uint8)
-    out = np.empty(size, dtype=np.uint8)
-    best = float("inf")
-    for _ in range(3):
-        t0 = time.perf_counter()
-        np.bitwise_xor(a, b, out=out)
-        best = min(best, time.perf_counter() - t0)
-    return size / max(best, 1e-9)
+    """Streaming XOR bandwidth of the serial engine, from the shared
+    host calibration (measured once per process in
+    :mod:`repro.bitmatrix.tuning` — the same roofline the tile policy
+    and ``bench_engine.py`` use, so the fan-out threshold is calibrated
+    against the *fused* serial kernel's actual ceiling)."""
+    from repro.bitmatrix.tuning import host_profile
+
+    return host_profile().xor_gib_s * (1 << 30)
 
 
 def _noop() -> None:
@@ -198,6 +208,7 @@ class _SegmentPool:
 
     def __init__(self) -> None:
         self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._retired: list[shared_memory.SharedMemory] = []
 
     def get(self, role: str, nbytes: int) -> shared_memory.SharedMemory:
         """A segment of at least ``nbytes`` for ``role``, reused if big
@@ -208,24 +219,100 @@ class _SegmentPool:
         size = max(nbytes, 1)
         if segment is not None:
             size = max(size, 2 * segment.size)
-            segment.close()
-            segment.unlink()
+            self._retire(segment)
         segment = shared_memory.SharedMemory(create=True, size=size)
         self._segments[role] = segment
         return segment
 
+    def _retire(self, segment: shared_memory.SharedMemory) -> None:
+        """Unlink a replaced segment but defer its close to interpreter
+        exit.
+
+        A caller may still hold a :func:`shared_empty` matrix backed by
+        the old segment, and ``close()`` unmaps the pages out from under
+        such views (a segfault, not an exception — numpy's buffer export
+        does not reliably block ``mmap.close``). Unlinking immediately
+        drops the name so no new attach can find it; the mapping stays
+        valid for surviving views. Growth events are rare (geometric),
+        so the deferred mappings are bounded.
+        """
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        self._retired.append(segment)
+
+    def locate(
+        self, rows: Sequence[np.ndarray], width: int
+    ) -> tuple[str, list[int]] | None:
+        """``(segment_name, per-row byte offsets)`` if **every** row lives
+        inside one currently pooled segment, else ``None``.
+
+        Detection is by address range, so any contiguous view into a
+        :func:`shared_empty` matrix (or into the pool's own gather
+        buffers) qualifies — the caller never tags buffers explicitly.
+        """
+        if not rows:
+            return None
+        first = rows[0].ctypes.data
+        for name, base, size in self._address_ranges():
+            if not base <= first <= base + size - width:
+                continue
+            offsets = []
+            for row in rows:
+                off = row.ctypes.data - base
+                if row.strides[0] != 1 or not 0 <= off <= size - width:
+                    return None
+                offsets.append(off)
+            return name, offsets
+        return None
+
+    def _address_ranges(self) -> list[tuple[str, int, int]]:
+        """Live ``(name, base_address, size)`` of every pooled segment."""
+        return [
+            (
+                segment.name,
+                np.frombuffer(segment.buf, dtype=np.uint8).ctypes.data,
+                segment.size,
+            )
+            for segment in self._segments.values()
+        ]
+
     def release(self) -> None:
-        """Close and unlink every pooled segment."""
-        for segment in self._segments.values():
-            segment.close()
+        """Close and unlink every pooled segment (retired ones too)."""
+        for segment in list(self._segments.values()) + self._retired:
             try:
                 segment.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - caller still holds views
+                pass
         self._segments.clear()
+        self._retired.clear()
 
 
 _segments = _SegmentPool()
+
+
+def shared_empty(shape: tuple[int, int], role: str = "user") -> np.ndarray:
+    """An uninitialized ``(rows, width)`` uint8 matrix in pooled shared
+    memory — the zero-copy allocator for fan-out callers.
+
+    Rows (or contiguous views of them) handed to
+    :func:`parallel_execute` are recognized by address and passed to
+    workers as segment offsets, skipping the gather/scatter copies
+    entirely. ``role`` names the pooled segment: repeated calls with the
+    same role and a size that fits reuse the same memory (zero
+    allocation steady-state); a larger request replaces the segment, so
+    a previously returned matrix must not be used across such a call.
+    """
+    rows, width = shape
+    if rows < 0 or width < 0:
+        raise ValueError(f"shape must be non-negative, got {shape}")
+    segment = _segments.get(f"user:{role}", rows * width)
+    return np.ndarray(shape, dtype=np.uint8, buffer=segment.buf)
 
 
 @atexit.register
@@ -239,29 +326,45 @@ def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
 def _execute_span(
     plan_bytes: bytes,
     in_name: str,
-    in_shape: tuple[int, int],
+    in_offsets: list[int],
     out_name: str,
-    out_shape: tuple[int, int],
+    out_offsets: list[int],
+    width: int,
     lo: int,
     hi: int,
     tile_bytes: int | None,
 ) -> None:
-    """Worker body: run the plan over one column span of the shared bufs."""
+    """Worker body: run the plan over one column span of the shared bufs.
+
+    Rows are addressed as ``(segment name, byte offset, width)`` — one
+    signature for gathered buffers (offsets are ``i * width``) and
+    zero-copy caller buffers (offsets are wherever the rows actually
+    live, possibly in the same segment for inputs and outputs).
+    """
     plan: CompiledPlan = pickle.loads(plan_bytes)
     shm_in = shared_memory.SharedMemory(name=in_name)
     try:
-        shm_out = shared_memory.SharedMemory(name=out_name)
+        shm_out = (
+            shm_in
+            if out_name == in_name
+            else shared_memory.SharedMemory(name=out_name)
+        )
         try:
-            ins = np.ndarray(in_shape, dtype=np.uint8, buffer=shm_in.buf)
-            outs = np.ndarray(out_shape, dtype=np.uint8, buffer=shm_out.buf)
+            in_flat = np.ndarray(
+                (shm_in.size,), dtype=np.uint8, buffer=shm_in.buf
+            )
+            out_flat = np.ndarray(
+                (shm_out.size,), dtype=np.uint8, buffer=shm_out.buf
+            )
             plan.execute_into(
-                [row[lo:hi] for row in ins],
-                [row[lo:hi] for row in outs],
+                [in_flat[off + lo : off + hi] for off in in_offsets],
+                [out_flat[off + lo : off + hi] for off in out_offsets],
                 tile_bytes=tile_bytes,
             )
-            del ins, outs
+            del in_flat, out_flat
         finally:
-            shm_out.close()
+            if shm_out is not shm_in:
+                shm_out.close()
     finally:
         shm_in.close()
 
@@ -296,20 +399,39 @@ def parallel_execute(
         plan.execute_into(ins, outs, tile_bytes=tile_bytes)
         return
     n_in, n_out = len(ins), len(outs)
-    shm_in = _segments.get("in", n_in * width)
-    shm_out = _segments.get("out", n_out * width)
-    shared_ins = np.ndarray((n_in, width), dtype=np.uint8, buffer=shm_in.buf)
-    for i, row in enumerate(ins):
-        shared_ins[i] = row
+
+    # Zero-copy when the caller's rows already live in pooled shared
+    # memory (shared_empty matrices or views into them); gather/scatter
+    # through the pool's own staging segments otherwise.
+    in_hit = _segments.locate(ins, width)
+    if in_hit is None:
+        shm_in = _segments.get("in", n_in * width)
+        staged = np.ndarray((n_in, width), dtype=np.uint8, buffer=shm_in.buf)
+        for i, row in enumerate(ins):
+            staged[i] = row
+        del staged
+        in_name = shm_in.name
+        in_offsets = [i * width for i in range(n_in)]
+    else:
+        in_name, in_offsets = in_hit
+    out_hit = _segments.locate(outs, width)
+    if out_hit is None:
+        shm_out = _segments.get("out", n_out * width)
+        out_name = shm_out.name
+        out_offsets = [i * width for i in range(n_out)]
+    else:
+        out_name, out_offsets = out_hit
+
     plan_bytes = pickle.dumps(plan)
     futures = [
         _pool(workers).submit(
             _execute_span,
             plan_bytes,
-            shm_in.name,
-            (n_in, width),
-            shm_out.name,
-            (n_out, width),
+            in_name,
+            in_offsets,
+            out_name,
+            out_offsets,
+            width,
             lo,
             hi,
             tile_bytes,
@@ -318,12 +440,13 @@ def parallel_execute(
     ]
     for future in futures:
         future.result()
-    shared_outs = np.ndarray(
-        (n_out, width), dtype=np.uint8, buffer=shm_out.buf
-    )
-    for i, row in enumerate(outs):
-        row[:] = shared_outs[i]
-    del shared_ins, shared_outs
+    if out_hit is None:
+        scattered = np.ndarray(
+            (n_out, width), dtype=np.uint8, buffer=shm_out.buf
+        )
+        for i, row in enumerate(outs):
+            row[:] = scattered[i]
+        del scattered
 
 
 def parallel_encode_into(

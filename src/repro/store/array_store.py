@@ -429,7 +429,9 @@ class ArrayStore:
         """Read a whole stripe (failed columns come back zeroed)."""
         return self._load_stripe_batch(stripe, 1)
 
-    def _load_stripe_batch(self, start: int, count: int) -> np.ndarray:
+    def _load_stripe_batch(
+        self, start: int, count: int, shared: bool = False
+    ) -> np.ndarray:
         """Read ``count`` consecutive stripes as one *wide* stripe.
 
         The result has shape ``(rows, cols, count * chunk_bytes)``:
@@ -439,9 +441,26 @@ class ArrayStore:
         a single ``Decoder.decode_columns`` call over the wide stripe
         bulk-decodes the whole batch. Each surviving disk is read as one
         contiguous span (failed columns come back zeroed).
+
+        With ``shared=True`` the grid is allocated from the fan-out
+        pool's shared memory (:func:`repro.codec.parallel.shared_empty`),
+        so a following multiprocess ``decode_columns`` passes workers
+        segment offsets instead of gather-copying ~the whole batch; the
+        rebuild path uses this when ``batch_workers > 1``. Shared grids
+        are transient per batch — the next ``shared=True`` call may
+        reuse or replace the backing segment.
         """
         rows, cols, chunk = self.code.rows, self.code.cols, self.chunk_bytes
-        wide = np.zeros((rows, cols, count * chunk), dtype=np.uint8)
+        if shared:
+            from repro.codec.parallel import shared_empty
+
+            flat = shared_empty(
+                (rows * cols, count * chunk), role="store-rebuild"
+            )
+            wide = flat.reshape(rows, cols, count * chunk)
+            wide[...] = 0
+        else:
+            wide = np.zeros((rows, cols, count * chunk), dtype=np.uint8)
         # Guaranteed view: ``wide`` is C-contiguous, so splitting its last
         # axis never copies. Axis 2 is the stripe index within the batch.
         by_stripe = wide.reshape(rows, cols, count, chunk)
@@ -872,7 +891,9 @@ class ArrayStore:
         batch = max(1, min(self.rebuild_batch, count or 1))
         for base in range(start, start + count, batch):
             n = min(batch, start + count - base)
-            wide = self._load_stripe_batch(base, n)
+            wide = self._load_stripe_batch(
+                base, n, shared=self.batch_workers > 1
+            )
             decoder.decode_columns(wide, workers=self.batch_workers)
             by_stripe = wide.reshape(rows, cols, n, chunk)
             for i in range(n):

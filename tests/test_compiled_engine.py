@@ -7,18 +7,29 @@ LRU decoder cache.
 """
 
 import itertools
+import pickle
 
 import numpy as np
 import pytest
 
-from repro.bitmatrix import CompiledPlan, XorSchedule, naive_schedule, smart_schedule
-from repro.bitmatrix.plan import BUF_WS
+from repro.bitmatrix import (
+    CompiledPlan,
+    HostProfile,
+    XorSchedule,
+    naive_schedule,
+    round_tile_bytes,
+    set_host_profile,
+    smart_schedule,
+)
+from repro.bitmatrix.plan import BUF_WS, TILE_ALIGN, _TILE_MAX, _WIDE_WORD_MIN
 from repro.codec import (
     StripeCodec,
     encode_schedule_for,
+    kernel_name,
     parallel_decode_into,
     parallel_encode_into,
     parallel_execute,
+    shared_empty,
 )
 from repro.codec.parallel import split_spans
 from repro.codes import make_code
@@ -36,6 +47,12 @@ def small_code(family):
 def random_matrix(rows, width, seed=0):
     rng = np.random.default_rng(seed)
     return rng.integers(0, 256, size=(rows, width), dtype=np.uint8)
+
+
+def sub_maximal_patterns(code):
+    """Every failure pattern of 1 up to ``code.faults`` columns."""
+    for k in range(1, code.faults + 1):
+        yield from itertools.combinations(range(code.cols), k)
 
 
 # ----------------------------------------------------------------------
@@ -517,3 +534,344 @@ class TestAutoFanout:
         assert names_after_first == names_after_second  # reused, not remade
         assert np.array_equal(first, expected)
         assert np.array_equal(second, expected)
+
+
+# ----------------------------------------------------------------------
+# fused two-stage decode plans: property sweep over every family,
+# every <=faults failure pattern, adversarial widths
+# ----------------------------------------------------------------------
+
+#: Widths chosen to break the executor's fast paths: single byte, below
+#: a u64 word, a prime that is neither 8- nor 64-divisible, exactly one
+#: explicit 256-byte tile, and one byte past the tile boundary.
+ADVERSARIAL_WIDTHS = (1, 7, 101, 256, 257)
+
+#: Wide enough to engage the uint64 fast path, plus a ragged 7-byte
+#: tail that must fall back to the uint8 pass.
+WIDE_WIDTH = _WIDE_WORD_MIN + 7
+
+
+class TestFusedDecodeSweep:
+    @pytest.mark.parametrize("family", sorted(CODE_FAMILIES))
+    def test_every_pattern_every_width_matches_interpreted(self, family):
+        """The fused two-stage compiled plan is byte-identical to the
+        dense ``XorSchedule.apply`` oracle for every registered family,
+        every failure pattern up to ``faults`` columns, at widths that
+        break tile and word alignment."""
+        code = small_code(family)
+        for combo in sub_maximal_patterns(code):
+            decoder = code.decoder_for(combo)
+            plan = decoder.compiled_plan()
+            num_known = len(decoder.plan.known_positions)
+            for width in ADVERSARIAL_WIDTHS:
+                known = random_matrix(
+                    num_known, width, seed=width + 31 * sum(combo)
+                )
+                reference = decoder.plan.schedule.apply(
+                    [known[i] for i in range(num_known)]
+                )
+                out = np.full(
+                    (len(decoder.plan.unknown_positions), width),
+                    0xCC,
+                    dtype=np.uint8,
+                )
+                plan.execute_into(known, out, tile_bytes=256)
+                for i, row in enumerate(reference):
+                    assert np.array_equal(out[i], row), (combo, width, i)
+
+    @pytest.mark.parametrize("family", sorted(CODE_FAMILIES))
+    def test_wide_word_path_matches_interpreted(self, family):
+        """At widths past the uint64 threshold (with a ragged tail) the
+        wide-word kernels still match the oracle bit for bit."""
+        code = small_code(family)
+        combo = next(
+            itertools.combinations(range(code.cols), code.faults)
+        )
+        decoder = code.decoder_for(combo)
+        num_known = len(decoder.plan.known_positions)
+        known = random_matrix(num_known, WIDE_WIDTH, seed=43)
+        reference = decoder.plan.schedule.apply(
+            [known[i] for i in range(num_known)]
+        )
+        compiled = decoder.compiled_plan().execute(known)
+        for i, row in enumerate(reference):
+            assert np.array_equal(compiled[i], row), i
+
+    def test_misaligned_rows_fall_back_byte_identically(self):
+        """Rows whose base address is not 8-byte aligned take the uint8
+        fallback and still produce the same bytes as aligned buffers."""
+        code = small_code("tip")
+        combo = (0, 1, 2)
+        decoder = code.decoder_for(combo)
+        plan = decoder.compiled_plan()
+        num_known = len(decoder.plan.known_positions)
+        width = WIDE_WIDTH - 7  # keep the wide path eligible by width
+        aligned = random_matrix(num_known, width, seed=47)
+        # Carve contiguous rows at odd offsets out of one flat buffer.
+        backing = np.empty(num_known * width + 1, dtype=np.uint8)
+        rows = [
+            backing[1 + i * width : 1 + (i + 1) * width]
+            for i in range(num_known)
+        ]
+        for i in range(num_known):
+            rows[i][...] = aligned[i]
+        assert any(row.ctypes.data % 8 for row in rows)
+        expected = plan.execute(aligned)
+        got = plan.execute(rows)
+        assert np.array_equal(got, expected)
+
+    def test_fused_plan_survives_pickle(self):
+        """Fused decode plans (runs included) round-trip through pickle
+        byte-identically — workers receive plans this way."""
+        code = small_code("tip")
+        combo = (1, 3, 5)
+        decoder = code.decoder_for(combo)
+        plan = decoder.compiled_plan()
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.runs == plan.runs
+        known = random_matrix(
+            len(decoder.plan.known_positions), 4096, seed=53
+        )
+        assert np.array_equal(clone.execute(known), plan.execute(known))
+
+    def test_fused_plan_executes_fewer_xors_than_dense(self):
+        """The two-stage factorization is the point: for tip the fused
+        plan must execute strictly fewer XORs than the dense schedule,
+        while ``xor_count`` keeps reporting the paper's dense metric."""
+        code = make_code("tip", 12)
+        decoder = code.decoder_for((1, 2, 8))
+        assert decoder.fused_xor_count < decoder.xor_count
+        assert decoder.xor_count == decoder.plan.schedule.xor_count
+
+
+# ----------------------------------------------------------------------
+# run fusion: op accounting and the memory-pass model
+# ----------------------------------------------------------------------
+class TestRunFusion:
+    def encode_plan(self):
+        return StripeCodec(small_code("tip"), packet_size=32).encode_plan
+
+    def test_runs_account_for_every_op(self):
+        """Each lowered op is exactly one run head or one run source."""
+        plan = self.encode_plan()
+        accounted = sum(
+            (head is not None) + len(sources)
+            for _dest, head, sources in plan.runs
+        )
+        assert accounted == len(plan.ops)
+
+    def test_fusion_saves_memory_passes(self):
+        """A fused k-source accumulate reads k sources + writes once;
+        the unfused op list would pay ~2 passes per op."""
+        plan = self.encode_plan()
+        assert plan.memory_passes < 2 * len(plan.ops)
+        assert plan.memory_passes >= len(plan.ops)  # every source is read
+
+    def test_decode_runs_fuse_across_stages(self):
+        """The fused two-stage plan still lowers into multi-source runs
+        (syndromes feed back-substitution without a barrier)."""
+        code = small_code("tip")
+        plan = code.decoder_for((0, 1, 2)).compiled_plan()
+        assert any(len(sources) > 1 for _d, _h, sources in plan.runs)
+
+
+# ----------------------------------------------------------------------
+# tile geometry: the 64-byte alignment rule
+# ----------------------------------------------------------------------
+class TestTileRules:
+    def test_round_tile_bytes_rounds_up_to_64(self):
+        assert round_tile_bytes(1) == TILE_ALIGN
+        assert round_tile_bytes(TILE_ALIGN) == TILE_ALIGN
+        assert round_tile_bytes(TILE_ALIGN + 1) == 2 * TILE_ALIGN
+        assert round_tile_bytes(4096) == 4096
+
+    @pytest.mark.parametrize("bad", [0, -1, -64])
+    def test_round_tile_bytes_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError, match="tile_bytes"):
+            round_tile_bytes(bad)
+
+    def test_default_tile_is_64_byte_aligned(self):
+        plan = StripeCodec(small_code("tip"), packet_size=32).encode_plan
+        for width in (1, 63, 64, 4097, 1 << 20, 64 << 20):
+            tile = plan.default_tile(width)
+            assert tile % TILE_ALIGN == 0, width
+            assert TILE_ALIGN <= tile <= _TILE_MAX, width
+
+    def test_default_tile_never_exceeds_rounded_width(self):
+        plan = StripeCodec(small_code("tip"), packet_size=32).encode_plan
+        for width in (1, 100, 5000):
+            rounded = -(-width // TILE_ALIGN) * TILE_ALIGN
+            assert plan.default_tile(width) <= rounded
+
+    def test_default_tile_tracks_host_cache(self):
+        """A bigger measured cache yields a bigger (still aligned) tile."""
+        plan = StripeCodec(small_code("tip"), packet_size=32).encode_plan
+        width = 64 << 20
+
+        def with_cache(nbytes):
+            set_host_profile(
+                HostProfile(
+                    memcpy_gib_s=10.0,
+                    xor_gib_s=10.0,
+                    xor_cached_gib_s=20.0,
+                    dispatch_overhead_s=1e-7,
+                    effective_cache_bytes=nbytes,
+                )
+            )
+            try:
+                return plan.default_tile(width)
+            finally:
+                set_host_profile(None)
+
+        small, big = with_cache(256 << 10), with_cache(8 << 20)
+        assert small <= big
+        assert small % TILE_ALIGN == 0 and big % TILE_ALIGN == 0
+        assert big <= _TILE_MAX
+
+    def test_explicit_tile_is_rounded_not_rejected(self):
+        """An explicit odd tile executes on its 64-byte rounding and
+        matches the untiled result."""
+        plan = StripeCodec(small_code("tip"), packet_size=32).encode_plan
+        data = random_matrix(plan.num_inputs, 1000, seed=59)
+        untiled = plan.execute(data, tile_bytes=1024)
+        for odd in (1, 100, 257):
+            assert np.array_equal(
+                plan.execute(data, tile_bytes=odd), untiled
+            ), odd
+
+
+# ----------------------------------------------------------------------
+# engine strings pin kernels (what the throughput measurers time)
+# ----------------------------------------------------------------------
+class TestKernelPinning:
+    def test_engine_strings_pin_kernels(self):
+        assert kernel_name("interpreted") == "XorSchedule.apply"
+        assert kernel_name("compiled") == "CompiledPlan.execute_into"
+        assert kernel_name("compiled", workers=1) == kernel_name("compiled")
+        assert kernel_name("compiled", workers=2) == (
+            "parallel_execute[zero-copy]"
+        )
+        assert kernel_name("compiled", workers=4) == (
+            "parallel_execute[zero-copy]"
+        )
+
+    def test_kernel_name_validates_like_the_measurers(self):
+        with pytest.raises(ValueError, match="engine"):
+            kernel_name("jit")
+        with pytest.raises(ValueError, match="compiled"):
+            kernel_name("interpreted", workers=2)
+        with pytest.raises(ValueError, match="workers"):
+            kernel_name("compiled", workers=0)
+
+    def test_measured_decode_matches_decode_into_plan(self):
+        """The compiled decode measurement times the very plan objects
+        ``StripeCodec.decode_into`` executes (the fused two-stage ones,
+        via the code-level compiled-plan cache)."""
+        from repro.codec import measure_decode_throughput
+
+        code = small_code("tip")
+        code._compiled_plan_cache.clear()
+        result = measure_decode_throughput(
+            code, data_bytes=1 << 12, packet_size=64, patterns=2
+        )
+        assert result.gib_per_second > 0
+        assert code._compiled_plan_cache  # warmed by the measurement
+        for (combo, _key), plan in list(code._compiled_plan_cache.items()):
+            assert plan is code.decoder_for(combo).compiled_plan()
+
+    def test_xors_metric_identical_across_engines(self):
+        """``xors_per_element`` reports the paper's dense-schedule count
+        no matter which kernel executed."""
+        from repro.codec import measure_decode_throughput
+
+        code = small_code("tip")
+        kwargs = dict(data_bytes=1 << 12, packet_size=64, patterns=2)
+        interpreted = measure_decode_throughput(
+            code, engine="interpreted", **kwargs
+        )
+        compiled = measure_decode_throughput(code, engine="compiled", **kwargs)
+        assert interpreted.xors_per_element == compiled.xors_per_element
+
+
+# ----------------------------------------------------------------------
+# zero-copy fan-out: the pooled allocator and address-range detection
+# ----------------------------------------------------------------------
+class TestZeroCopyPool:
+    def test_shared_empty_rows_are_located(self):
+        from repro.codec import parallel as par
+
+        matrix = shared_empty((4, 4096), role="test-locate")
+        hit = par._segments.locate([matrix[i] for i in range(4)], 4096)
+        assert hit is not None
+        name, offsets = hit
+        assert name == par._segments._segments["user:test-locate"].name
+        assert offsets == [i * 4096 for i in range(4)]
+
+    def test_private_arrays_are_not_located(self):
+        from repro.codec import parallel as par
+
+        shared_empty((1, 64), role="test-locate-miss")  # pool is non-empty
+        private = np.zeros((2, 512), dtype=np.uint8)
+        assert par._segments.locate([private[0], private[1]], 512) is None
+
+    def test_shared_empty_validates_shape(self):
+        with pytest.raises(ValueError):
+            shared_empty((-1, 64))
+        with pytest.raises(ValueError):
+            shared_empty((2, -64))
+
+    def test_grow_retires_old_segment_without_unmapping(self):
+        """Growing a role keeps prior ``shared_empty`` views readable:
+        the replaced segment is unlinked but its unmap is deferred."""
+        from repro.codec import parallel as par
+
+        old = shared_empty((1, 1024), role="test-grow")
+        old.fill(7)
+        retired_before = len(par._segments._retired)
+        grown = shared_empty((1, 1 << 20), role="test-grow")
+        assert len(par._segments._retired) == retired_before + 1
+        assert (old == 7).all()  # old view still backed by live pages
+        grown.fill(9)
+        assert (old == 7).all()  # distinct memory
+
+    def test_pool_owned_buffers_skip_gather_scatter(self):
+        """Fan-out into pool-owned rows writes results in place — the
+        caller's ``shared_empty`` matrix holds the output with no
+        scatter copy, byte-identical to the serial engine."""
+        code = small_code("tip")
+        codec = StripeCodec(code)
+        width = 4096 * 4
+        data = shared_empty((code.num_data, width), role="test-zc-in")
+        data[...] = random_matrix(code.num_data, width, seed=61)
+        out = shared_empty((code.num_parity, width), role="test-zc-out")
+        out.fill(0)
+        expected = codec.encode_into(np.ascontiguousarray(data))
+        parallel_execute(
+            codec.encode_plan,
+            [data[i] for i in range(code.num_data)],
+            [out[i] for i in range(code.num_parity)],
+            workers=2,
+        )
+        assert np.array_equal(out, expected)
+
+    def test_in_and_out_rows_in_same_segment(self):
+        """Workers attach one segment when inputs and outputs share it."""
+        code = small_code("tip")
+        codec = StripeCodec(code)
+        width = 4096 * 2
+        rows = code.num_data + code.num_parity
+        block = shared_empty((rows, width), role="test-zc-inout")
+        block[: code.num_data] = random_matrix(
+            code.num_data, width, seed=67
+        )
+        block[code.num_data :] = 0
+        expected = codec.encode_into(
+            np.ascontiguousarray(block[: code.num_data])
+        )
+        parallel_execute(
+            codec.encode_plan,
+            [block[i] for i in range(code.num_data)],
+            [block[code.num_data + i] for i in range(code.num_parity)],
+            workers=2,
+        )
+        assert np.array_equal(block[code.num_data :], expected)
