@@ -180,8 +180,7 @@ def test_degraded_replay_throttle_impact():
         assert np.array_equal(
             np.asarray(image), np.asarray(reference)
         ), throttle
-        io = result.io
-        reads = io.data_chunks_read + io.parity_chunks_read
+        reads = result.io.chunks_read
         reads_by_throttle.append(reads)
         rows.append([
             throttle, f"{elapsed:.3f}", stats.stripes_rebuilt,

@@ -30,6 +30,15 @@ Commands:
   [--scrub-interval H]`` — MTTDL of 1/2/3-fault arrays at this size
   (the paper's 3DFT motivation), optionally with the sector-error
   model.
+* ``volume create|status|replay|restripe`` — the elastic volume layer:
+  ``create`` builds a multi-shard volume (``--shard family:n:stripes
+  [:chunk_bytes]``, repeatable) with a shared on-disk intent journal;
+  ``status`` prints its shape, migration cursor, and counters;
+  ``replay`` drives a seeded random byte workload through the
+  concurrent :class:`~repro.service.VolumeService`; ``restripe``
+  migrates the live volume to a new shard set / code family (resuming
+  an interrupted migration when no ``--shard`` is given), optionally
+  under concurrent foreground load.
 
 ``--log-level LEVEL`` (global) enables the ``repro`` package's
 structured logging (fail/rebuild/scrub-repair/cache events).
@@ -178,6 +187,59 @@ def build_parser() -> argparse.ArgumentParser:
                             "(same spec syntax as replay)")
     scrub.add_argument("--batch", type=int, default=8,
                        help="stripes per scrub batch (default 8)")
+
+    volume = sub.add_parser(
+        "volume", help="multi-array volumes: create, inspect, migrate"
+    )
+    vsub = volume.add_subparsers(dest="volume_command", required=True)
+
+    vcreate = vsub.add_parser(
+        "create", help="create a volume over a new shard set"
+    )
+    vcreate.add_argument("--dir", required=True,
+                         help="volume directory (created if missing)")
+    vcreate.add_argument("--shard", action="append", required=True,
+                         metavar="FAMILY:N:STRIPES[:CHUNK_BYTES]",
+                         help="one shard's code and geometry (repeatable)")
+    vcreate.add_argument("--extent-bytes", type=int, default=1 << 16,
+                         help="distribution unit in bytes (default 65536)")
+
+    vstatus = vsub.add_parser("status", help="print a volume's shape")
+    vstatus.add_argument("--dir", required=True, help="volume directory")
+
+    vreplay = vsub.add_parser(
+        "replay", help="drive a seeded random workload through the volume"
+    )
+    vreplay.add_argument("--dir", required=True, help="volume directory")
+    vreplay.add_argument("--requests", type=int, default=500,
+                         help="requests to issue (default 500)")
+    vreplay.add_argument("--workers", type=int, default=4,
+                         help="service pool threads (default 4)")
+    vreplay.add_argument("--write-fraction", type=float, default=0.5,
+                         help="fraction of requests that write (default 0.5)")
+    vreplay.add_argument("--max-bytes", type=int, default=16384,
+                         help="largest request in bytes (default 16384)")
+    vreplay.add_argument("--seed", type=int, default=42,
+                         help="workload RNG seed (default 42)")
+
+    vrestripe = vsub.add_parser(
+        "restripe", help="migrate a live volume to a new shard set"
+    )
+    vrestripe.add_argument("--dir", required=True, help="volume directory")
+    vrestripe.add_argument("--shard", action="append", default=None,
+                           metavar="FAMILY:N:STRIPES[:CHUNK_BYTES]",
+                           help="target shard (repeatable); omit to resume "
+                                "an interrupted migration")
+    vrestripe.add_argument("--extents-per-tick", type=int, default=4,
+                           help="extents copied per throttle tick "
+                                "(default 4)")
+    vrestripe.add_argument("--requests", type=int, default=0,
+                           help="concurrent foreground requests to drive "
+                                "during the migration (default 0 = none)")
+    vrestripe.add_argument("--workers", type=int, default=4,
+                           help="service pool threads (default 4)")
+    vrestripe.add_argument("--seed", type=int, default=42,
+                           help="foreground workload RNG seed (default 42)")
 
     rel = sub.add_parser("reliability", help="MTTDL of 1/2/3-fault arrays")
     rel.add_argument("n", type=int)
@@ -501,6 +563,138 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
     return 0 if report.unfixable == 0 else 1
 
 
+def _parse_shard_spec(text: str):
+    from repro.volume import ShardSpec
+
+    parts = text.split(":")
+    if len(parts) not in (3, 4):
+        raise ValueError(
+            f"shard spec {text!r} is not FAMILY:N:STRIPES[:CHUNK_BYTES]"
+        )
+    family = parts[0]
+    try:
+        numbers = [int(part) for part in parts[1:]]
+    except ValueError:
+        raise ValueError(
+            f"shard spec {text!r} has a non-integer field"
+        ) from None
+    n, stripes = numbers[0], numbers[1]
+    chunk_bytes = numbers[2] if len(numbers) == 3 else 4096
+    make_code(family, n)  # validate family/n before building anything
+    return ShardSpec(family, n, stripes=stripes, chunk_bytes=chunk_bytes)
+
+
+def _print_volume_status(status) -> None:
+    print(f"volume {status.directory}: "
+          f"{status.volume_bytes // 1024} KiB over {len(status.shards)} "
+          f"shard(s), {status.total_extents} x "
+          f"{status.extent_bytes} B extents")
+    for entry in status.shards:
+        print(f"  shard {entry['uid']:3d}: {entry['family']} n={entry['n']} "
+              f"{entry['stripes']} stripes x {entry['chunk_bytes']} B chunks")
+    if status.restripe_active:
+        print(f"  restripe in flight: extent {status.restripe_cursor}"
+              f"/{status.total_extents} -> "
+              + ", ".join(
+                  f"{e['family']} n={e['n']}" for e in status.restripe_target
+              ))
+    if status.failed_disks:
+        for uid, disks in sorted(status.failed_disks.items()):
+            print(f"  shard {uid:3d}: FAILED disks {disks}")
+    io = status.io
+    print(f"  chunk I/O: {io.chunks_read} read, {io.chunks_written} written "
+          f"({io.parity_chunks_written} parity)")
+
+
+def _volume_workload(service, requests, write_fraction, max_bytes, seed):
+    """Issue a seeded random byte workload through the service pool."""
+    rng = np.random.default_rng(seed)
+    capacity = service.capacity_bytes
+    futures = []
+    for _ in range(requests):
+        length = int(rng.integers(1, min(max_bytes, capacity) + 1))
+        offset = int(rng.integers(0, capacity - length + 1))
+        if rng.random() < write_fraction:
+            payload = rng.integers(0, 256, length, dtype=np.uint8)
+            futures.append(service.submit_write(offset, payload))
+        else:
+            futures.append(service.submit_read(offset, length))
+    for future in futures:
+        future.result()
+
+
+def _cmd_volume(args: argparse.Namespace) -> int:
+    from repro.service import VolumeService
+    from repro.volume import VolumeManager
+
+    if args.volume_command == "create":
+        specs = [_parse_shard_spec(text) for text in args.shard]
+        with VolumeManager.create(
+            args.dir, specs, extent_bytes=args.extent_bytes
+        ) as vol:
+            _print_volume_status(vol.status())
+        return 0
+
+    if args.volume_command == "status":
+        with VolumeManager.open(args.dir) as vol:
+            _print_volume_status(vol.status())
+        return 0
+
+    if args.volume_command == "replay":
+        with VolumeManager.open(args.dir) as vol:
+            service = VolumeService(vol, workers=args.workers)
+            _volume_workload(
+                service, args.requests, args.write_fraction,
+                args.max_bytes, args.seed,
+            )
+            stats = service.stats
+            print(f"{stats.requests} requests ({stats.reads} reads, "
+                  f"{stats.writes} writes) over {args.workers} workers: "
+                  f"p50 {stats.p50_latency_ms:.3f} ms, "
+                  f"p99 {stats.p99_latency_ms:.3f} ms, "
+                  f"mean {stats.mean_latency_ms:.3f} ms")
+            service.close()
+        return 0
+
+    if args.volume_command == "restripe":
+        specs = (
+            [_parse_shard_spec(text) for text in args.shard]
+            if args.shard else None
+        )
+        with VolumeManager.open(args.dir) as vol:
+            if specs is None and not vol.restriping:
+                raise ValueError(
+                    "no --shard given and no interrupted migration to resume"
+                )
+            service = VolumeService(vol, workers=args.workers)
+            service.start_restripe(
+                specs, extents_per_tick=args.extents_per_tick
+            )
+            if args.requests:
+                _volume_workload(service, args.requests, 0.5, 16384, args.seed)
+            result = service.join_restripe()
+            print(f"restriped {result.extents_copied} extents "
+                  f"({result.bytes_copied // 1024} KiB) in "
+                  f"{result.ticks} tick(s), "
+                  f"{result.io.total_chunks} migration chunk I/Os")
+            if args.requests:
+                stats = service.stats
+                print(f"foreground during migration: {stats.requests} "
+                      f"requests, p50 {stats.p50_latency_ms:.3f} ms, "
+                      f"p99 {stats.p99_latency_ms:.3f} ms")
+            findings = vol.scrub()
+            if findings:
+                print(f"scrub found damage after restripe: {findings}")
+                service.close()
+                return 1
+            print("scrub clean")
+            _print_volume_status(vol.status())
+            service.close()
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def _cmd_reliability(args: argparse.Namespace) -> int:
     n, mttf, rebuild = args.n, args.mttf, args.rebuild
     print(f"{n}-disk array, disk MTTF {mttf:.0f} h, rebuild {rebuild:.0f} h"
@@ -545,6 +739,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "scrub":
             return _cmd_scrub(args)
+        if args.command == "volume":
+            return _cmd_volume(args)
         if args.command == "reliability":
             return _cmd_reliability(args)
     except (ValueError, KeyError) as exc:

@@ -19,7 +19,11 @@ assumption:
   request latency sampling (p50/p99 vs offered load), and the
   :func:`split_disjoint` partitioner behind the serial-equivalence
   contract (disjoint concurrent replay ≡ serial replay, byte for byte
-  and counter for counter).
+  and counter for counter);
+* :mod:`repro.service.volume` — :class:`VolumeService`, the same
+  front-end over a multi-array :class:`~repro.volume.VolumeManager`:
+  per-shard admission semaphores plus a background driver for online
+  restriping under load.
 """
 
 from repro.service.loadgen import (
@@ -30,12 +34,29 @@ from repro.service.loadgen import (
 from repro.service.locks import ArrayRWLock, StripeLockManager
 from repro.service.scheduler import BlockService, ServiceStats, percentile
 
+
+def __getattr__(name: str):
+    """Lazy ``VolumeService`` import.
+
+    ``repro.volume.manager`` imports this package for the locks, and
+    ``repro.service.volume`` imports the manager back — resolving
+    ``VolumeService`` on first attribute access instead of at package
+    import keeps the cycle open regardless of which package the caller
+    imports first.
+    """
+    if name == "VolumeService":
+        from repro.service.volume import VolumeService
+
+        return VolumeService
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "ArrayRWLock",
     "BlockService",
     "ConcurrentReplayResult",
     "ServiceStats",
     "StripeLockManager",
+    "VolumeService",
     "percentile",
     "replay_concurrent",
     "split_disjoint",

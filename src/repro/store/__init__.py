@@ -16,6 +16,21 @@ from repro.store.array_store import (
     ArrayStore,
     DiskFailedError,
 )
+from repro.store.journal import (
+    IntentJournal,
+    JournalRecord,
+    MemoryJournal,
+    WriteJournal,
+)
 from repro.store.metering import IoCounters
 
-__all__ = ["ArrayStore", "DiskFailedError", "IoCounters", "WRITE_MODES"]
+__all__ = [
+    "ArrayStore",
+    "DiskFailedError",
+    "IntentJournal",
+    "IoCounters",
+    "JournalRecord",
+    "MemoryJournal",
+    "WRITE_MODES",
+    "WriteJournal",
+]

@@ -51,6 +51,7 @@ import numpy as np
 from repro.codes.base import ArrayCode, Cell, Decoder
 from repro.raid.mapping import ChunkRun
 from repro.raid.planner import RequestPlanner, RunPlan
+from repro.store.journal import JournalRecord, MemoryJournal, WriteJournal
 from repro.store.metering import IoCounters
 
 if TYPE_CHECKING:
@@ -109,6 +110,19 @@ class ArrayStore:
             in-memory journal so a write interrupted mid-flight by an
             injected fault can be rolled forward with
             :meth:`complete_interrupted_write`.
+        journal: a :class:`~repro.store.journal.WriteJournal` to record
+            write intents in. ``None`` (default) keeps the original
+            behaviour: a private in-memory :class:`~repro.store.journal.
+            MemoryJournal`, active only while a fault plan is attached.
+            Passing a journal explicitly — typically a shared on-disk
+            :class:`~repro.store.journal.IntentJournal` — journals
+            *every* mutating run (journal-before-data), and if the
+            journal holds unrecovered records for this store's
+            ``shard_id`` from a previous process they are rolled
+            forward during ``__init__`` before any I/O is served.
+        shard_id: this store's id inside a shared journal (and inside a
+            :class:`~repro.volume.VolumeManager`); 0 for standalone
+            stores.
 
     Reopening a directory whose backing files don't match the requested
     geometry raises ``ValueError`` rather than destroying the contents.
@@ -127,6 +141,8 @@ class ArrayStore:
         rebuild_batch: int = 32,
         cache_stripes: int = 0,
         fault_plan: "FaultPlan | None" = None,
+        journal: WriteJournal | None = None,
+        shard_id: int = 0,
     ) -> None:
         if stripes <= 0 or chunk_bytes <= 0:
             raise ValueError("stripes and chunk_bytes must be positive")
@@ -181,14 +197,19 @@ class ArrayStore:
         self._meter_lock = threading.Lock()
         self._decoder_lock = threading.Lock()
         self._watchers_lock = threading.Lock()
-        #: Pending span writes of the in-flight mutating operation:
-        #: ``(disk, offset, payload, (data_chunks, parity_chunks))``.
-        #: Maintained only under a fault plan (the journal exists to roll
-        #: an injected-fault-interrupted write forward; absolute values
-        #: make the replay idempotent). Thread-local: each thread's
-        #: in-flight write owns its own journal, and the thread that saw
-        #: the fault rolls its own journal forward.
-        self._journal_tls = threading.local()
+        #: The write-intent journal. Default: a private in-memory
+        #: journal, active only under a fault plan (it exists to roll an
+        #: injected-fault-interrupted write forward; absolute span
+        #: values make the replay idempotent). An explicitly passed
+        #: journal — e.g. a volume's shared on-disk IntentJournal —
+        #: journals every mutating run and is never closed by this
+        #: store (its owner closes it once).
+        self.shard_id = shard_id
+        self._owns_journal = journal is None
+        self._journal_always = journal is not None
+        self.journal: WriteJournal = (
+            journal if journal is not None else MemoryJournal()
+        )
         #: Observers of foreground writes: each registered set collects
         #: the stripe indices mutated while it is watching (used by the
         #: incremental repair loop to re-rebuild stripes written during
@@ -230,6 +251,20 @@ class ArrayStore:
                     )
             else:
                 path.write_bytes(b"\0" * self._disk_bytes)
+        recover = getattr(self.journal, "recover", None)
+        if recover is not None and getattr(self.journal, "durable", False):
+            # Replay-on-open: roll forward any write intents a previous
+            # process sealed but never committed, before serving any
+            # I/O. Recovery bypasses fault injection (it models the
+            # controller's own recovery path, not foreground traffic)
+            # and is idempotent — a crash mid-recovery just replays the
+            # still-unmarked transactions on the next open.
+            recover(self._recover_record, shard=self.shard_id)
+
+    def _recover_record(self, record: JournalRecord) -> None:
+        """Persist one recovered journal record (raw span write)."""
+        self._raw_write_span(record.disk, record.offset, record.payload)
+        self._count(*record.meter, wrote=True)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -494,33 +529,45 @@ class ArrayStore:
             self._count(data_cells, parity_cells, wrote=True)
 
     # ------------------------------------------------------------------
-    # write journal & write watchers (fault-plan support)
+    # write journal & write watchers (crash-consistency support)
     # ------------------------------------------------------------------
     @property
-    def _journal(self) -> list[tuple[int, int, bytes, tuple[int, int]]]:
-        """The calling thread's pending-span journal.
+    def _journalling(self) -> bool:
+        """True when mutating runs record their intents.
 
-        Journals are per thread: a mutating operation journals on the
-        thread executing it, a fault interrupts that same thread, and
-        the repair path rolls forward on it too — so concurrent writers
-        can never clear each other's in-flight entries.
+        Always on with an explicit (shared / on-disk) journal; with the
+        default private in-memory journal, only while a fault plan is
+        attached (nothing else can interrupt a write mid-flight).
         """
-        entries = getattr(self._journal_tls, "entries", None)
-        if entries is None:
-            entries = self._journal_tls.entries = []
-        return entries
+        return self._journal_always or self.fault_plan is not None
 
     def _journal_entry(
         self, stripe: int, pos: tuple[int, int], chunk: np.ndarray
     ) -> None:
-        """Record one pending element write (no-op without a fault plan)."""
-        if self.fault_plan is None:
+        """Record one pending element write (no-op while not journaling)."""
+        if not self._journalling:
             return
         row, col = pos
         kind = self.code.kind(row, col)
         meter = (int(kind == Cell.DATA), int(kind == Cell.PARITY))
         offset = (stripe * self.code.rows + row) * self.chunk_bytes
-        self._journal.append((col, offset, chunk.tobytes(), meter))
+        self.journal.log(
+            JournalRecord(
+                shard=self.shard_id, disk=col, offset=offset,
+                payload=chunk.tobytes(), meter=meter,
+            )
+        )
+
+    def _seal_journal(self) -> None:
+        """Durability barrier: journal-before-data. Must return before
+        the run's first span write mutates the array."""
+        if self._journalling:
+            self.journal.seal(self.shard_id)
+
+    def _commit_journal(self) -> None:
+        """Retire the run's transaction: every intended write landed."""
+        if self._journalling:
+            self.journal.commit(self.shard_id)
 
     def complete_interrupted_write(self) -> int:
         """Roll the journal of an interrupted write forward; returns the
@@ -534,15 +581,24 @@ class ArrayStore:
         since failed) is idempotent and restores consistency no matter
         where the original write stopped. Call after handling the fault
         (replacing / failing the disk); a clean journal returns 0.
+
+        Idempotent under repetition *and* interruption: each record is
+        dropped from the pending set only once its replay write
+        returned, so a second fault mid-replay loses nothing — the next
+        call replays exactly the remainder — and once the journal is
+        committed further calls are no-ops. The same discipline makes it
+        safe for the on-disk journal to observe the identical
+        interrupted write again at reopen: replay-on-open rewrites the
+        same absolute spans.
         """
         replayed = 0
-        for disk, offset, payload, (data, parity) in list(self._journal):
-            if disk in self.failed:
-                continue
-            self._write_span(disk, offset, payload)
-            self._count(data, parity, wrote=True)
-            replayed += 1
-        self._journal.clear()
+        for record in self.journal.pending(self.shard_id):
+            if record.disk not in self.failed:
+                self._write_span(record.disk, record.offset, record.payload)
+                self._count(*record.meter, wrote=True)
+                replayed += 1
+            self.journal.drop_pending(self.shard_id, record)
+        self.journal.commit(self.shard_id)
         if replayed and logger.isEnabledFor(logging.DEBUG):
             logger.debug(
                 "store: rolled forward %d journaled span writes", replayed
@@ -703,11 +759,12 @@ class ArrayStore:
         # -- write phase ------------------------------------------------
         for pos, chunk in new_data + new_parity:
             self._journal_entry(run.stripe, pos, chunk)
+        self._seal_journal()
         for pos, chunk in new_data:
             self._write_element(run.stripe, pos, chunk)
         for pos, chunk in new_parity:
             self._write_element(run.stripe, pos, chunk)
-        self._journal.clear()
+        self._commit_journal()
 
     def _stripe_write_run(
         self, run: ChunkRun, payload: np.ndarray, plan: RunPlan
@@ -737,21 +794,23 @@ class ArrayStore:
             cursor += consumed
             grid[row, col] = new
         self.code.encode(grid)
-        if self.fault_plan is not None:
+        if self._journalling:
             span = self.code.rows * self.chunk_bytes
             for col in range(self.code.cols):
                 if col in self.failed:
                     continue
-                self._journal.append(
-                    (
-                        col,
-                        run.stripe * span,
-                        grid[:, col, :].tobytes(),
-                        self._col_profile[col],
+                self.journal.log(
+                    JournalRecord(
+                        shard=self.shard_id,
+                        disk=col,
+                        offset=run.stripe * span,
+                        payload=grid[:, col, :].tobytes(),
+                        meter=self._col_profile[col],
                     )
                 )
+        self._seal_journal()
         self._store_stripe(run.stripe, grid)
-        self._journal.clear()
+        self._commit_journal()
 
     def read_chunks(self, start: int, count: int) -> np.ndarray:
         """Read ``count`` logical chunks from ``start`` (degraded-safe)."""

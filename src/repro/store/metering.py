@@ -9,6 +9,7 @@ store's write path but is defined in the raid package the store imports.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Iterable
 
 __all__ = ["IoCounters"]
 
@@ -60,6 +61,18 @@ class IoCounters:
             self.data_chunks_written + other.data_chunks_written,
             self.parity_chunks_written + other.parity_chunks_written,
         )
+
+    @classmethod
+    def merged(cls, counters: Iterable["IoCounters"]) -> "IoCounters":
+        """Sum an iterable of counters into one (the per-shard →
+        per-volume aggregation; an empty iterable merges to zeros)."""
+        total = cls()
+        for item in counters:
+            total.data_chunks_read += item.data_chunks_read
+            total.parity_chunks_read += item.parity_chunks_read
+            total.data_chunks_written += item.data_chunks_written
+            total.parity_chunks_written += item.parity_chunks_written
+        return total
 
     def __sub__(self, other: "IoCounters") -> "IoCounters":
         return IoCounters(

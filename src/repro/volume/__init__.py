@@ -1,0 +1,24 @@
+"""The elastic volume layer: many arrays behind one byte address space.
+
+Stripes a byte space over N erasure-coded shards (each a full
+:class:`~repro.store.ArrayStore`, possibly of different code families),
+journals every write intent in one shared on-disk
+:class:`~repro.store.IntentJournal` for crash consistency across the
+whole shard set, and migrates live volumes between shard sets / code
+families with :class:`Restriper` — reads and writes keep flowing while
+extents move, routed old-or-new by a durable cursor.
+"""
+
+from repro.volume.manager import ShardSpec, VolumeManager, VolumeStatus
+from repro.volume.mapping import VolumeMapping, VolumeRun
+from repro.volume.restripe import Restriper, RestripeStats
+
+__all__ = [
+    "Restriper",
+    "RestripeStats",
+    "ShardSpec",
+    "VolumeManager",
+    "VolumeMapping",
+    "VolumeRun",
+    "VolumeStatus",
+]

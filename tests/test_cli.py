@@ -294,3 +294,71 @@ def test_serve_with_repair_ticks(capsys):
     row = [line for line in out.splitlines()
            if line.strip().startswith("2 ")][0]
     assert int(row.split()[-1]) == 4  # 100 requests / 25 per tick
+
+
+def test_volume_create_and_status(capsys, tmp_path):
+    vol_dir = str(tmp_path / "vol")
+    code, out, _ = run(
+        capsys, "volume", "create", "--dir", vol_dir,
+        "--shard", "tip:5:8:512", "--shard", "tip:7:6:512",
+        "--extent-bytes", "2048",
+    )
+    assert code == 0
+    assert "2 shard(s)" in out
+    assert "tip n=5" in out and "tip n=7" in out
+    code, out, _ = run(capsys, "volume", "status", "--dir", vol_dir)
+    assert code == 0
+    assert "2048 B extents" in out
+
+
+def test_volume_create_rejects_bad_shard_spec(capsys, tmp_path):
+    code, _, err = run(
+        capsys, "volume", "create", "--dir", str(tmp_path / "vol"),
+        "--shard", "tip:banana:8",
+    )
+    assert code == 2
+    assert "non-integer" in err
+
+
+def test_volume_replay_reports_latency(capsys, tmp_path):
+    vol_dir = str(tmp_path / "vol")
+    run(capsys, "volume", "create", "--dir", vol_dir,
+        "--shard", "tip:5:8:512", "--extent-bytes", "2048")
+    code, out, _ = run(
+        capsys, "volume", "replay", "--dir", vol_dir,
+        "--requests", "80", "--workers", "2", "--max-bytes", "4096",
+    )
+    assert code == 0
+    assert "80 requests" in out
+    assert "p50" in out and "p99" in out
+
+
+def test_volume_restripe_changes_family_under_load(capsys, tmp_path):
+    vol_dir = str(tmp_path / "vol")
+    run(capsys, "volume", "create", "--dir", vol_dir,
+        "--shard", "tip:5:8:512", "--shard", "tip:7:6:512",
+        "--extent-bytes", "2048")
+    run(capsys, "volume", "replay", "--dir", vol_dir, "--requests", "40")
+    code, out, _ = run(
+        capsys, "volume", "restripe", "--dir", vol_dir,
+        "--shard", "star:7:24:512", "--requests", "30",
+        "--extents-per-tick", "2",
+    )
+    assert code == 0
+    assert "restriped" in out
+    assert "foreground during migration" in out
+    assert "star n=7" in out
+    code, out, _ = run(capsys, "volume", "status", "--dir", vol_dir)
+    assert code == 0
+    assert "tip" not in out.split("volume")[1] or "star n=7" in out
+
+
+def test_volume_restripe_without_target_or_migration_errors(
+    capsys, tmp_path
+):
+    vol_dir = str(tmp_path / "vol")
+    run(capsys, "volume", "create", "--dir", vol_dir,
+        "--shard", "tip:5:8:512", "--extent-bytes", "2048")
+    code, _, err = run(capsys, "volume", "restripe", "--dir", vol_dir)
+    assert code == 2
+    assert "no interrupted migration" in err

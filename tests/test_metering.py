@@ -1,0 +1,61 @@
+"""Unit tests for IoCounters arithmetic (the per-shard aggregation)."""
+
+from repro.store import IoCounters
+
+
+def _make(a, b, c, d):
+    return IoCounters(
+        data_chunks_read=a,
+        parity_chunks_read=b,
+        data_chunks_written=c,
+        parity_chunks_written=d,
+    )
+
+
+class TestAdd:
+    def test_add_is_fieldwise(self):
+        total = _make(1, 2, 3, 4) + _make(10, 20, 30, 40)
+        assert total == _make(11, 22, 33, 44)
+
+    def test_add_leaves_operands_untouched(self):
+        left, right = _make(1, 1, 1, 1), _make(2, 2, 2, 2)
+        left + right
+        assert left == _make(1, 1, 1, 1)
+        assert right == _make(2, 2, 2, 2)
+
+    def test_sub_inverts_add(self):
+        base, delta = _make(5, 6, 7, 8), _make(1, 2, 3, 4)
+        assert (base + delta) - delta == base
+
+
+class TestMerged:
+    def test_merged_sums_many(self):
+        parts = [_make(1, 0, 0, 0), _make(0, 2, 0, 0), _make(0, 0, 3, 4)]
+        assert IoCounters.merged(parts) == _make(1, 2, 3, 4)
+
+    def test_merged_empty_is_zero(self):
+        assert IoCounters.merged([]) == IoCounters()
+
+    def test_merged_equals_repeated_add(self):
+        parts = [_make(i, 2 * i, 3 * i, 4 * i) for i in range(5)]
+        total = IoCounters()
+        for part in parts:
+            total = total + part
+        assert IoCounters.merged(parts) == total
+
+    def test_merged_accepts_generator(self):
+        assert IoCounters.merged(
+            _make(1, 1, 1, 1) for _ in range(3)
+        ) == _make(3, 3, 3, 3)
+
+    def test_merged_result_is_independent(self):
+        part = _make(1, 1, 1, 1)
+        total = IoCounters.merged([part])
+        total.data_chunks_read += 99
+        assert part.data_chunks_read == 1
+
+    def test_derived_totals(self):
+        total = IoCounters.merged([_make(1, 2, 3, 4), _make(4, 3, 2, 1)])
+        assert total.chunks_read == 10
+        assert total.chunks_written == 10
+        assert total.total_chunks == 20
