@@ -38,6 +38,7 @@ disjoint column ranges of shared-memory buffers.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -128,7 +129,7 @@ class CompiledPlan:
                     )
         self.outputs: tuple[int, ...] = needed
         self._lower(schedule, needed)
-        self._ws: np.ndarray | None = None
+        self._ws_local = threading.local()
 
     # ------------------------------------------------------------------
     # lowering
@@ -431,15 +432,21 @@ class CompiledPlan:
 
         Row width is rounded up to a 64-byte multiple so every workspace
         row stays 8-byte aligned (``uint64``-viewable) regardless of the
-        requested tile.
+        requested tile. The arena is **thread-local**: plans are cached
+        and shared (``ArrayCode._compiled_plan_cache``, the store's
+        decoder), so concurrent ``execute_into`` calls — e.g. degraded
+        writes to two different stripes under their own stripe locks —
+        must not share intermediate syndrome rows. A shared arena lets
+        one thread overwrite another's partial syndromes, yielding a
+        silently wrong (but parity-consistent, scrub-clean) decode.
         """
         if self.num_workspace == 0:
             return _EMPTY_WS
         want = -(-tile // TILE_ALIGN) * TILE_ALIGN
-        ws = self._ws
+        ws = getattr(self._ws_local, "arena", None)
         if ws is None or ws.shape[1] < want:
             ws = np.empty((self.num_workspace, want), dtype=np.uint8)
-            self._ws = ws
+            self._ws_local.arena = ws
         return ws
 
     # ------------------------------------------------------------------
@@ -447,8 +454,12 @@ class CompiledPlan:
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
-        state["_ws"] = None
+        del state["_ws_local"]
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._ws_local = threading.local()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -138,6 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="closed-loop workers replaying the trace "
                              "concurrently over disjoint stripe "
                              "partitions (default 1 = serial replay)")
+    replay.add_argument("--batch-size", type=int, default=0,
+                        help="open-loop batched replay: coalesce up to N "
+                             "queued requests per dispatch and execute "
+                             "them with scatter-gather span I/O "
+                             "(default 0 = unbatched; excludes "
+                             "--concurrency > 1)")
 
     serve = sub.add_parser(
         "serve",
@@ -366,6 +372,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
           f"avg {stats.avg_request_kb:.2f} KB")
     if args.concurrency < 1:
         raise ValueError("--concurrency must be >= 1")
+    if args.batch_size < 0:
+        raise ValueError("--batch-size must be >= 0")
+    if args.batch_size and args.concurrency > 1:
+        raise ValueError("--batch-size and --concurrency are exclusive: "
+                         "batched replay is open-loop single-submitter")
     plan = None
     repair = None
     scrub_report = None
@@ -398,8 +409,20 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                   + (", fault injection on" if plan else "")
                   + (f", {args.concurrency} workers"
                      if args.concurrency > 1 else "")
+                  + (f", batch size {args.batch_size}"
+                     if args.batch_size else "")
                   + ")")
-            if args.concurrency > 1:
+            if args.batch_size:
+                from repro.service import replay_batched
+
+                result = replay_batched(
+                    store,
+                    trace,
+                    batch_size=args.batch_size,
+                    repair=repair,
+                    repair_every=args.scrub_every,
+                )
+            elif args.concurrency > 1:
                 from repro.service import replay_concurrent, split_disjoint
 
                 result = replay_concurrent(
@@ -424,7 +447,14 @@ def _cmd_replay(args: argparse.Namespace) -> int:
           f"{io.data_chunks_written:8d} written")
     print(f"parity chunks: {io.parity_chunks_read:8d} read "
           f"{io.parity_chunks_written:8d} written")
-    if args.concurrency > 1:
+    if args.batch_size:
+        print(f"batched replay: {result.batches} batches of up to "
+              f"{result.batch_size}, "
+              f"{result.syscalls_per_request:.2f} syscalls/request, "
+              f"p99 {result.p99_latency_ms:.3f} ms, "
+              f"{result.throughput_iops:.0f} req/s "
+              f"({result.elapsed_s:.2f} s wall)")
+    elif args.concurrency > 1:
         print(f"latency over {result.workers} closed-loop workers: "
               f"p50 {result.p50_latency_ms:.3f} ms, "
               f"p99 {result.p99_latency_ms:.3f} ms, "

@@ -509,6 +509,33 @@ class StripeCache:
                 )
         return out
 
+    def apply_batch(
+        self, ops: "list[tuple[bool, int, np.ndarray | int]]"
+    ) -> "list[np.ndarray | None]":
+        """Apply a batch of ops in order under one cache lock hold.
+
+        The batched front-end's cache entry point: each
+        ``(is_write, offset, payload_or_length)`` op runs the exact
+        per-run absorb/serve logic of :meth:`write` / :meth:`read` —
+        successive writes to one stripe keep folding into the same
+        :class:`ParityDeltaAccumulator` with no flush in between, and
+        eviction fires exactly where the serial path fires it (capacity
+        pressure in ``_touch``) so hit/miss accounting, chunk
+        ``IoCounters`` and final contents stay byte-for-byte identical
+        to applying the ops one by one. What the batch amortizes is the
+        lock traffic: one reentrant hold instead of one acquisition per
+        stripe-run.
+        """
+        with self._lock:
+            results: "list[np.ndarray | None]" = []
+            for is_write, offset, payload in ops:
+                if is_write:
+                    self.write(offset, payload)
+                    results.append(None)
+                else:
+                    results.append(self.read(offset, payload))
+            return results
+
     # ------------------------------------------------------------------
     # flushing
     # ------------------------------------------------------------------
@@ -557,11 +584,25 @@ class StripeCache:
             return False
         failed = set(self.backend.failed)
         for parity in sorted(state.acc):
-            delta = state.acc.pop(parity)
             if parity[1] in failed:
-                continue  # the parity died with its disk
-            old = self._read(stripe, parity)
-            state.pending[parity] = np.bitwise_xor(old, delta)
+                del state.acc[parity]  # the parity died with its disk
+                continue
+            delta = state.acc[parity]
+            prev = state.pending.get(parity)
+            if prev is not None:
+                # Deltas folded after an interrupted flush anchored this
+                # parity: fold onto the surviving anchor — re-reading
+                # would double-apply the anchored part.
+                np.bitwise_xor(prev, delta, out=prev)
+            else:
+                # Anchor only after the pre-read returns: an injected
+                # fault on this read must leave the delta in ``acc`` or
+                # the parity chain silently loses it (and a later
+                # rebuild would decode a consistent-but-wrong chunk
+                # through the stale chain).
+                old = self._read(stripe, parity)
+                state.pending[parity] = np.bitwise_xor(old, delta)
+            del state.acc[parity]
         for within in sorted(state.dirty):
             pos = self.code.data_positions[within]
             if pos[1] not in failed:

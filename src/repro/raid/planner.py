@@ -50,6 +50,7 @@ chunk I/Os one-for-one.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.analysis.write_path import choose_strategy, rcw_cost, rmw_cost
 from repro.codes.base import ArrayCode, Cell, Position
@@ -58,11 +59,16 @@ from repro.traces.model import TraceRequest
 
 __all__ = [
     "WRITE_STRATEGIES",
+    "BatchGroup",
+    "BatchItem",
+    "BatchPlan",
+    "DiskSpan",
     "ElementIO",
     "PlanCounts",
     "RequestPlan",
     "RequestPlanner",
     "RunPlan",
+    "coalesce_chunks",
     "plan_io_counters",
 ]
 
@@ -159,6 +165,121 @@ def plan_io_counters(code: ArrayCode, plan: RequestPlan) -> PlanCounts:
     return PlanCounts(*counts)
 
 
+@dataclass(frozen=True)
+class DiskSpan:
+    """A contiguous chunk range on one disk (the scatter-gather unit).
+
+    One span becomes one ``preadv``/``pwritev`` against the disk's
+    backing file; ``chunks`` counts stripe units, so byte geometry is
+    ``offset = lba_chunk * chunk_bytes`` / ``length = chunks *
+    chunk_bytes``.
+    """
+
+    disk: int
+    lba_chunk: int
+    chunks: int
+
+    @property
+    def stop(self) -> int:
+        """One past the last covered LBA chunk."""
+        return self.lba_chunk + self.chunks
+
+    def lbas(self) -> range:
+        """The covered LBA chunks, ascending."""
+        return range(self.lba_chunk, self.stop)
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One per-stripe run of one batched request, with its run plan.
+
+    ``cursor`` is the byte offset into the request payload where this
+    run's bytes begin — batch execution splices runs exactly where the
+    serial path would.
+    """
+
+    op_index: int
+    run: ChunkRun
+    plan: RunPlan
+    cursor: int
+    is_write: bool
+
+
+@dataclass
+class BatchGroup:
+    """All runs of a batch that land on one stripe, in arrival order.
+
+    ``batchable`` marks groups whose every run takes the delta fast
+    path; a group holding any stripe-path or decoding run is executed
+    by the serial per-run machinery instead (it meters itself and is
+    excluded from the batch spans and ``BatchPlan.counts``).
+    """
+
+    stripe: int
+    items: list[BatchItem]
+    batchable: bool = True
+
+
+@dataclass
+class BatchPlan:
+    """Merged execution plan for a batch of byte-addressed requests.
+
+    ``read_spans``/``write_spans`` are the deduplicated, gap-bridged
+    per-disk span lists covering every *batchable* group; ``counts`` is
+    the logical chunk accounting those groups must meter — the per-item
+    sum of their run plans, NOT the span footprint, so ``IoCounters``
+    stay byte-for-byte identical to replaying the requests serially
+    (the paper's 1+3 accounting contract). Fallback groups are left out
+    of both: the serial machinery that executes them meters them.
+    """
+
+    groups: list[BatchGroup]
+    read_spans: list[DiskSpan]
+    write_spans: list[DiskSpan]
+    counts: PlanCounts
+
+    @property
+    def batchable_groups(self) -> list[BatchGroup]:
+        """Groups the span path executes."""
+        return [group for group in self.groups if group.batchable]
+
+    @property
+    def fallback_groups(self) -> list[BatchGroup]:
+        """Groups deferred to the serial per-run machinery."""
+        return [group for group in self.groups if not group.batchable]
+
+
+def coalesce_chunks(
+    chunks: Iterable[tuple[int, int]], bridge: int = 0
+) -> list[DiskSpan]:
+    """Merge ``(disk, lba_chunk)`` addresses into per-disk spans.
+
+    Adjacent chunks always merge; ``bridge`` additionally merges spans
+    separated by at most that many *uncovered* chunks, trading extra
+    bytes moved for fewer syscalls (a gap chunk costs a memory-speed
+    copy, a separate span costs a syscall). Callers bridging **write**
+    spans must read the bridged gaps in the same batch and write them
+    back unchanged — see ``ArrayStore.execute_batch``.
+    """
+    if bridge < 0:
+        raise ValueError("bridge must be >= 0")
+    spans: list[DiskSpan] = []
+    by_disk: dict[int, list[int]] = {}
+    for disk, lba in set(chunks):
+        by_disk.setdefault(disk, []).append(lba)
+    for disk in sorted(by_disk):
+        lbas = sorted(by_disk[disk])
+        start = prev = lbas[0]
+        for lba in lbas[1:]:
+            if lba - prev - 1 <= bridge:
+                prev = lba
+                continue
+            spans.append(DiskSpan(disk, start, prev - start + 1))
+            start = prev = lba
+        spans.append(DiskSpan(disk, start, prev - start + 1))
+    return spans
+
+
 class RequestPlanner:
     """Builds element I/O plans for byte requests against one array code.
 
@@ -192,6 +313,7 @@ class RequestPlanner:
         self.chunk_bytes = chunk_bytes
         self.write_strategy = write_strategy
         self._run_plans: dict[tuple, RunPlan] = {}
+        self._cell_cache: dict[int, tuple] = {}
         self.shadow_cache = None
         if write_strategy == "cached":
             # Deferred import: cache.py layers on this module.
@@ -310,6 +432,129 @@ class RequestPlanner:
             plan = RunPlan("delta", covered, (), decode=False)
         self._run_plans[key] = plan
         return plan
+
+    # ------------------------------------------------------------------
+    # batch planning (cross-request span merging)
+    # ------------------------------------------------------------------
+    def plan_batch(
+        self,
+        ops: Sequence[tuple[bool, int, int]],
+        failed: tuple[int, ...] = (),
+        bridge: int = 0,
+    ) -> BatchPlan:
+        """Merge a batch of ``(is_write, offset, length)`` requests.
+
+        Each request is split into per-stripe runs and planned exactly
+        as the serial path plans it (same cached :class:`RunPlan`
+        objects), then the runs are grouped by stripe in arrival order.
+        Groups where every run takes the delta fast path are *batchable*
+        and contribute to the merged span lists:
+
+        * **write spans** — the union of the groups' planned write
+          positions, coalesced per disk with gap bridging ``bridge``;
+        * **read spans** — the union of their planned pre-reads *plus
+          every chunk a write span covers* (bridged write gaps must be
+          in memory to be written back unchanged), coalesced the same
+          way.
+
+        Any group holding a stripe-path or decoding run — and every
+        group when the array is degraded, since ``failed`` forces the
+        stripe path — is flagged non-batchable for the caller's serial
+        fallback.
+        """
+        failed_key = tuple(sorted(set(failed)))
+        groups: dict[int, BatchGroup] = {}
+        ordered: list[BatchGroup] = []
+        for op_index, (is_write, offset, length) in enumerate(ops):
+            cursor = 0
+            for run in self.mapping.byte_runs(offset, length):
+                if is_write:
+                    plan = self.plan_write_run(
+                        run.start,
+                        run.length,
+                        failed_key,
+                        partial=run.is_partial(self.chunk_bytes),
+                    )
+                else:
+                    plan = self.plan_read_run(
+                        run.start, run.length, failed_key
+                    )
+                group = groups.get(run.stripe)
+                if group is None:
+                    group = groups[run.stripe] = BatchGroup(run.stripe, [])
+                    ordered.append(group)
+                group.items.append(
+                    BatchItem(op_index, run, plan, cursor, is_write)
+                )
+                if plan.path != "delta" or plan.decode:
+                    group.batchable = False
+                cursor += run.nbytes
+        counts = [0, 0, 0, 0]
+        read_chunks: set[tuple[int, int]] = set()
+        write_chunks: set[tuple[int, int]] = set()
+        rows = self.code.rows
+        for group in ordered:
+            if not group.batchable:
+                continue
+            base = group.stripe * rows
+            for item in group.items:
+                _, reads_rel, writes_rel, plan_counts = self._plan_cells(
+                    item.plan
+                )
+                for col, row in reads_rel:
+                    read_chunks.add((col, base + row))
+                for col, row in writes_rel:
+                    write_chunks.add((col, base + row))
+                counts[0] += plan_counts[0]
+                counts[1] += plan_counts[1]
+                counts[2] += plan_counts[2]
+                counts[3] += plan_counts[3]
+        write_spans = coalesce_chunks(write_chunks, bridge)
+        for span in write_spans:
+            for lba in span.lbas():
+                read_chunks.add((span.disk, lba))
+        return BatchPlan(
+            groups=ordered,
+            read_spans=coalesce_chunks(read_chunks, bridge),
+            write_spans=write_spans,
+            counts=PlanCounts(counts[0], counts[1], counts[2], counts[3]),
+        )
+
+    def _address(self, stripe: int, pos: Position) -> tuple[int, int]:
+        address = self.mapping.element_address(stripe, pos)
+        return (address.disk, address.lba_chunk)
+
+    def _role(self, pos: Position) -> int:
+        return 1 if self.code.kind(pos[0], pos[1]) == Cell.PARITY else 0
+
+    def _plan_cells(self, plan: RunPlan) -> tuple:
+        """Stripe-relative ``(disk, row)`` cells + role counts of a plan.
+
+        ``plan_batch`` touches every element of every item; going through
+        ``element_address``/``kind`` per element dominated batch planning
+        (an Enum construction and a bounds check each). Run plans are
+        interned in ``_run_plans`` for the planner's lifetime, so the
+        flattened form is computed once per distinct plan. The cached
+        tuple keeps the plan itself as its first field, which both pins
+        the plan alive (making the ``id()`` key collision-free) and lets
+        the lookup verify identity.
+        """
+        cached = self._cell_cache.get(id(plan))
+        if cached is None or cached[0] is not plan:
+            role = self._role
+            counts = [0, 0, 0, 0]
+            for pos in plan.reads:
+                counts[role(pos)] += 1
+            for pos in plan.writes:
+                counts[2 + role(pos)] += 1
+            cached = (
+                plan,
+                tuple((pos[1], pos[0]) for pos in plan.reads),
+                tuple((pos[1], pos[0]) for pos in plan.writes),
+                tuple(counts),
+            )
+            self._cell_cache[id(plan)] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # request-level planning (byte-addressed, for pricing/validation)

@@ -28,10 +28,11 @@ assumption:
 
 from repro.service.loadgen import (
     ConcurrentReplayResult,
+    replay_batched,
     replay_concurrent,
     split_disjoint,
 )
-from repro.service.locks import ArrayRWLock, StripeLockManager
+from repro.service.locks import ArrayRWLock, FifoSemaphore, StripeLockManager
 from repro.service.scheduler import BlockService, ServiceStats, percentile
 
 
@@ -54,10 +55,12 @@ __all__ = [
     "ArrayRWLock",
     "BlockService",
     "ConcurrentReplayResult",
+    "FifoSemaphore",
     "ServiceStats",
     "StripeLockManager",
     "VolumeService",
     "percentile",
+    "replay_batched",
     "replay_concurrent",
     "split_disjoint",
 ]

@@ -21,13 +21,18 @@ service to the contract.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+import numpy as np
+
 from repro.raid.blockdevice import _payload
 from repro.service.scheduler import BlockService, percentile
+from repro.store.metering import SyscallCounters
 from repro.traces.model import Trace, TraceRequest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -35,7 +40,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.raid.cache import CacheStats
     from repro.store import ArrayStore, IoCounters
 
-__all__ = ["ConcurrentReplayResult", "replay_concurrent", "split_disjoint"]
+__all__ = [
+    "ConcurrentReplayResult",
+    "replay_batched",
+    "replay_concurrent",
+    "split_disjoint",
+]
 
 
 @dataclass
@@ -58,11 +68,29 @@ class ConcurrentReplayResult:
     repair: "RepairStats | None" = None
     retried_requests: int = 0
     repair_ticks: int = 0
+    #: Physical backing-file syscalls over the replay window (None when
+    #: produced by a result predating the syscall meter).
+    syscalls: "SyscallCounters | None" = None
+    #: Lock-contention counters from :meth:`BlockService.contention`.
+    contention: dict[str, float | int] | None = None
+    #: CPUs on the recording host (scaling context for the counters).
+    host_cpus: int = 0
+    #: Batched-mode geometry: requested batch size (0 = per-request
+    #: execution) and batches actually dispatched.
+    batch_size: int = 0
+    batches: int = 0
 
     @property
     def throughput_iops(self) -> float:
         """Completed requests per wall-clock second."""
         return self.requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def syscalls_per_request(self) -> float:
+        """Mean backing-file syscalls per completed request."""
+        if self.syscalls is None or not self.requests:
+            return 0.0
+        return self.syscalls.total / self.requests
 
     @property
     def p50_latency_ms(self) -> float:
@@ -158,6 +186,7 @@ def replay_concurrent(
     repair=None,
     repair_every: int = 0,
     join_timeout_s: float = 600.0,
+    batch_size: int = 0,
 ) -> ConcurrentReplayResult:
     """Replay ``traces`` concurrently, one closed-loop worker per trace.
 
@@ -166,14 +195,19 @@ def replay_concurrent(
     (repair drained, cache flushed) before the result is assembled, so
     the aggregate counters cover everything the replay made durable —
     mirroring what serial :meth:`~repro.raid.BlockDevice.replay` counts.
+    With ``batch_size > 0`` the service runs in batched mode — workers
+    stay closed-loop, so batches only fill as far as the worker count
+    allows; use :func:`replay_batched` for an open-loop batch sweep.
     """
     service = BlockService(
         store,
         workers=max(1, len(traces)),
         repair=repair,
         repair_every=repair_every,
+        batch_size=batch_size,
     )
     io_before = store.io.snapshot()
+    syscalls_before = store.syscalls.snapshot()
     cache = store.cache
     cache_before = cache.snapshot_stats() if cache is not None else None
     barrier = threading.Barrier(len(traces))
@@ -229,4 +263,94 @@ def replay_concurrent(
         repair=repair.stats if repair is not None else None,
         retried_requests=stats.retried_requests,
         repair_ticks=stats.repair_ticks,
+        syscalls=store.syscalls.snapshot() - syscalls_before,
+        contention=service.contention(),
+        host_cpus=os.cpu_count() or 1,
+        batch_size=batch_size,
+        batches=service.batches,
+    )
+
+
+def replay_batched(
+    store: "ArrayStore",
+    trace: Trace,
+    *,
+    batch_size: int,
+    window: int | None = None,
+    repair=None,
+    repair_every: int = 0,
+    join_timeout_s: float = 600.0,
+) -> ConcurrentReplayResult:
+    """Replay ``trace`` open-loop through a batching service.
+
+    One submitter issues requests in strict trace order via
+    :meth:`BlockService.enqueue`; the admission gate (``window``
+    outstanding requests, default ``16 * batch_size``) is the only
+    backpressure, so the dispatcher sees a standing queue and batches
+    actually fill — a closed-loop worker pool can never offer more than
+    ``workers`` concurrent requests, which is why the worker sweep and
+    the batch sweep are different experiments. The default window is
+    deliberately much deeper than one batch: it is the dispatcher's
+    stripe-affinity reorder horizon, and affinity is what converts
+    cross-request overlap into span coalescing. Replay stays
+    deterministic at the byte level regardless of batch size: the
+    dispatcher preserves per-stripe FIFO order and requests on disjoint
+    stripes commute, so any two batch sizes produce byte-identical
+    arrays and identical aggregate chunk ``IoCounters``.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    depth = window if window is not None else max(32, 16 * batch_size)
+    service = BlockService(
+        store,
+        workers=1,
+        repair=repair,
+        repair_every=repair_every,
+        batch_size=batch_size,
+        max_inflight=depth,
+    )
+    io_before = store.io.snapshot()
+    syscalls_before = store.syscalls.snapshot()
+    cache = store.cache
+    cache_before = cache.snapshot_stats() if cache is not None else None
+    capacity = service.capacity_bytes
+    futures: "list[Future[np.ndarray | None]]" = []
+    started = time.perf_counter()
+    for request in trace:
+        offset = request.offset % capacity
+        length = min(request.length, capacity - offset)
+        if request.is_write:
+            futures.append(
+                service.enqueue(True, offset, _payload(request, length))
+            )
+        else:
+            futures.append(service.enqueue(False, offset, length))
+    for future in futures:
+        future.result(timeout=join_timeout_s)
+    service.close()
+    elapsed = time.perf_counter() - started
+    stats = service.stats
+    return ConcurrentReplayResult(
+        workers=1,
+        requests=stats.requests,
+        reads=stats.reads,
+        writes=stats.writes,
+        bytes_read=stats.bytes_read,
+        bytes_written=stats.bytes_written,
+        elapsed_s=elapsed,
+        io=store.io.snapshot() - io_before,
+        latencies_ms=list(stats.latencies_ms),
+        cache=(
+            cache.snapshot_stats() - cache_before
+            if cache is not None
+            else None
+        ),
+        repair=repair.stats if repair is not None else None,
+        retried_requests=stats.retried_requests,
+        repair_ticks=stats.repair_ticks,
+        syscalls=store.syscalls.snapshot() - syscalls_before,
+        contention=service.contention(),
+        host_cpus=os.cpu_count() or 1,
+        batch_size=batch_size,
+        batches=service.batches,
     )

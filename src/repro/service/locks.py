@@ -25,10 +25,81 @@ acquires service locks, keeping the hierarchy acyclic.
 from __future__ import annotations
 
 import threading
+import time
+from collections import deque
 from contextlib import contextmanager
 from typing import Iterable, Iterator
 
-__all__ = ["ArrayRWLock", "StripeLockManager"]
+__all__ = ["ArrayRWLock", "FifoSemaphore", "StripeLockManager"]
+
+
+class FifoSemaphore:
+    """A counting semaphore with strict FIFO wakeup order.
+
+    ``threading.Semaphore`` makes no ordering promise: its ``release``
+    wakes *some* waiter, and under contention the thread that arrived
+    last is regularly admitted first — which is exactly the tail-latency
+    driver the service's admission gate saw at 8 workers. Here every
+    contended ``acquire`` takes a ticket (an event appended to a deque)
+    and ``release`` hands its slot directly to the oldest ticket without
+    ever letting a newcomer barge past the queue, so admission order is
+    arrival order.
+
+    Also the service's contention meter: :attr:`acquisitions` counts
+    every acquire and :attr:`wait_ms` accumulates time spent blocked
+    (contended acquires only — the uncontended fast path is not timed).
+    """
+
+    def __init__(self, value: int) -> None:
+        if value < 1:
+            raise ValueError("value must be >= 1")
+        self._lock = threading.Lock()
+        self._initial = value
+        self._value = value
+        self._waiters: deque[threading.Event] = deque()
+        self.acquisitions = 0
+        self.wait_ms = 0.0
+
+    @property
+    def waiting(self) -> int:
+        """Threads currently queued behind the gate."""
+        with self._lock:
+            return len(self._waiters)
+
+    def acquire(self) -> None:
+        """Take one slot, queuing FIFO behind earlier arrivals."""
+        with self._lock:
+            self.acquisitions += 1
+            if self._value > 0 and not self._waiters:
+                self._value -= 1
+                return
+            ticket = threading.Event()
+            self._waiters.append(ticket)
+        started = time.perf_counter()
+        # The releasing thread hands its slot directly to this ticket:
+        # the wait returning IS the acquisition (no re-check loop a
+        # newcomer could race).
+        ticket.wait()
+        waited = (time.perf_counter() - started) * 1e3
+        with self._lock:
+            self.wait_ms += waited
+
+    def release(self) -> None:
+        """Free one slot, waking the longest-waiting acquirer if any."""
+        with self._lock:
+            if self._waiters:
+                self._waiters.popleft().set()
+            elif self._value >= self._initial:
+                raise ValueError("semaphore released too many times")
+            else:
+                self._value += 1
+
+    def __enter__(self) -> "FifoSemaphore":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
 
 
 class ArrayRWLock:
@@ -39,6 +110,9 @@ class ArrayRWLock:
     a waiting writer blocks *new* readers — keeps a steady foreground
     stream from starving repair forever; repair ticks are rare and
     bounded, so the foreground stall per tick is the tick's own cost.
+
+    :attr:`acquisitions` counts shared+exclusive acquires; :attr:`wait_ms`
+    accumulates time spent blocked on contended acquires.
     """
 
     def __init__(self) -> None:
@@ -46,12 +120,18 @@ class ArrayRWLock:
         self._readers = 0
         self._writer = False
         self._writers_waiting = 0
+        self.acquisitions = 0
+        self.wait_ms = 0.0
 
     def acquire_shared(self) -> None:
         """Take the lock shared; blocks while a writer holds or waits."""
         with self._cond:
-            while self._writer or self._writers_waiting:
-                self._cond.wait()
+            self.acquisitions += 1
+            if self._writer or self._writers_waiting:
+                started = time.perf_counter()
+                while self._writer or self._writers_waiting:
+                    self._cond.wait()
+                self.wait_ms += (time.perf_counter() - started) * 1e3
             self._readers += 1
 
     def release_shared(self) -> None:
@@ -64,12 +144,20 @@ class ArrayRWLock:
     def acquire_exclusive(self) -> None:
         """Take the lock exclusive once every reader has retired."""
         with self._cond:
+            self.acquisitions += 1
             self._writers_waiting += 1
+            started = (
+                time.perf_counter()
+                if self._writer or self._readers
+                else None
+            )
             try:
                 while self._writer or self._readers:
                     self._cond.wait()
             finally:
                 self._writers_waiting -= 1
+            if started is not None:
+                self.wait_ms += (time.perf_counter() - started) * 1e3
             self._writer = True
 
     def release_exclusive(self) -> None:
@@ -115,11 +203,17 @@ class StripeLockManager:
     wait-for graph over stripe locks is acyclic — two requests touching
     stripes {3, 7} and {7, 3} both lock 3 before 7, so neither can hold
     7 while waiting on 3.
+
+    :attr:`acquisitions` counts individual stripe-lock acquires (a batch
+    locking a 5-stripe union counts 5); :attr:`wait_ms` accumulates time
+    spent blocked on contended stripe locks.
     """
 
     def __init__(self) -> None:
         self._mutex = threading.Lock()
         self._locks: dict[int, _StripeLock] = {}
+        self.acquisitions = 0
+        self.wait_ms = 0.0
 
     def __len__(self) -> int:
         """Stripe locks currently alive (held or being waited on)."""
@@ -145,11 +239,21 @@ class StripeLockManager:
         """Hold the locks of ``stripes`` (deduplicated, ascending)."""
         ordered = sorted(set(stripes))
         held: list[tuple[int, _StripeLock]] = []
+        waited_ms = 0.0
         try:
             for stripe in ordered:
                 entry = self._checkout(stripe)
-                entry.lock.acquire()
+                # Timed slow path only when contended: perf_counter
+                # stays off the uncontended fast path.
+                if not entry.lock.acquire(blocking=False):
+                    started = time.perf_counter()
+                    entry.lock.acquire()
+                    waited_ms += (time.perf_counter() - started) * 1e3
                 held.append((stripe, entry))
+            if waited_ms or ordered:
+                with self._mutex:
+                    self.acquisitions += len(ordered)
+                    self.wait_ms += waited_ms
             yield
         finally:
             for stripe, entry in reversed(held):

@@ -12,11 +12,25 @@ callers actually contend. It owns the locking discipline:
   :class:`~repro.faults.repair.RepairController` rebuild/scrub ticks —
   runs under the array lock (exclusive), so it always sees a quiescent
   array, exactly like the serial replay loop it generalizes;
-* admission is a counting semaphore (``max_inflight``): requests beyond
-  the limit queue at the door rather than piling onto the lock tables,
-  and the QoS arbiter interleaves one repair tick per
+* admission is a strict-FIFO counting semaphore (``max_inflight``):
+  requests beyond the limit queue at the door *in arrival order* —
+  ``threading.Semaphore`` wakeups are unordered and let late arrivals
+  barge past long waiters, which was a driver of the 26 ms p99 at 8
+  workers — and the QoS arbiter interleaves one repair tick per
   ``repair_every`` completed foreground requests — the concurrent
-  analogue of ``BlockDevice.replay(scrub_every=...)``.
+  analogue of ``BlockDevice.replay(scrub_every=...)``;
+* with ``batch_size > 0`` the service runs in **batched mode**: admitted
+  requests enqueue to a single dispatcher thread that buffers arrivals
+  (adaptive window — it stops waiting early when arrivals can't fill a
+  batch, and drains anything already queued beyond it), composes each
+  batch by **stripe affinity** — same-stripe requests join for free, a
+  small budget caps the distinct stripes a batch opens, per-stripe FIFO
+  order is preserved so the reordering is invisible — then takes the
+  array lock and the batch's stripe-lock union *once* and executes the
+  whole batch through :meth:`~repro.store.ArrayStore.execute_batch`'s
+  merged span I/O. Chunk ``IoCounters`` are identical to per-request
+  execution; only the syscall count and the per-request Python overhead
+  drop.
 
 Latency is measured per request from admission to completion
 (:class:`ServiceStats` collects the samples; `p50/p99` come from
@@ -27,6 +41,7 @@ Latency is measured per request from admission to completion
 from __future__ import annotations
 
 import math
+import queue
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -36,7 +51,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.raid.blockdevice import BlockDevice
-from repro.service.locks import ArrayRWLock, StripeLockManager
+from repro.service.locks import ArrayRWLock, FifoSemaphore, StripeLockManager
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.repair import RepairController
@@ -48,6 +63,21 @@ __all__ = ["BlockService", "ServiceStats", "percentile"]
 #: ``BlockDevice.replay``'s bound: every retry follows a state-changing
 #: repair, so the cap only guards against a pathological fault plan.
 _MAX_REQUEST_ATTEMPTS = 6
+
+
+def _completed_future(value) -> "Future":
+    """A :class:`Future` already resolved to ``value``."""
+    future: "Future" = Future()
+    future.set_result(value)
+    return future
+
+
+#: Shared completed future returned for inline (batch_size=1) writes.
+#: Writes resolve to ``None`` and a finished future is immutable —
+#: ``cancel()`` refuses, ``add_done_callback`` invokes without
+#: retaining — so one instance serves every caller and the degenerate
+#: batch path skips a Future allocation + condition notify per request.
+_WRITE_DONE: "Future[None]" = _completed_future(None)
 
 
 def percentile(samples: list[float], fraction: float) -> float:
@@ -99,6 +129,37 @@ class ServiceStats:
         return percentile(self.latencies_ms, 0.99)
 
 
+class _QueuedRequest:
+    """One admitted request parked on the dispatcher queue.
+
+    ``started`` is the admission timestamp for requests whose slot
+    release and stats accounting are the *dispatcher's* job (async
+    :meth:`BlockService.enqueue`); ``None`` means the submitting thread
+    accounts for itself (synchronous :meth:`BlockService.write` /
+    ``read`` in batched mode).
+    """
+
+    __slots__ = (
+        "is_write", "offset", "length", "payload", "future", "started"
+    )
+
+    def __init__(
+        self,
+        is_write: bool,
+        offset: int,
+        length: int,
+        payload: np.ndarray | None,
+        future: "Future[np.ndarray | None]",
+        started: float | None = None,
+    ) -> None:
+        self.is_write = is_write
+        self.offset = offset
+        self.length = length
+        self.payload = payload
+        self.future = future
+        self.started = started
+
+
 class BlockService:
     """Thread-safe byte-addressed front-end over an array store.
 
@@ -121,7 +182,21 @@ class BlockService:
             faults). The tick runs exclusive — foreground admission
             stalls for exactly the tick's bounded chunk budget.
         max_inflight: admission bound on concurrently executing
-            requests; defaults to ``4 * workers``.
+            requests; defaults to ``4 * workers`` (and at least
+            ``batch_size`` in batched mode, so a full batch can ever
+            assemble).
+        batch_size: 0 (default) keeps per-request execution. > 0 turns
+            on batched mode: admitted requests enqueue to a single
+            dispatcher thread that groups up to this many of them per
+            :meth:`~repro.store.ArrayStore.execute_batch` call, locking
+            the batch's stripe union once. ``batch_size=1`` degenerates
+            to per-request dispatch through the queue (the serial
+            baseline with only the handoff overhead added).
+        batch_window_s: longest the dispatcher waits for a batch to
+            fill once its first request arrived. The effective wait
+            adapts: it halves after an underfull batch (arrivals too
+            slow to fill one — don't stall them) and doubles back after
+            full batches, bounded by this value.
     """
 
     def __init__(
@@ -132,6 +207,8 @@ class BlockService:
         repair: "RepairController | None" = None,
         repair_every: int = 0,
         max_inflight: int | None = None,
+        batch_size: int = 0,
+        batch_window_s: float = 0.002,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -139,21 +216,45 @@ class BlockService:
             raise ValueError("repair_every must be >= 0")
         if repair_every and repair is None:
             raise ValueError("repair_every needs a repair controller")
+        if batch_size < 0:
+            raise ValueError("batch_size must be >= 0")
+        if batch_window_s <= 0:
+            raise ValueError("batch_window_s must be positive")
         self.store = store
         self.device = BlockDevice(store)
         self.workers = workers
         self.repair = repair
         self.repair_every = repair_every
+        self.batch_size = batch_size
+        self.batch_window_s = batch_window_s
         self.stats = ServiceStats()
         self._array = ArrayRWLock()
         self._stripe_locks = StripeLockManager()
-        self._admission = threading.BoundedSemaphore(
-            max_inflight if max_inflight is not None else 4 * workers
-        )
+        inflight = max_inflight if max_inflight is not None else 4 * workers
+        if batch_size:
+            inflight = max(inflight, batch_size)
+        self._admission = FifoSemaphore(inflight)
         self._stats_lock = threading.Lock()
         self._completed_since_tick = 0
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
+        #: Batched-mode plumbing (inert while ``batch_size == 0``).
+        self._queue: "queue.SimpleQueue[_QueuedRequest | None]" = (
+            queue.SimpleQueue()
+        )
+        self._dispatcher: threading.Thread | None = None
+        self._dispatcher_lock = threading.Lock()
+        self._batch_wait_s = batch_window_s
+        self._per_stripe_bytes = store.code.num_data * store.chunk_bytes
+        #: Distinct new stripes one batch may open during stripe-affinity
+        #: composition (see :meth:`_compose`); same-stripe requests join
+        #: for free, so a small budget is what concentrates a batch onto
+        #: few stripes and lets span merging actually bite.
+        self._stripe_budget = max(2, batch_size // 5) if batch_size else 0
+        #: Batches dispatched and requests they carried (mean batch fill
+        #: = ``batched_requests / batches``).
+        self.batches = 0
+        self.batched_requests = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -172,17 +273,53 @@ class BlockService:
         return self._pool
 
     def close(self) -> None:
-        """Drain repair, flush the cache, shut the pool down."""
+        """Drain repair, flush the cache, shut pool and dispatcher down."""
         if self._closed:
             return
         self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._dispatcher is not None:
+            self._queue.put(None)
+            self._dispatcher.join(timeout=60.0)
+            self._dispatcher = None
+        from repro.faults.inject import FaultError
+
         with self._array.exclusive():
             if self.repair is not None:
                 self.repair.drain()
-            self.store.flush()
+            # The final flush runs with any fault plan still armed; give
+            # it the same repair-and-retry treatment as request I/O so a
+            # latent sector surfacing on a parity anchor read doesn't
+            # escape close() with dirty stripes still in the cache.
+            for _ in range(_MAX_REQUEST_ATTEMPTS - 1):
+                try:
+                    self.store.flush()
+                    break
+                except FaultError as exc:
+                    if self.repair is None or not self.repair.handle_fault(
+                        exc
+                    ):
+                        raise
+            else:
+                self.store.flush()
+
+    def contention(self) -> dict[str, float | int]:
+        """Lock-contention counters for benchmark attribution.
+
+        Counts and blocked-time accumulate for the service's lifetime:
+        admission-gate, array-lock and stripe-lock acquisitions plus the
+        milliseconds spent blocked on each (contended acquires only).
+        """
+        return {
+            "admission_acquisitions": self._admission.acquisitions,
+            "admission_wait_ms": round(self._admission.wait_ms, 3),
+            "array_lock_acquisitions": self._array.acquisitions,
+            "array_lock_wait_ms": round(self._array.wait_ms, 3),
+            "stripe_lock_acquisitions": self._stripe_locks.acquisitions,
+            "stripe_lock_wait_ms": round(self._stripe_locks.wait_ms, 3),
+        }
 
     def __enter__(self) -> "BlockService":
         return self
@@ -219,6 +356,66 @@ class BlockService:
         """Queue a write on the service pool; returns its future."""
         return self._executor().submit(self.write, offset, data)
 
+    def enqueue(
+        self,
+        is_write: bool,
+        offset: int,
+        data_or_length: bytes | bytearray | np.ndarray | int,
+    ) -> "Future[np.ndarray | None]":
+        """Asynchronous admission into batched mode (no pool thread).
+
+        Acquires an admission slot on the *calling* thread — so a single
+        submitter issuing requests in order is backpressured, not
+        reordered; slot release and stats accounting happen when the
+        dispatcher resolves the future. This is the open-loop entry the
+        batched load generator drives: queue depth up to
+        ``max_inflight`` from one submitter is what lets batches fill.
+        """
+        if not self.batch_size:
+            raise ValueError("enqueue() requires batched mode (batch_size > 0)")
+        if is_write:
+            payload = (
+                np.ascontiguousarray(data_or_length, dtype=np.uint8).reshape(-1)
+                if isinstance(data_or_length, np.ndarray)
+                else np.frombuffer(bytes(data_or_length), dtype=np.uint8)
+            )
+            length = payload.size
+        else:
+            payload = None
+            length = int(data_or_length)
+        self.device._check_range(offset, length)
+        started = time.perf_counter()
+        self._admission.acquire()
+        if self.batch_size == 1:
+            # Degenerate batches: execute inline on the submitter thread
+            # (strict submission order, no dispatcher handoff) — the
+            # true per-request baseline the batch sweep compares against,
+            # so keep its overhead at per-request parity: writes resolve
+            # to None and share one pre-completed future.
+            try:
+                result = self._execute(is_write, offset, length, payload)
+            except BaseException as exc:  # noqa: BLE001 - to the caller
+                future: "Future[np.ndarray | None]" = Future()
+                future.set_exception(exc)
+            else:
+                future = (
+                    _WRITE_DONE
+                    if result is None
+                    else _completed_future(result)
+                )
+            finally:
+                self._admission.release()
+                self._record_completion(
+                    is_write, length, (time.perf_counter() - started) * 1e3
+                )
+            return future
+        self._ensure_dispatcher()
+        request = _QueuedRequest(
+            is_write, offset, length, payload, Future(), started
+        )
+        self._queue.put(request)
+        return request.future
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -232,8 +429,19 @@ class BlockService:
         """Admission + timing wrapper around one request execution."""
         started = time.perf_counter()
         with self._admission:
-            result = self._execute(is_write, offset, length, payload)
-        elapsed_ms = (time.perf_counter() - started) * 1e3
+            if self.batch_size:
+                result = self._enqueued(is_write, offset, length, payload)
+            else:
+                result = self._execute(is_write, offset, length, payload)
+        self._record_completion(
+            is_write, length, (time.perf_counter() - started) * 1e3
+        )
+        return result
+
+    def _record_completion(
+        self, is_write: bool, length: int, elapsed_ms: float
+    ) -> None:
+        """Account one completed request; maybe run a QoS repair tick."""
         with self._stats_lock:
             stats = self.stats
             if is_write:
@@ -251,7 +459,6 @@ class BlockService:
                     run_tick = True
         if run_tick:
             self._repair_tick()
-        return result
 
     def _execute(
         self,
@@ -269,10 +476,24 @@ class BlockService:
         for attempt in range(_MAX_REQUEST_ATTEMPTS):
             try:
                 with self._array.shared(), self._stripe_locks.locked(stripes):
-                    if is_write:
-                        self.store.write_bytes(offset, payload)
-                        return None
-                    return self.store.read_bytes(offset, length)
+                    try:
+                        if is_write:
+                            self.store.write_bytes(offset, payload)
+                            return None
+                        return self.store.read_bytes(offset, length)
+                    except FaultError as exc:
+                        # Close the write hole *while the stripe locks
+                        # are still held*: the journal replays absolute
+                        # span values, so another writer slipping into
+                        # this stripe before the roll-forward would have
+                        # its parity deltas erased by the stale replay.
+                        # A second fault mid-replay leaves the remainder
+                        # pending for the exclusive handler below.
+                        try:
+                            self.store.quarantine_interrupted_write(exc.disk)
+                        except FaultError:
+                            pass
+                        raise
             except FaultError as exc:
                 # All locks are released here: the shared/stripe context
                 # managers unwound with the exception, so taking the
@@ -289,6 +510,259 @@ class BlockService:
             f"request at offset {offset} still faulting after "
             f"{_MAX_REQUEST_ATTEMPTS} repair-and-retry attempts"
         ) from last_fault
+
+    # ------------------------------------------------------------------
+    # batched mode (single coalescing dispatcher)
+    # ------------------------------------------------------------------
+    def _enqueued(
+        self,
+        is_write: bool,
+        offset: int,
+        length: int,
+        payload: np.ndarray | None,
+    ) -> np.ndarray | None:
+        """Hand one admitted request to the dispatcher, await its result.
+
+        The admission slot stays held while the request waits in the
+        queue — ``max_inflight`` bounds queue depth, which is the
+        backpressure that lets batches assemble without unbounded
+        buffering.
+        """
+        self._ensure_dispatcher()
+        request = _QueuedRequest(is_write, offset, length, payload, Future())
+        self._queue.put(request)
+        return request.future.result()
+
+    def _ensure_dispatcher(self) -> None:
+        if self._dispatcher is not None:
+            return
+        with self._dispatcher_lock:
+            if self._dispatcher is None and not self._closed:
+                thread = threading.Thread(
+                    target=self._dispatch_loop,
+                    name="repro-batch-dispatcher",
+                    daemon=True,
+                )
+                self._dispatcher = thread
+                thread.start()
+
+    def _dispatch_loop(self) -> None:
+        """Collect pending requests, compose affine batches, dispatch.
+
+        Each round :meth:`_collect` fills the dispatcher's pending
+        buffer (blocking for the first arrival, adaptively waiting for a
+        full batch, then draining whatever else already queued — the
+        deeper the buffer, the better :meth:`_compose` can group by
+        stripe) and :meth:`_compose` carves one batch out of it. On
+        shutdown the remaining pending requests drain batch by batch.
+        """
+        pending: "list[_QueuedRequest]" = []
+        stopping = False
+        while True:
+            if not stopping:
+                stopping = self._collect(pending)
+            if not pending:
+                return
+            self._dispatch(self._compose(pending))
+            if stopping and not pending:
+                return
+
+    def _collect(self, pending: "list[_QueuedRequest]") -> bool:
+        """Top up the pending buffer from the arrival queue.
+
+        Blocks for the first request when the buffer is empty (no busy
+        wait), then drains further arrivals until a full batch is
+        buffered or the adaptive window expires. The window halves after
+        an underfull round — arrivals too slow to fill a batch shouldn't
+        stall behind a timer — and doubles back toward
+        ``batch_window_s`` after full ones. A final non-blocking drain
+        deepens the buffer past ``batch_size`` for free: admission
+        (``max_inflight``) bounds it, and every extra buffered request
+        widens the stripe-affinity window :meth:`_compose` selects from.
+        Returns True when the shutdown sentinel was consumed.
+        """
+        if not pending:
+            item = self._queue.get()
+            if item is None:
+                return True
+            pending.append(item)
+        if self.batch_size > 1 and len(pending) < self.batch_size:
+            deadline = time.perf_counter() + self._batch_wait_s
+            while len(pending) < self.batch_size:
+                remaining = deadline - time.perf_counter()
+                try:
+                    nxt = (
+                        self._queue.get(timeout=remaining)
+                        if remaining > 0
+                        else self._queue.get_nowait()
+                    )
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    return True
+                pending.append(nxt)
+            if len(pending) >= self.batch_size:
+                self._batch_wait_s = min(
+                    self.batch_window_s, self._batch_wait_s * 2
+                )
+            else:
+                self._batch_wait_s = max(
+                    self.batch_window_s / 64, self._batch_wait_s / 2
+                )
+        while True:
+            try:
+                nxt = self._queue.get_nowait()
+            except queue.Empty:
+                return False
+            if nxt is None:
+                return True
+            pending.append(nxt)
+
+    def _compose(self, pending: "list[_QueuedRequest]") -> "list[_QueuedRequest]":
+        """Carve one stripe-affine batch out of the pending buffer.
+
+        Consecutive arrivals rarely share stripes, which caps span
+        merging at whatever locality the workload happens to interleave;
+        selecting *same-stripe* requests from a deeper buffer is what
+        turns per-stripe dedup and span coalescing into real syscall
+        reductions. The scan runs in strict arrival order with two
+        rules that keep reordering invisible:
+
+        * a request is only taken while none of its stripes is
+          *blocked*; skipping a request blocks its stripes for the rest
+          of the pass, so two requests touching a common stripe can
+          never swap — per-stripe FIFO order is preserved, and requests
+          on disjoint stripes commute byte-for-byte (``IoCounters`` are
+          metered from per-item plans, so aggregate accounting is
+          composition-independent too);
+        * the head of the buffer is always taken (no starvation), and
+          after it each request must either stay within the batch's
+          stripes or fit the remaining new-stripe budget.
+        """
+        if len(pending) <= self.batch_size:
+            batch = list(pending)
+            pending.clear()
+            return batch
+        per_stripe = self._per_stripe_bytes
+        size = self.batch_size
+        selected: list[int] = []
+        batch_stripes: set[int] = set()
+        blocked: set[int] = set()
+        budget = self._stripe_budget
+        for index, request in enumerate(pending):
+            first = request.offset // per_stripe
+            last = (request.offset + request.length - 1) // per_stripe
+            stripes = range(first, last + 1)
+            if blocked and any(s in blocked for s in stripes):
+                blocked.update(stripes)
+                continue
+            new = sum(1 for s in stripes if s not in batch_stripes)
+            if not selected or (
+                len(selected) < size and (new == 0 or new <= budget)
+            ):
+                selected.append(index)
+                budget -= new
+                batch_stripes.update(stripes)
+                if len(selected) >= size:
+                    break
+            else:
+                blocked.update(stripes)
+        batch = [pending[index] for index in selected]
+        for index in reversed(selected):
+            del pending[index]
+        return batch
+
+    def _dispatch(self, batch: "list[_QueuedRequest]") -> None:
+        """Execute one batch and resolve its futures.
+
+        Single-request batches and fault-injected stores go through the
+        per-request path — ``_execute`` owns the repair-and-retry
+        discipline, which has no batched analogue (a fault mid-batch
+        must not re-execute the requests that already landed). Everything
+        else locks the batch's stripe union once under the shared array
+        lock and runs :meth:`ArrayStore.execute_batch`; being the only
+        foreground dispatcher while holding the array lock shared is
+        what satisfies ``execute_batch``'s no-concurrent-writer
+        contract for gap-bridged spans.
+        """
+        # Dispatcher-private counters: single thread, no lock needed.
+        self.batches += 1
+        self.batched_requests += len(batch)
+        try:
+            if len(batch) == 1 or self.store.fault_plan is not None:
+                for request in batch:
+                    try:
+                        request.future.set_result(
+                            self._execute(
+                                request.is_write, request.offset,
+                                request.length, request.payload,
+                            )
+                        )
+                    except BaseException as exc:  # noqa: BLE001 - caller's
+                        request.future.set_exception(exc)
+                return
+            stripes: set[int] = set()
+            for request in batch:
+                stripes.update(
+                    run.stripe
+                    for run in self.device.mapping.byte_runs(
+                        request.offset, request.length
+                    )
+                )
+            ops = [
+                (
+                    request.is_write,
+                    request.offset,
+                    request.payload if request.is_write else request.length,
+                )
+                for request in batch
+            ]
+            try:
+                with self._array.shared(), self._stripe_locks.locked(stripes):
+                    results = self.store.execute_batch(ops)
+            except BaseException as exc:  # noqa: BLE001 - fan out to callers
+                for request in batch:
+                    request.future.set_exception(exc)
+                return
+            for request, result in zip(batch, results):
+                request.future.set_result(result)
+        finally:
+            self._finish_batch(batch)
+
+    def _finish_batch(self, batch: "list[_QueuedRequest]") -> None:
+        """Slot release + stats for the dispatcher-owned batch members.
+
+        Async ``enqueue`` requests (``started`` set) are accounted here
+        in one stats-lock acquisition for the whole batch; synchronous
+        batched-mode callers (``started is None``) hold their own slot
+        and account for themselves in :meth:`_admitted`. Runs after the
+        stripe/array locks are released, so a QoS repair tick taking the
+        exclusive lock cannot self-deadlock.
+        """
+        owned = [r for r in batch if r.started is not None]
+        if not owned:
+            return
+        now = time.perf_counter()
+        for _ in owned:
+            self._admission.release()
+        ticks = 0
+        with self._stats_lock:
+            stats = self.stats
+            for request in owned:
+                if request.is_write:
+                    stats.writes += 1
+                    stats.bytes_written += request.length
+                else:
+                    stats.reads += 1
+                    stats.bytes_read += request.length
+                stats.latencies_ms.append((now - request.started) * 1e3)
+                if self.repair_every:
+                    self._completed_since_tick += 1
+                    if self._completed_since_tick >= self.repair_every:
+                        self._completed_since_tick = 0
+                        ticks += 1
+        for _ in range(ticks):
+            self._repair_tick()
 
     def _repair_tick(self) -> None:
         """One throttled repair tick under the exclusive array lock."""

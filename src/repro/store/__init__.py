@@ -22,7 +22,7 @@ from repro.store.journal import (
     MemoryJournal,
     WriteJournal,
 )
-from repro.store.metering import IoCounters
+from repro.store.metering import IoCounters, SyscallCounters
 
 __all__ = [
     "ArrayStore",
@@ -31,6 +31,7 @@ __all__ = [
     "IoCounters",
     "JournalRecord",
     "MemoryJournal",
+    "SyscallCounters",
     "WRITE_MODES",
     "WriteJournal",
 ]

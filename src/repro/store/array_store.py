@@ -44,15 +44,15 @@ import logging
 import os
 import threading
 from pathlib import Path
-from typing import TYPE_CHECKING, BinaryIO
+from typing import TYPE_CHECKING, BinaryIO, Sequence
 
 import numpy as np
 
 from repro.codes.base import ArrayCode, Cell, Decoder
 from repro.raid.mapping import ChunkRun
-from repro.raid.planner import RequestPlanner, RunPlan
+from repro.raid.planner import BatchItem, RequestPlanner, RunPlan
 from repro.store.journal import JournalRecord, MemoryJournal, WriteJournal
-from repro.store.metering import IoCounters
+from repro.store.metering import IoCounters, SyscallCounters
 
 if TYPE_CHECKING:
     from repro.faults.inject import FaultPlan
@@ -69,6 +69,12 @@ WRITE_MODES = ("auto", "delta", "stripe")
 #: ``write_mode`` → planner write strategy. The store executes plans; the
 #: planner (shared with the DiskSim controller) owns path selection.
 _MODE_TO_STRATEGY = {"auto": "delta", "delta": "delta-always", "stripe": "stripe"}
+
+#: Scatter-gather availability (Linux/BSD yes, some platforms no). The
+#: batched span path degrades to the single-call pread/joined-pwrite
+#: fallbacks — still one syscall per span — when vectored I/O is absent.
+_HAS_PREADV = hasattr(os, "preadv")
+_HAS_PWRITEV = hasattr(os, "pwritev")
 
 
 class DiskFailedError(RuntimeError):
@@ -123,6 +129,13 @@ class ArrayStore:
         shard_id: this store's id inside a shared journal (and inside a
             :class:`~repro.volume.VolumeManager`); 0 for standalone
             stores.
+        span_bridge_chunks: gap-bridging distance (in chunks) for
+            :meth:`execute_batch` span coalescing — two planned chunk
+            I/Os on one disk separated by at most this many uncovered
+            chunks merge into one span, trading extra bytes moved at
+            memory speed for one syscall saved. 0 coalesces strictly
+            adjacent chunks only. Logical :class:`IoCounters` are
+            unaffected (bridged gaps are not metered).
 
     Reopening a directory whose backing files don't match the requested
     geometry raises ``ValueError`` rather than destroying the contents.
@@ -143,9 +156,12 @@ class ArrayStore:
         fault_plan: "FaultPlan | None" = None,
         journal: WriteJournal | None = None,
         shard_id: int = 0,
+        span_bridge_chunks: int = 16,
     ) -> None:
         if stripes <= 0 or chunk_bytes <= 0:
             raise ValueError("stripes and chunk_bytes must be positive")
+        if span_bridge_chunks < 0:
+            raise ValueError("span_bridge_chunks must be >= 0")
         if write_mode not in WRITE_MODES:
             raise ValueError(
                 f"write_mode must be one of {WRITE_MODES}, got {write_mode!r}"
@@ -166,6 +182,14 @@ class ArrayStore:
         self.failed: set[int] = set()
         self.io = IoCounters()
         self.last_io = IoCounters()
+        #: Physical backing-file syscalls (orthogonal to the logical
+        #: chunk counters above — see :class:`SyscallCounters`).
+        self.syscalls = SyscallCounters()
+        #: Max uncovered chunks :meth:`execute_batch` bridges when
+        #: coalescing planned chunk I/Os into per-disk spans. A bridged
+        #: gap trades a memory-speed copy for a saved syscall; gap bytes
+        #: are pre-read in the same batch and written back unchanged.
+        self.span_bridge_chunks = span_bridge_chunks
         #: Stripe-runs served by the delta fast path / full-stripe path.
         self.fast_path_writes = 0
         self.slow_path_writes = 0
@@ -346,8 +370,10 @@ class ArrayStore:
         parts = []
         remaining = length
         cursor = offset
+        calls = 0
         while remaining:
             piece = os.pread(fd, remaining, cursor)
+            calls += 1
             if not piece:
                 raise IOError(
                     f"short read on disk {disk} at offset {offset}"
@@ -355,16 +381,81 @@ class ArrayStore:
             parts.append(piece)
             remaining -= len(piece)
             cursor += len(piece)
+        with self._meter_lock:
+            self.syscalls.reads += calls
         return b"".join(parts) if len(parts) > 1 else parts[0]
 
     def _raw_write_span(self, disk: int, offset: int, data: bytes) -> None:
         fd = self._handle(disk).fileno()
         view = memoryview(data)
         cursor = offset
+        calls = 0
         while view:
             written = os.pwrite(fd, view, cursor)
+            calls += 1
             view = view[written:]
             cursor += written
+        with self._meter_lock:
+            self.syscalls.writes += calls
+
+    def _vector_read_span(
+        self, disk: int, offset: int, length: int
+    ) -> np.ndarray:
+        """Read one span with a single ``preadv`` into a fresh buffer.
+
+        ``preadv`` with one destination buffer is the zero-copy form of
+        ``pread`` — the kernel fills the numpy buffer directly, skipping
+        the intermediate ``bytes`` object. Platforms without ``preadv``
+        fall back to :meth:`_raw_read_span` (still one syscall per span,
+        plus one copy).
+        """
+        buf = np.empty(length, dtype=np.uint8)
+        if not _HAS_PREADV:
+            buf[:] = np.frombuffer(
+                self._raw_read_span(disk, offset, length), dtype=np.uint8
+            )
+            return buf
+        fd = self._handle(disk).fileno()
+        view = memoryview(buf)
+        cursor = offset
+        calls = 0
+        while view:
+            got = os.preadv(fd, [view], cursor)
+            calls += 1
+            if not got:
+                raise IOError(
+                    f"short read on disk {disk} at offset {offset}"
+                )
+            view = view[got:]
+            cursor += got
+        with self._meter_lock:
+            self.syscalls.vector_reads += calls
+        return buf
+
+    def _vector_write_span(self, disk: int, offset: int, data: np.ndarray) -> None:
+        """Write one merged span with a single ``pwritev``.
+
+        The batch path folds deltas *in place* inside the span's
+        pre-read buffer, so write-back is always one contiguous slice
+        of that buffer — a single-iovec gather straight from the numpy
+        memory, no join copy. Platforms without ``pwritev`` fall back
+        to :meth:`_raw_write_span` (one write, plus the ``tobytes``
+        copy).
+        """
+        if not _HAS_PWRITEV:
+            self._raw_write_span(disk, offset, data.tobytes())
+            return
+        fd = self._handle(disk).fileno()
+        view = memoryview(data)
+        cursor = offset
+        calls = 0
+        while view:
+            written = os.pwritev(fd, [view], cursor)
+            calls += 1
+            view = view[written:]
+            cursor += written
+        with self._meter_lock:
+            self.syscalls.vector_writes += calls
 
     def _read_span(self, disk: int, offset: int, length: int) -> bytes:
         if self._backend is not None:
@@ -591,9 +682,36 @@ class ArrayStore:
         interrupted write again at reopen: replay-on-open rewrites the
         same absolute spans.
         """
+        return self._roll_journal_forward(skip=self.failed)
+
+    def quarantine_interrupted_write(self, skip_disk: int | None) -> int:
+        """Roll the calling thread's interrupted write forward *before*
+        its stripe locks are released; returns the span writes replayed.
+
+        The journal replays absolute span values, so the roll-forward
+        must happen before any later write to the same stripe can land —
+        otherwise the stale absolutes would silently erase that write's
+        parity deltas (and the eventual rebuild would then "solve" the
+        corrupted parity into a wrong data chunk with clean syndromes).
+        The service's fault path calls this from the faulting worker
+        while it still holds the shared array lock and its stripe locks,
+        which is exactly that before-anyone-else window. ``skip_disk``
+        is the disk the in-flight fault names: it is not formally failed
+        yet, but writing to it would just re-raise. Its record is
+        dropped unwritten — identical to what
+        :meth:`complete_interrupted_write` does once the disk is marked
+        failed — because its content already lives in the replayed
+        parity.
+        """
+        skip = set(self.failed)
+        if skip_disk is not None:
+            skip.add(skip_disk)
+        return self._roll_journal_forward(skip=skip)
+
+    def _roll_journal_forward(self, skip: "set[int] | frozenset[int]") -> int:
         replayed = 0
         for record in self.journal.pending(self.shard_id):
-            if record.disk not in self.failed:
+            if record.disk not in skip:
                 self._write_span(record.disk, record.offset, record.payload)
                 self._count(*record.meter, wrote=True)
                 replayed += 1
@@ -848,29 +966,304 @@ class ArrayStore:
     def _execute_read(self, offset: int, length: int) -> np.ndarray:
         out = np.empty(length, dtype=np.uint8)
         failed_key = tuple(sorted(self.failed))
-        chunk = self.chunk_bytes
         cursor = 0
         for run in self.planner.mapping.byte_runs(offset, length):
             plan = self.planner.plan_read_run(run.start, run.length, failed_key)
-            grid = None
-            if plan.decode:
-                # The run touches a failed column: read every survivor of
-                # the stripe and reconstruct on the fly.
-                grid = self._load_stripe(run.stripe)
-                self._current_decoder().decode_columns(grid)
-            consumed = 0
-            for index in range(run.length):
-                row, col = self.code.data_positions[run.start + index]
-                if grid is not None:
-                    data = grid[row, col]
-                else:
-                    data = self._read_element(run.stripe, (row, col))
-                skip = run.skip if index == 0 else 0
-                take = min(chunk - skip, run.nbytes - consumed)
-                out[cursor : cursor + take] = data[skip : skip + take]
-                cursor += take
-                consumed += take
+            cursor += self._read_run_into(run, plan, out, cursor)
         return out
+
+    def _read_run_into(
+        self, run: ChunkRun, plan: RunPlan, out: np.ndarray, base: int
+    ) -> int:
+        """Execute one read run into ``out`` at ``base``; returns bytes
+        produced (``run.nbytes``)."""
+        chunk = self.chunk_bytes
+        grid = None
+        if plan.decode:
+            # The run touches a failed column: read every survivor of
+            # the stripe and reconstruct on the fly.
+            grid = self._load_stripe(run.stripe)
+            self._current_decoder().decode_columns(grid)
+        consumed = 0
+        cursor = base
+        for index in range(run.length):
+            row, col = self.code.data_positions[run.start + index]
+            if grid is not None:
+                data = grid[row, col]
+            else:
+                data = self._read_element(run.stripe, (row, col))
+            skip = run.skip if index == 0 else 0
+            take = min(chunk - skip, run.nbytes - consumed)
+            out[cursor : cursor + take] = data[skip : skip + take]
+            cursor += take
+            consumed += take
+        return consumed
+
+    # ------------------------------------------------------------------
+    # batched execution (cross-request span I/O)
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self, ops: "Sequence[tuple[bool, int, object]]"
+    ) -> list[np.ndarray | None]:
+        """Execute a batch of requests with cross-request span I/O.
+
+        ``ops`` is a sequence of ``(is_write, offset, payload)`` tuples:
+        writes carry their payload (bytes or uint8 array), reads carry
+        their byte length. Returns one entry per op, in order — ``None``
+        for writes, the read data for reads.
+
+        The batch is planned once (:meth:`RequestPlanner.plan_batch`):
+        per-stripe run groups where every run takes the delta fast path
+        execute through merged, gap-bridged per-disk spans — one
+        ``preadv``/``pwritev`` per span instead of one ``pread``/
+        ``pwrite`` per chunk per request — with all delta folding done
+        in memory between the two span phases, one sealed journal
+        transaction covering the whole batch, and chunk
+        :class:`IoCounters` metered from the per-item run plans so the
+        logical accounting is byte-for-byte what replaying the ops
+        serially would meter (the paper's 1+3 contract; only
+        :attr:`syscalls` sees the coalescing). Degraded arrays, stores
+        with a fault plan attached, cached stores, stripe-path run
+        groups and single-op batches fall back to the serial machinery,
+        which is trivially equivalent.
+
+        **Concurrency contract**: the caller must guarantee no other
+        writer mutates the store for the duration of the call — not
+        just the touched stripes. Gap bridging writes back chunks
+        *between* planned writes (pre-read in the same batch, written
+        back unchanged), and those gap chunks can belong to stripes the
+        batch never locked; a concurrent writer could race them. The
+        batching service dispatches batches from a single thread while
+        holding the array lock shared (maintenance takes it exclusive),
+        which satisfies the contract.
+        """
+        normalized: list[tuple[bool, int, np.ndarray | int]] = []
+        for is_write, offset, payload in ops:
+            if is_write:
+                buf = (
+                    np.ascontiguousarray(payload, dtype=np.uint8).reshape(-1)
+                    if isinstance(payload, np.ndarray)
+                    else np.frombuffer(bytes(payload), dtype=np.uint8)
+                )
+                if buf.size == 0:
+                    raise ValueError("cannot write zero bytes")
+                if offset < 0 or offset + buf.size > self.capacity_bytes:
+                    raise ValueError("write beyond store capacity")
+                normalized.append((True, offset, buf))
+            else:
+                length = int(payload)  # type: ignore[arg-type]
+                if length <= 0:
+                    raise ValueError("length must be positive")
+                if offset < 0 or offset + length > self.capacity_bytes:
+                    raise ValueError("read beyond store capacity")
+                normalized.append((False, offset, length))
+        if not normalized:
+            return []
+        self._reset_last_io()
+        if self.cache is not None:
+            if self.failed:
+                self.cache.drop()
+            else:
+                return self.cache.apply_batch(normalized)
+        if self.failed or self._backend is not None or len(normalized) < 2:
+            return self._serial_batch(normalized)
+        return self._span_batch(normalized)
+
+    def _serial_batch(
+        self, ops: list[tuple[bool, int, np.ndarray | int]]
+    ) -> list[np.ndarray | None]:
+        """Execute a batch op-by-op through the serial machinery."""
+        results: list[np.ndarray | None] = []
+        for is_write, offset, payload in ops:
+            if is_write:
+                self._execute_write(offset, payload)
+                results.append(None)
+            else:
+                results.append(self._execute_read(offset, payload))
+        return results
+
+    def _span_batch(
+        self, ops: list[tuple[bool, int, np.ndarray | int]]
+    ) -> list[np.ndarray | None]:
+        """The merged span path (healthy, uncached, unfaulted, ≥2 ops)."""
+        chunk = self.chunk_bytes
+        plan = self.planner.plan_batch(
+            [
+                (is_write, offset, payload.size if is_write else payload)
+                for is_write, offset, payload in ops
+            ],
+            bridge=self.span_bridge_chunks,
+        )
+        results: list[np.ndarray | None] = [
+            None if is_write else np.empty(payload, dtype=np.uint8)
+            for is_write, _, payload in ops
+        ]
+        # Phase 1 — bulk pre-read: one vectored syscall per merged span.
+        # ``state`` maps (disk, lba_chunk) to a *view into the span
+        # buffer*; folding mutates the views in place, so later items in
+        # a group observe earlier items' writes exactly as serial
+        # execution order would — and write-back (phase 3) is a single
+        # contiguous slice of the already-updated buffer per span.
+        state: dict[tuple[int, int], np.ndarray] = {}
+        cover: dict[int, list[tuple[int, np.ndarray]]] = {}
+        for span in plan.read_spans:
+            buf = self._vector_read_span(
+                span.disk, span.lba_chunk * chunk, span.chunks * chunk
+            )
+            cover.setdefault(span.disk, []).append((span.lba_chunk, buf))
+            for i, lba in enumerate(span.lbas()):
+                state[(span.disk, lba)] = buf[i * chunk : (i + 1) * chunk]
+        counts = plan.counts
+        if counts.chunks_read:
+            self._count(
+                counts.data_chunks_read,
+                counts.parity_chunks_read,
+                wrote=False,
+            )
+        # Phase 2 — fold every batchable group in memory, arrival order.
+        dirty: dict[tuple[int, int], np.ndarray] = {}
+        for group in plan.batchable_groups:
+            for item in group.items:
+                if item.is_write:
+                    self._fold_write_item(
+                        group.stripe, item, ops[item.op_index][2],
+                        state, dirty,
+                    )
+                    self.fast_path_writes += 1
+                    for watcher in tuple(self._write_watchers):
+                        watcher.add(group.stripe)
+                else:
+                    self._fill_read_item(
+                        group.stripe, item, state, results[item.op_index]
+                    )
+        # Phase 3 — journal-before-data (one sealed transaction for the
+        # whole batch), then one vectored write-back per merged span.
+        # Span gaps rewrite ``state`` contents that were never dirtied —
+        # byte-identical to what phase 1 read, see the class docstring.
+        journalled = self._journalling and bool(dirty)
+        if journalled:
+            rows = self.code.rows
+            for disk, lba in sorted(dirty):
+                self._journal_entry(
+                    lba // rows, (lba % rows, disk), dirty[(disk, lba)]
+                )
+            self._seal_journal()
+        # Every write span lies inside one read span (the planner
+        # expands read coverage over write-span gaps), so its bytes are
+        # one contiguous, already-folded slice of that span's buffer.
+        for span in plan.write_spans:
+            start, buf = next(
+                (start, buf)
+                for start, buf in cover[span.disk]
+                if start <= span.lba_chunk
+                and span.stop <= start + buf.size // chunk
+            )
+            self._vector_write_span(
+                span.disk,
+                span.lba_chunk * chunk,
+                buf[
+                    (span.lba_chunk - start) * chunk
+                    : (span.stop - start) * chunk
+                ],
+            )
+        if counts.chunks_written:
+            self._count(
+                counts.data_chunks_written,
+                counts.parity_chunks_written,
+                wrote=True,
+            )
+        if journalled:
+            self._commit_journal()
+        # Phase 4 — stripe-path / decoding groups: the serial per-run
+        # machinery (meters and journals itself, per run, as ever).
+        for group in plan.fallback_groups:
+            for item in group.items:
+                if item.is_write:
+                    buf = ops[item.op_index][2]
+                    payload = buf[item.cursor : item.cursor + item.run.nbytes]
+                    if item.plan.path == "delta":
+                        self._delta_write_run(item.run, payload)
+                        self.fast_path_writes += 1
+                    else:
+                        self._stripe_write_run(item.run, payload, item.plan)
+                        self.slow_path_writes += 1
+                    for watcher in tuple(self._write_watchers):
+                        watcher.add(item.run.stripe)
+                else:
+                    self._read_run_into(
+                        item.run, item.plan,
+                        results[item.op_index], item.cursor,
+                    )
+        return results
+
+    def _fold_write_item(
+        self,
+        stripe: int,
+        item: BatchItem,
+        buf: np.ndarray,
+        state: dict[tuple[int, int], np.ndarray],
+        dirty: dict[tuple[int, int], np.ndarray],
+    ) -> None:
+        """Fold one delta write run into the batch state (no disk I/O).
+
+        The in-memory mirror of :meth:`_delta_write_run`: splice new
+        data over ``state`` (the pre-read or already-folded contents),
+        XOR each data delta through its dependent parity chains. Every
+        ``state`` entry is a view into a span buffer and is updated *in
+        place*, so the span write-back needs no gather — the buffer
+        already holds the folded bytes; ``dirty`` marks which views the
+        journal must record.
+        """
+        code = self.code
+        rows = code.rows
+        run = item.run
+        payload = buf[item.cursor : item.cursor + run.nbytes]
+        parity_deltas: dict[tuple[int, int], np.ndarray] = {}
+        cursor = 0
+        for index in range(run.length):
+            row, col = code.data_positions[run.start + index]
+            key = (col, stripe * rows + row)
+            old = state[key]
+            new, consumed = self._splice(run, index, cursor, payload, old)
+            cursor += consumed
+            delta = np.bitwise_xor(old, new)
+            old[:] = new  # fold into the span buffer itself
+            dirty[key] = old
+            for parity in code.parity_dependents[(row, col)]:
+                acc = parity_deltas.get(parity)
+                if acc is None:
+                    # copy: the same delta buffer feeds several parities
+                    parity_deltas[parity] = delta.copy()
+                else:
+                    np.bitwise_xor(acc, delta, out=acc)
+        for parity in sorted(parity_deltas):
+            row, col = parity
+            key = (col, stripe * rows + row)
+            view = state[key]
+            np.bitwise_xor(view, parity_deltas[parity], out=view)
+            dirty[key] = view
+
+    def _fill_read_item(
+        self,
+        stripe: int,
+        item: BatchItem,
+        state: dict[tuple[int, int], np.ndarray],
+        out: np.ndarray,
+    ) -> None:
+        """Serve one read run from the batch state into ``out``."""
+        chunk = self.chunk_bytes
+        rows = self.code.rows
+        run = item.run
+        consumed = 0
+        cursor = item.cursor
+        for index in range(run.length):
+            row, col = self.code.data_positions[run.start + index]
+            data = state[(col, stripe * rows + row)]
+            skip = run.skip if index == 0 else 0
+            take = min(chunk - skip, run.nbytes - consumed)
+            out[cursor : cursor + take] = data[skip : skip + take]
+            cursor += take
+            consumed += take
 
     # ------------------------------------------------------------------
     # failures, rebuild, scrubbing

@@ -201,6 +201,15 @@ class IntentJournal:
             instead of per commit. Lost markers are harmless (replay is
             idempotent), so the group size only bounds redundant replay
             work after a crash, not correctness.
+        checkpoint_records: compact the file once this many records have
+            been appended since the last truncation/compaction, *even
+            while transactions are open*. The quiescent checkpoint in
+            :meth:`commit` only fires when no transaction is in flight —
+            under sustained concurrent load that moment never comes and
+            the file grows without bound. Compaction atomically rewrites
+            the file to just its live (sealed-but-uncommitted +
+            unrecovered) transactions, preserving their txn ids so later
+            commit markers still match. 0 disables the threshold.
 
     Thread safety: ``log``/``seal``/``commit`` may be called from many
     threads (one in-flight transaction per ``(thread, shard)``); all
@@ -210,15 +219,26 @@ class IntentJournal:
 
     durable = True
 
-    def __init__(self, path: str | Path, group_commit: int = 8) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        group_commit: int = 8,
+        checkpoint_records: int = 1024,
+    ) -> None:
         if group_commit < 1:
             raise ValueError("group_commit must be >= 1")
+        if checkpoint_records < 0:
+            raise ValueError("checkpoint_records must be >= 0")
         self.path = Path(path)
         self.group_commit = group_commit
+        self.checkpoint_records = checkpoint_records
+        #: Threshold-triggered compactions performed (diagnostics).
+        self.compactions = 0
         self._lock = threading.Lock()
         self._tls = threading.local()
         self._next_txn = 1
         self._unsynced_commits = 0
+        self._records_since_checkpoint = 0
         #: Sealed-but-uncommitted transactions by id, shared across
         #: threads so `pending_records()` can audit the whole journal.
         self._open_txns: dict[int, list[JournalRecord]] = {}
@@ -276,18 +296,21 @@ class IntentJournal:
         intents: dict[int, list[JournalRecord]] = {}
         committed: set[int] = set()
         top_txn = 0
+        records_seen = 0
         while cursor < len(buf):
             parsed = self._decode(buf, cursor)
             if parsed is None:
                 break
             kind, txn, record = parsed
             top_txn = max(top_txn, txn)
+            records_seen += 1
             if kind == _KIND_COMMIT:
                 committed.add(txn)
                 intents.pop(txn, None)
             else:
                 intents.setdefault(txn, []).append(record)
             cursor += _HEADER.size + len(record.payload)
+        self._records_since_checkpoint = records_seen
         if cursor < len(buf):
             logger.warning(
                 "journal %s: discarding torn tail at byte %d of %d",
@@ -339,6 +362,8 @@ class IntentJournal:
             self._sync()
             self._open_txns[txn] = list(records)
             self._txn_of_thread[key] = txn
+            self._records_since_checkpoint += len(records)
+            self._maybe_compact_locked()
 
     def commit(self, shard: int) -> None:
         """Append the commit marker; fsync once per ``group_commit``."""
@@ -356,8 +381,11 @@ class IntentJournal:
             if self._unsynced_commits >= self.group_commit:
                 self._sync()
                 self._unsynced_commits = 0
+            self._records_since_checkpoint += 1
             if not self._open_txns and not self._recoverable:
                 self._checkpoint_locked()
+            else:
+                self._maybe_compact_locked()
 
     def pending(self, shard: int) -> list[JournalRecord]:
         """Snapshot the calling thread's not-yet-committed intents."""
@@ -464,6 +492,54 @@ class IntentJournal:
         self._file.seek(0)
         self._sync()
         self._unsynced_commits = 0
+        self._records_since_checkpoint = 0
+
+    def _maybe_compact_locked(self) -> None:
+        """Compact once the append count crosses ``checkpoint_records``."""
+        if (
+            self.checkpoint_records
+            and self._records_since_checkpoint >= self.checkpoint_records
+        ):
+            self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        """Rewrite the file to just its live transactions, atomically.
+
+        The sustained-load companion of :meth:`_checkpoint_locked`:
+        retired transactions (intents plus commit markers) dominate the
+        file under steady traffic, and with some transaction always in
+        flight the quiescent truncation never fires. Live records —
+        sealed-but-uncommitted plus unrecovered — are re-encoded under
+        their *original* txn ids into a temp file which atomically
+        replaces the journal, so a commit marker appended afterwards
+        still matches its intents and a crash at any point leaves either
+        the complete old file or the complete new one (both recover
+        identically: the live set is the same).
+        """
+        live: list[bytes] = []
+        count = 0
+        for source in (self._open_txns, self._recoverable):
+            for txn in sorted(source):
+                for record in source[txn]:
+                    live.append(self._encode(_KIND_INTENT, txn, record))
+                    count += 1
+        tmp = self.path.with_name(self.path.name + ".compact")
+        with open(tmp, "wb") as handle:
+            handle.write(b"".join(live))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self._file.close()
+        self._file = open(self.path, "ab", buffering=0)
+        self._sync()
+        self._unsynced_commits = 0
+        self._records_since_checkpoint = count
+        self.compactions += 1
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "journal %s: compacted to %d live record(s)",
+                self.path, count,
+            )
 
     def checkpoint(self) -> bool:
         """Truncate the journal if nothing is pending; returns success."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterable
 
-__all__ = ["IoCounters"]
+__all__ = ["IoCounters", "SyscallCounters"]
 
 
 @dataclass
@@ -80,4 +80,50 @@ class IoCounters:
             self.parity_chunks_read - other.parity_chunks_read,
             self.data_chunks_written - other.data_chunks_written,
             self.parity_chunks_written - other.parity_chunks_written,
+        )
+
+
+@dataclass
+class SyscallCounters:
+    """Backing-file syscall accounting, orthogonal to :class:`IoCounters`.
+
+    ``IoCounters`` meters *logical* chunk transfers — the paper's 1+3
+    accounting contract, identical whether chunks move one ``pread`` at
+    a time or coalesced into spans. These counters meter the *physical*
+    syscalls those transfers cost, which is what the batched span path
+    reduces: ``reads``/``writes`` count ``os.pread``/``os.pwrite``
+    calls, ``vector_reads``/``vector_writes`` count ``os.preadv``/
+    ``os.pwritev`` calls (one each per coalesced span).
+    """
+
+    reads: int = 0
+    writes: int = 0
+    vector_reads: int = 0
+    vector_writes: int = 0
+
+    @property
+    def total(self) -> int:
+        """All backing-file syscalls issued."""
+        return (
+            self.reads + self.writes + self.vector_reads + self.vector_writes
+        )
+
+    def snapshot(self) -> "SyscallCounters":
+        """An independent copy of the current counts."""
+        return replace(self)
+
+    def __add__(self, other: "SyscallCounters") -> "SyscallCounters":
+        return SyscallCounters(
+            self.reads + other.reads,
+            self.writes + other.writes,
+            self.vector_reads + other.vector_reads,
+            self.vector_writes + other.vector_writes,
+        )
+
+    def __sub__(self, other: "SyscallCounters") -> "SyscallCounters":
+        return SyscallCounters(
+            self.reads - other.reads,
+            self.writes - other.writes,
+            self.vector_reads - other.vector_reads,
+            self.vector_writes - other.vector_writes,
         )

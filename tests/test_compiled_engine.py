@@ -183,6 +183,56 @@ class TestPlanLowering:
         plan = CompiledPlan(XorSchedule(num_inputs=0, num_outputs=0))
         plan.execute_into([], [])  # no-op, no error
 
+    def test_concurrent_decode_uses_private_workspace(self):
+        """Threads sharing one cached plan must not share scratch rows.
+
+        Plans are cached per (code, failure set) and the store reuses
+        one decoder across stripes, so degraded writes to two different
+        stripes (each under its own stripe lock) decode through the
+        same CompiledPlan concurrently. A shared workspace arena lets
+        one thread overwrite another's partial syndromes, producing a
+        silently wrong — but parity-consistent — reconstruction.
+        """
+        import threading
+
+        code = make_code("tip", 8)
+        decoder = code.decoder_for((5,))
+        assert decoder.compiled_plan().num_workspace > 0
+        rng = np.random.default_rng(7)
+
+        def fresh_stripe():
+            stripe = rng.integers(
+                0, 256, (code.rows, code.cols, 4096), dtype=np.uint8
+            )
+            for r in range(code.rows):
+                for c in range(code.cols):
+                    if (r, c) not in code.element_index:
+                        stripe[r, c] = 0
+            code.encode(stripe)
+            return stripe
+
+        stripes = [fresh_stripe() for _ in range(8)]
+        truth = [s.copy() for s in stripes]
+        corrupted = []
+
+        def worker(i):
+            stripe = stripes[i]
+            for _ in range(100):
+                stripe[:, 5, :] = 0
+                decoder.decode_columns(stripe)
+                if not np.array_equal(stripe, truth[i]):
+                    corrupted.append(i)
+                    return
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not corrupted
+
 
 # ----------------------------------------------------------------------
 # multicore fan-out

@@ -238,6 +238,77 @@ def _store(tmp_path, journal, name="store", **kwargs):
     )
 
 
+class TestJournalCompaction:
+    """Satellite: the journal stays bounded under sustained load even
+    when it is never idle (an open transaction pins the quiescent
+    checkpoint off), by compacting live records in place."""
+
+    def test_sustained_writes_keep_the_file_bounded(self, tmp_path):
+        rounds = 400
+        payload = b"p" * 32
+
+        # Control: compaction disabled, same workload — the file only
+        # ever grows, giving the size yardstick for the real run.
+        control_path = tmp_path / "control"
+        with IntentJournal(control_path, checkpoint_records=0) as control:
+            control.log(_record(shard=1, payload=b"pinned"))
+            control.seal(1)  # open txn: quiescent checkpoint can't fire
+            for _ in range(rounds):
+                control.log(_record(shard=0, payload=payload))
+                control.seal(0)
+                control.commit(0)
+            assert control.compactions == 0
+            control_size = control_path.stat().st_size
+
+        path = tmp_path / "bounded"
+        journal = IntentJournal(path, checkpoint_records=32)
+        journal.log(_record(shard=1, payload=b"pinned"))
+        journal.seal(1)
+        high_water = 0
+        for _ in range(rounds):
+            journal.log(_record(shard=0, payload=payload))
+            journal.seal(0)
+            journal.commit(0)
+            high_water = max(high_water, path.stat().st_size)
+        assert journal.compactions >= rounds // 32 - 1
+        # Bounded: the high-water mark is a small multiple of the
+        # threshold, nowhere near the append-only control file.
+        assert high_water < control_size / 4, (high_water, control_size)
+        journal.close()
+
+        # Compaction preserved the live transaction under its original
+        # id: the pinned intent still rolls forward, nothing else does.
+        replayed = []
+        with IntentJournal(path) as reopened:
+            assert reopened.recover(lambda r: replayed.append(r),
+                                    shard=1) == 1
+            assert reopened.recover(lambda r: None, shard=0) == 0
+        assert replayed[0].payload == b"pinned"
+
+    def test_compaction_is_crash_transparent(self, tmp_path):
+        """Sealed-but-uncommitted records survive a compaction and a
+        later commit marker still matches the rewritten intents."""
+        path = tmp_path / "j"
+        journal = IntentJournal(path, checkpoint_records=8)
+        journal.log(_record(shard=2, payload=b"live-a"))
+        journal.log(_record(shard=2, payload=b"live-b"))
+        journal.seal(2)
+        for _ in range(16):  # push past the threshold: compaction runs
+            journal.log(_record(shard=0, payload=b"noise"))
+            journal.seal(0)
+            journal.commit(0)
+        assert journal.compactions >= 1
+        # Committing *after* the rewrite must mark the rewritten txn.
+        journal.commit(2)
+        journal.close()
+        with IntentJournal(path) as reopened:
+            assert reopened.recover(lambda r: None) == 0
+
+    def test_rejects_negative_threshold(self, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint_records"):
+            IntentJournal(tmp_path / "j", checkpoint_records=-1)
+
+
 class TestStoreRecovery:
     """ArrayStore + IntentJournal: replay-on-open and the S6 bugfix."""
 

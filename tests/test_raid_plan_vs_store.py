@@ -239,3 +239,100 @@ class TestCachedStrategy:
             measured_flush.parity_chunks_written
         )
         assert store.scrub() == []
+
+
+def _batch_workload(store, seed, count=48):
+    """Deterministic mixed read/write ops for :meth:`execute_batch`."""
+    rng = np.random.default_rng(seed)
+    capacity = store.capacity_bytes
+    ops = []
+    for _ in range(count):
+        length = int(rng.integers(1, 3 * CHUNK))
+        offset = int(rng.integers(0, capacity - length))
+        if rng.random() < 0.7:
+            payload = rng.integers(0, 256, size=length, dtype=np.uint8)
+            ops.append((True, offset, payload.tobytes()))
+        else:
+            ops.append((False, offset, length))
+    return ops
+
+
+class TestBatchedExecutionEquivalence:
+    """Satellite: batched execution == serial execution for every code
+    family and every tolerated failure count.
+
+    The batched span path (healthy arrays) and the serial fallback
+    (degraded arrays) must both produce byte-identical contents,
+    identical read results, and identical aggregate chunk
+    ``IoCounters`` to executing the same operations one at a time —
+    the paper's per-request accounting is batching-invariant.
+    """
+
+    @pytest.mark.parametrize("family,n", FAMILIES)
+    @pytest.mark.parametrize("failed", [(), (0,), (0, 2), (0, 2, 4)])
+    def test_batch_matches_serial(self, tmp_path, family, n, failed):
+        code = make_code(family, n)
+        seed = hash(("batch", family, n, failed)) & 0xFFFF
+        images = []
+        ios = []
+        reads = []
+        syscall_totals = []
+        for mode in ("serial", "batched"):
+            store = ArrayStore(
+                code, tmp_path / f"{mode}", stripes=4, chunk_bytes=CHUNK,
+            )
+            with store:
+                rng = np.random.default_rng(99)
+                store.write_chunks(
+                    0,
+                    rng.integers(0, 256,
+                                 size=(store.capacity_chunks, CHUNK),
+                                 dtype=np.uint8),
+                )
+                for disk in failed:
+                    store.fail_disk(disk)
+                ops = _batch_workload(store, seed)
+                before = store.io.snapshot()
+                if mode == "serial":
+                    results = [
+                        store.write_bytes(op[1], op[2]) if op[0]
+                        else store.read_bytes(op[1], op[2]).copy()
+                        for op in ops
+                    ]
+                else:
+                    results = []
+                    for start in range(0, len(ops), 16):
+                        results.extend(
+                            store.execute_batch(ops[start:start + 16])
+                        )
+                ios.append(store.io.snapshot() - before)
+                syscall_totals.append(store.syscalls.total)
+                reads.append([
+                    results[i] for i, op in enumerate(ops) if not op[0]
+                ])
+                store.flush()
+                surviving = [
+                    d for d in range(code.n) if d not in store.failed
+                ]
+            # Physical comparison: surviving backing files byte for
+            # byte, so parity (not just logical data) must match.
+            images.append(b"".join(
+                (tmp_path / mode / f"disk{d:03d}.img").read_bytes()
+                for d in surviving
+            ))
+        assert images[0] == images[1], (family, n, failed)
+        assert ios[0] == ios[1], (family, n, failed)
+        for serial_read, batch_read in zip(reads[0], reads[1]):
+            assert np.array_equal(serial_read, batch_read)
+        if not failed:
+            # Healthy arrays take the span path: strictly fewer
+            # syscalls than one-at-a-time execution.
+            assert syscall_totals[1] < syscall_totals[0]
+
+    def test_empty_batch_is_a_noop(self, tmp_path):
+        code = make_code("tip", 8)
+        store = ArrayStore(code, tmp_path / "e", stripes=4,
+                           chunk_bytes=CHUNK)
+        with store:
+            assert store.execute_batch([]) == []
+            assert store.io.snapshot().total_chunks == 0
