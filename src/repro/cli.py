@@ -30,6 +30,14 @@ Commands:
   [--scrub-interval H]`` — MTTDL of 1/2/3-fault arrays at this size
   (the paper's 3DFT motivation), optionally with the sector-error
   model.
+* ``fleet [--code C ...] [--placement P ...] [--model M ...]`` —
+  event-driven fleet simulation: shard ``--stripes`` stripes of each
+  code over a rack/machine/disk ``--topology`` under correlated
+  failures and contended repair bandwidth, and print per-cell data
+  loss, unavailability, and repair-traffic numbers averaged over
+  ``--trials`` seeded trials (the cross-product of codes, placements,
+  and failure models makes one comparison table). ``--scenario FILE``
+  runs a single JSON-specified cell instead.
 * ``volume create|status|replay|restripe`` — the elastic volume layer:
   ``create`` builds a multi-shard volume (``--shard family:n:stripes
   [:chunk_bytes]``, repeatable) with a shared on-disk intent journal;
@@ -263,6 +271,51 @@ def build_parser() -> argparse.ArgumentParser:
                      help="mean fraction of the scrub interval before "
                           "detection (default 0.5; use a measured "
                           "ScrubReport.detection_fraction)")
+
+    fleet = sub.add_parser(
+        "fleet", help="fleet-scale reliability simulation"
+    )
+    fleet.add_argument("--scenario", default=None,
+                       help="JSON scenario file (runs this single cell; "
+                            "other cell options are ignored)")
+    fleet.add_argument("--code", nargs="+", default=["tip"],
+                       help="code specs to compare: array families "
+                            "(tip, star, cauchy-rs, ...) or locality "
+                            "specs (xorbas, lrc:N:K:L); default tip")
+    fleet.add_argument("--placement", nargs="+", default=["random"],
+                       choices=("random", "copyset", "pss"),
+                       help="placement strategies to compare "
+                            "(default random)")
+    fleet.add_argument("--model", nargs="+", default=["correlated"],
+                       help="failure-model presets to compare "
+                            "(independent, correlated; "
+                            "default correlated)")
+    fleet.add_argument("--topology", default="4x4x4",
+                       help="cluster shape RACKSxMACHINESxDISKS "
+                            "(default 4x4x4)")
+    fleet.add_argument("--n", type=int, default=8,
+                       help="array width for array-code families "
+                            "(default 8)")
+    fleet.add_argument("--stripes", type=int, default=1000,
+                       help="stripes sharded over the fleet "
+                            "(default 1000)")
+    fleet.add_argument("--duration-years", type=float, default=10.0,
+                       help="simulated horizon in years (default 10)")
+    fleet.add_argument("--mttf", type=float, default=None,
+                       help="override the preset disk MTTF in hours")
+    fleet.add_argument("--trials", type=int, default=3,
+                       help="independent seeded trials per cell "
+                            "(default 3)")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="root seed (default 0)")
+    fleet.add_argument("--chunk-mib", type=float, default=256.0,
+                       help="chunk size in MiB (default 256)")
+    fleet.add_argument("--disk-mib-s", type=float, default=50.0,
+                       help="replacement-disk bandwidth in MiB/s "
+                            "(default 50)")
+    fleet.add_argument("--cross-rack-mib-s", type=float, default=200.0,
+                       help="aggregate cross-rack repair bandwidth in "
+                            "MiB/s (default 200)")
     return parser
 
 
@@ -744,6 +797,51 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetScenario, load_scenario, run_fleet_trials
+
+    if args.trials < 1:
+        raise ValueError("--trials must be >= 1")
+    if args.scenario:
+        cells = [load_scenario(args.scenario)]
+    else:
+        cells = [
+            FleetScenario(
+                topology=args.topology,
+                code=code,
+                n=args.n,
+                placement=placement,
+                failure_model=model,
+                mttf_hours=args.mttf,
+                stripes=args.stripes,
+                duration_hours=args.duration_years * 24 * 365,
+                chunk_mib=args.chunk_mib,
+                disk_mib_s=args.disk_mib_s,
+                cross_rack_mib_s=args.cross_rack_mib_s,
+                seed=args.seed,
+            )
+            for code in args.code
+            for placement in args.placement
+            for model in args.model
+        ]
+    first = cells[0]
+    print(f"fleet {first.topology} ({args.trials} trials/cell, "
+          f"{first.stripes} stripes, "
+          f"{first.duration_hours / (24 * 365):.1f} years, "
+          f"seed {first.seed})")
+    print(f"{'cell':32s} {'loss-trials':>11s} {'P(stripe loss)':>14s} "
+          f"{'unavail':>10s} {'repair h':>9s} {'x-rack GiB':>11s}")
+    for scenario in cells:
+        summary = run_fleet_trials(scenario, trials=args.trials)
+        print(f"{scenario.cell_label():32s} "
+              f"{summary.loss_trial_fraction:11.2f} "
+              f"{summary.mean_loss_probability:14.3e} "
+              f"{summary.mean_unavailability:10.3e} "
+              f"{summary.mean_repair_hours:9.2f} "
+              f"{summary.mean_cross_rack_read_mib / 1024:11.1f}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -773,6 +871,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_volume(args)
         if args.command == "reliability":
             return _cmd_reliability(args)
+        if args.command == "fleet":
+            return _cmd_fleet(args)
     except (ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,84 @@
+"""Fleet-scale reliability simulation — the datacenter the paper prices.
+
+The single-array models (:mod:`repro.reliability`) answer "how long
+does one array live?"; this package answers the question the paper's
+economics actually turn on: *across thousands of stripes sharded over
+racks of machines, with correlated failures and contended repair
+bandwidth, how much data does each code family lose?*
+
+The pieces, each its own module:
+
+* :mod:`~repro.fleet.topology` — rack → machine → disk addressing;
+* :mod:`~repro.fleet.placement` — random / copyset / partitioned (PSS)
+  stripe placement, validated against topology constraints;
+* :mod:`~repro.fleet.events` — deterministic event queue plus the
+  correlated failure processes (fail-stop, latent sectors, machine
+  crashes, rack power loss, partitions, failure bursts);
+* :mod:`~repro.fleet.repair` — processor-sharing repair under finite
+  per-disk and cross-rack bandwidth;
+* :mod:`~repro.fleet.codemodel` — repairability/repair-cost adapters:
+  real :class:`~repro.codes.base.ArrayCode` decoders for TIP/STAR/
+  Cauchy-RS, a locality cost model for LRC/XORBAS;
+* :mod:`~repro.fleet.scenario` / :mod:`~repro.fleet.simulator` — the
+  cell spec and the event loop producing data-loss probability,
+  unavailability, and repair-traffic metrics.
+
+Identical (scenario, seed) pairs reproduce identical event logs — the
+whole package is deterministic by construction.
+"""
+
+from repro.fleet.codemodel import (
+    ArrayCodeModel,
+    LocalityCodeModel,
+    make_fleet_code,
+)
+from repro.fleet.events import (
+    Event,
+    EventQueue,
+    FailureModel,
+    make_failure_model,
+)
+from repro.fleet.placement import (
+    CopysetPlacement,
+    PartitionedPlacement,
+    Placement,
+    RandomPlacement,
+    make_placement,
+    validate_assignment,
+)
+from repro.fleet.repair import RepairBandwidth, RepairScheduler
+from repro.fleet.scenario import FleetScenario, load_scenario
+from repro.fleet.simulator import (
+    FleetResult,
+    FleetSimulator,
+    FleetSummary,
+    run_fleet_trials,
+    simulate_fleet,
+)
+from repro.fleet.topology import Topology
+
+__all__ = [
+    "ArrayCodeModel",
+    "CopysetPlacement",
+    "Event",
+    "EventQueue",
+    "FailureModel",
+    "FleetResult",
+    "FleetScenario",
+    "FleetSimulator",
+    "FleetSummary",
+    "LocalityCodeModel",
+    "PartitionedPlacement",
+    "Placement",
+    "RandomPlacement",
+    "RepairBandwidth",
+    "RepairScheduler",
+    "Topology",
+    "load_scenario",
+    "make_failure_model",
+    "make_fleet_code",
+    "make_placement",
+    "run_fleet_trials",
+    "simulate_fleet",
+    "validate_assignment",
+]

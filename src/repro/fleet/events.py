@@ -1,0 +1,286 @@
+"""Deterministic event queue and the correlated failure processes.
+
+Everything that happens in the fleet is an :class:`Event` popped from
+one :class:`EventQueue`. Determinism is the load-bearing property: two
+runs with the same scenario and seed must pop the *same events in the
+same order*, because every RNG draw happens inside an event handler —
+identical pop order means identical draw order means identical
+histories (the replay tests assert the full event log, not just the
+summary metrics). The queue therefore breaks time ties by insertion
+sequence number, never by payload comparison: simultaneous events (a
+rack power loss enqueues dozens of same-instant disk outages) pop in
+the order they were scheduled.
+
+:class:`FailureModel` holds the stochastic laws the simulator samples
+from — it is pure parameters plus sampling helpers, never state:
+
+* per-disk **fail-stop** lifetimes (any
+  :class:`~repro.reliability.distributions.Distribution` — exponential
+  for the Markov-comparable baseline, Weibull for wear-out) and
+  per-disk **latent sector** arrivals bounded by a scrub interval;
+* **machine crashes** and **rack power loss** — transient, correlated
+  unavailability of whole failure domains;
+* **network partitions** — a rack drops off the network: same
+  unavailability signature as power loss but nothing is rebuilt when
+  it heals (no data was lost, only reachability);
+* **failure bursts** — the "failure cumulation" of the PR-SIM line of
+  work: each disk failure may trigger further same-rack failures
+  inside a short window, modeling shared power/vibration/batch wear
+  that independent-lifetime models cannot express.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.reliability.distributions import (
+    Distribution,
+    Exponential,
+    make_distribution,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "FailureModel",
+    "FAILURE_MODELS",
+    "make_failure_model",
+]
+
+#: Event kinds, in one place so the log is greppable. Subjects are the
+#: kind's natural unit: disk id, machine id, or rack id.
+DISK_FAIL = "disk_fail"
+DISK_REPAIRED = "disk_repaired"
+LATENT_MINT = "latent_mint"
+LATENT_SCRUB = "latent_scrub"
+MACHINE_DOWN = "machine_down"
+MACHINE_UP = "machine_up"
+RACK_DOWN = "rack_down"
+RACK_UP = "rack_up"
+PARTITION_START = "partition_start"
+PARTITION_END = "partition_end"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence.
+
+    ``version`` invalidates stale events: a repair completion scheduled
+    for a job that was since re-paced (bandwidth contention changed) or
+    a failure scheduled for a disk that fail-stopped earlier carries an
+    outdated version and is dropped on pop.
+    """
+
+    time: float
+    kind: str
+    subject: int
+    version: int = 0
+
+
+class EventQueue:
+    """Priority queue ordered by (time, insertion sequence).
+
+    The explicit sequence number makes simultaneous events pop in
+    scheduling order — payloads are never compared, so determinism
+    does not depend on event field ordering.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    def push(self, event: Event) -> None:
+        """Schedule one event."""
+        if event.time < 0:
+            raise ValueError("event time must be >= 0")
+        heapq.heappush(self._heap, (event.time, self._seq, event))
+        self._seq += 1
+
+    def schedule(
+        self, time: float, kind: str, subject: int, version: int = 0
+    ) -> Event:
+        """Convenience: build, push, and return the event."""
+        event = Event(time, kind, subject, version)
+        self.push(event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event (FIFO among ties)."""
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """The stochastic laws of one failure environment (pure parameters).
+
+    Rates are per-entity per-hour; a rate of 0 disables that process
+    (and, because every draw happens when its event fires, leaves the
+    RNG stream of the remaining processes untouched).
+
+    Args:
+        disk_lifetime: time to fail-stop of one healthy disk.
+        latent_rate: latent-sector-error arrivals per disk-hour.
+        scrub_interval_hours: how long a latent error stays unreadable
+            before the background scrub repairs it.
+        machine_failure_rate: machine crashes per machine-hour.
+        machine_downtime: outage duration of a crashed machine.
+        rack_failure_rate: power losses per rack-hour.
+        rack_downtime: outage duration of a powered-off rack.
+        partition_rate: network partitions per rack-hour.
+        partition_duration: how long a partitioned rack stays isolated.
+        burst_probability: chance a disk failure triggers a burst.
+        burst_fanout: additional same-rack disks failed by a burst.
+        burst_window_hours: the extra failures land uniformly inside
+            this window after the trigger.
+    """
+
+    disk_lifetime: Distribution = field(
+        default_factory=lambda: Exponential(1_000_000.0)
+    )
+    latent_rate: float = 0.0
+    scrub_interval_hours: float = 168.0
+    machine_failure_rate: float = 0.0
+    machine_downtime: Distribution = field(
+        default_factory=lambda: Exponential(2.0)
+    )
+    rack_failure_rate: float = 0.0
+    rack_downtime: Distribution = field(
+        default_factory=lambda: Exponential(8.0)
+    )
+    partition_rate: float = 0.0
+    partition_duration: Distribution = field(
+        default_factory=lambda: Exponential(1.0)
+    )
+    burst_probability: float = 0.0
+    burst_fanout: int = 2
+    burst_window_hours: float = 24.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "latent_rate",
+            "machine_failure_rate",
+            "rack_failure_rate",
+            "partition_rate",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if not 0.0 <= self.burst_probability <= 1.0:
+            raise ValueError("burst_probability must be in [0, 1]")
+        if self.burst_fanout < 0:
+            raise ValueError("burst_fanout must be >= 0")
+        if self.scrub_interval_hours <= 0:
+            raise ValueError("scrub_interval_hours must be positive")
+        if self.burst_window_hours <= 0:
+            raise ValueError("burst_window_hours must be positive")
+
+    # ------------------------------------------------------------------
+    # sampling helpers (all draws flow through these, in handler order)
+    # ------------------------------------------------------------------
+    def next_disk_failure(self, rng: np.random.Generator) -> float:
+        """Hours until a fresh disk fail-stops."""
+        return self.disk_lifetime.sample(rng)
+
+    def next_poisson(self, rate: float, rng: np.random.Generator) -> float:
+        """Hours until the next arrival of a rate-``rate`` process
+        (infinity when the process is disabled)."""
+        if rate <= 0.0:
+            return float("inf")
+        return float(rng.exponential(1.0 / rate))
+
+    def burst_failures(
+        self, rng: np.random.Generator, candidates: list[int]
+    ) -> list[tuple[int, float]]:
+        """Extra (disk, delay) failures triggered by one fail-stop.
+
+        Draws nothing when bursts are disabled, so the burst feature is
+        stream-invisible when off.
+        """
+        if self.burst_probability <= 0.0 or self.burst_fanout == 0:
+            return []
+        if not candidates or rng.random() >= self.burst_probability:
+            return []
+        count = min(self.burst_fanout, len(candidates))
+        picks = rng.choice(len(candidates), size=count, replace=False)
+        delays = rng.uniform(0.0, self.burst_window_hours, size=count)
+        return [
+            (candidates[int(i)], float(d))
+            for i, d in zip(picks, delays)
+        ]
+
+
+def _independent(mttf_hours: float = 100_000.0) -> FailureModel:
+    """Independent exponential disk lifetimes only — the single-array
+    assumption scaled out, and the baseline every correlated model is
+    compared against."""
+    return FailureModel(disk_lifetime=Exponential(mttf_hours))
+
+
+def _correlated(mttf_hours: float = 100_000.0) -> FailureModel:
+    """The datacenter model: everything at once. Disk fail-stops plus
+    latent sectors, machine crashes, rack power events, partitions, and
+    failure bursts — rates loosely follow the published field studies
+    (machines crash far more often than disks die; rack events are
+    rare but devastating)."""
+    return FailureModel(
+        disk_lifetime=Exponential(mttf_hours),
+        latent_rate=1e-4,
+        scrub_interval_hours=168.0,
+        machine_failure_rate=1e-3,
+        machine_downtime=Exponential(2.0),
+        rack_failure_rate=1e-4,
+        rack_downtime=Exponential(8.0),
+        partition_rate=5e-4,
+        partition_duration=Exponential(1.0),
+        burst_probability=0.1,
+        burst_fanout=2,
+        burst_window_hours=24.0,
+    )
+
+
+FAILURE_MODELS: dict[str, object] = {
+    "independent": _independent,
+    "correlated": _correlated,
+}
+
+
+def make_failure_model(
+    spec: str | dict | FailureModel, mttf_hours: float | None = None
+) -> FailureModel:
+    """Resolve a failure-model spec.
+
+    Accepts a ready :class:`FailureModel`, a preset name
+    (``"independent"``, ``"correlated"``; ``mttf_hours`` overrides the
+    preset's disk MTTF), or a dict of :class:`FailureModel` fields where
+    distribution-valued fields take
+    :func:`~repro.reliability.distributions.make_distribution` specs.
+    """
+    if isinstance(spec, FailureModel):
+        return spec
+    if isinstance(spec, str):
+        try:
+            factory = FAILURE_MODELS[spec]
+        except KeyError:
+            raise KeyError(
+                f"unknown failure model {spec!r}; "
+                f"available: {sorted(FAILURE_MODELS)}"
+            ) from None
+        return factory(mttf_hours) if mttf_hours else factory()
+    fields = dict(spec)
+    for key in (
+        "disk_lifetime",
+        "machine_downtime",
+        "rack_downtime",
+        "partition_duration",
+    ):
+        if key in fields:
+            fields[key] = make_distribution(fields[key])
+    return FailureModel(**fields)

@@ -1,0 +1,234 @@
+"""Stripe → disk placement strategies (random, copyset, partitioned/PSS).
+
+Placement decides *which* failure combinations are fatal. Every stripe
+spreads its ``width`` chunks over ``width`` distinct machines (the
+topology constraint every strategy must satisfy — two chunks of one
+stripe on one machine would turn a single machine crash into a double
+erasure), but strategies differ in how many distinct machine *sets*
+exist across the fleet:
+
+* **random** — every stripe samples its own machine set, so the number
+  of distinct sets approaches ``C(M, width)``: almost any combination
+  of ``faults + 1`` concurrent machine losses hits *some* stripe, but
+  each hit stripe loses little. Frequent small losses.
+* **copyset** — machines are grouped into a bounded list of *copysets*
+  (Cidon et al.: ``p`` random permutations chopped into groups) and
+  every stripe lives entirely inside one copyset. Only a failure
+  combination covering a copyset can lose data, so loss events become
+  rare — but when one happens it takes every stripe of the copyset.
+* **pss (partitioned)** — the degenerate copyset family with exactly
+  one partition: disjoint groups, minimum possible distinct sets,
+  rarest but largest loss events, and the cheapest repair fan-in.
+
+Assignments are produced once, up front, from an injected seeded
+generator — the simulator replays the same placement for every
+(code, failure-model) cell so cells differ only in the dimension under
+study. :func:`validate_assignment` enforces the topology constraints on
+whatever a strategy emits; tests drive it adversarially.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fleet.topology import Topology
+
+__all__ = [
+    "Placement",
+    "RandomPlacement",
+    "CopysetPlacement",
+    "PartitionedPlacement",
+    "PLACEMENTS",
+    "make_placement",
+    "validate_assignment",
+]
+
+
+def validate_assignment(
+    topology: Topology,
+    assignment: list[tuple[int, ...]],
+    width: int,
+) -> None:
+    """Raise ValueError unless every stripe obeys the topology constraints.
+
+    Checks, per stripe: exactly ``width`` chunks, every disk id valid,
+    all disks distinct, and all hosting machines distinct (the machine
+    is the unit shared-fate domain a stripe must never double up on).
+    """
+    for stripe, disks in enumerate(assignment):
+        if len(disks) != width:
+            raise ValueError(
+                f"stripe {stripe}: {len(disks)} chunks, expected {width}"
+            )
+        machines = set()
+        for disk in disks:
+            if not 0 <= disk < topology.num_disks:
+                raise ValueError(f"stripe {stripe}: disk {disk} out of range")
+            machines.add(topology.machine_of_disk(disk))
+        if len(set(disks)) != width:
+            raise ValueError(f"stripe {stripe}: duplicate disks {disks}")
+        if len(machines) != width:
+            raise ValueError(
+                f"stripe {stripe}: chunks share a machine ({disks})"
+            )
+
+
+class Placement:
+    """Base strategy: owns the topology/width pair and the constraint check.
+
+    Subclasses implement :meth:`machine_sets` (which machines may host a
+    stripe together); the base class picks one concrete disk per machine
+    and validates the result.
+    """
+
+    name = "abstract"
+
+    def __init__(self, topology: Topology, width: int) -> None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        if width > topology.num_machines:
+            raise ValueError(
+                f"stripe width {width} exceeds {topology.num_machines} "
+                f"machines — cannot place chunks on distinct machines"
+            )
+        self.topology = topology
+        self.width = width
+
+    def machine_sets(
+        self, num_stripes: int, rng: np.random.Generator
+    ) -> list[tuple[int, ...]]:
+        """Per-stripe machine groups (each of ``width`` distinct machines)."""
+        raise NotImplementedError
+
+    def assign(
+        self, num_stripes: int, rng: np.random.Generator
+    ) -> list[tuple[int, ...]]:
+        """Place ``num_stripes`` stripes; returns per-stripe disk tuples."""
+        if num_stripes < 1:
+            raise ValueError("num_stripes must be >= 1")
+        per_machine = self.topology.disks_per_machine
+        assignment = []
+        for machines in self.machine_sets(num_stripes, rng):
+            disks = tuple(
+                machine * per_machine + int(rng.integers(per_machine))
+                for machine in machines
+            )
+            assignment.append(disks)
+        validate_assignment(self.topology, assignment, self.width)
+        return assignment
+
+
+class RandomPlacement(Placement):
+    """Spread placement: each stripe samples its own machine set."""
+
+    name = "random"
+
+    def machine_sets(
+        self, num_stripes: int, rng: np.random.Generator
+    ) -> list[tuple[int, ...]]:
+        """An independent uniform machine sample per stripe."""
+        machines = self.topology.num_machines
+        return [
+            tuple(
+                int(m)
+                for m in rng.choice(machines, size=self.width, replace=False)
+            )
+            for _ in range(num_stripes)
+        ]
+
+
+class CopysetPlacement(Placement):
+    """Copyset placement: stripes live inside a bounded set of groups.
+
+    ``permutations`` controls the trade-off (the paper's scatter width
+    ``S = permutations * (width - 1)``): more permutations mean more
+    distinct copysets — better repair parallelism, more fatal failure
+    combinations. Each permutation is chopped into ``M // width``
+    disjoint groups; machines in the remainder of a permutation simply
+    host no stripe from that permutation.
+
+    The invariant tests lean on: every stripe's machine set is a member
+    of :attr:`copysets`, and ``len(copysets) <= permutations *
+    (M // width)`` — compare ``C(M, width)`` for random placement.
+    """
+
+    name = "copyset"
+
+    def __init__(
+        self, topology: Topology, width: int, permutations: int = 2
+    ) -> None:
+        super().__init__(topology, width)
+        if permutations < 1:
+            raise ValueError("permutations must be >= 1")
+        self.permutations = permutations
+        self.copysets: list[tuple[int, ...]] = []
+
+    @property
+    def scatter_width(self) -> int:
+        """Distinct repair partners one machine's data can have."""
+        return self.permutations * (self.width - 1)
+
+    def machine_sets(
+        self, num_stripes: int, rng: np.random.Generator
+    ) -> list[tuple[int, ...]]:
+        """Build the copysets, then sample one per stripe."""
+        machines = self.topology.num_machines
+        groups_per_perm = machines // self.width
+        self.copysets = []
+        for _ in range(self.permutations):
+            order = rng.permutation(machines)
+            for g in range(groups_per_perm):
+                group = order[g * self.width:(g + 1) * self.width]
+                self.copysets.append(tuple(int(m) for m in group))
+        choices = rng.integers(len(self.copysets), size=num_stripes)
+        return [self.copysets[int(c)] for c in choices]
+
+
+class PartitionedPlacement(Placement):
+    """Partitioned placement (PSS): one fixed disjoint partition.
+
+    Machines ``0..width-1`` form group 0, the next ``width`` group 1,
+    and so on (machines in the tail remainder host nothing). Stripes
+    round-robin over groups so load is even and the assignment consumes
+    no group-choice randomness — two PSS fleets differ only in the
+    per-machine disk draws.
+    """
+
+    name = "pss"
+
+    def __init__(self, topology: Topology, width: int) -> None:
+        super().__init__(topology, width)
+        machines = topology.num_machines
+        self.groups: list[tuple[int, ...]] = [
+            tuple(range(g * width, (g + 1) * width))
+            for g in range(machines // width)
+        ]
+
+    def machine_sets(
+        self, num_stripes: int, rng: np.random.Generator
+    ) -> list[tuple[int, ...]]:
+        """Round-robin over the fixed groups (no randomness consumed)."""
+        return [
+            self.groups[stripe % len(self.groups)]
+            for stripe in range(num_stripes)
+        ]
+
+
+PLACEMENTS: dict[str, type[Placement]] = {
+    "random": RandomPlacement,
+    "copyset": CopysetPlacement,
+    "pss": PartitionedPlacement,
+}
+
+
+def make_placement(
+    name: str, topology: Topology, width: int, **kwargs
+) -> Placement:
+    """Construct a registered placement strategy by name."""
+    try:
+        cls = PLACEMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown placement {name!r}; available: {sorted(PLACEMENTS)}"
+        ) from None
+    return cls(topology, width, **kwargs)

@@ -1,0 +1,99 @@
+"""Scenario specs: one (code, placement, failure-model) fleet cell.
+
+A :class:`FleetScenario` is pure configuration — everything a
+:class:`~repro.fleet.simulator.FleetSimulator` needs to build a
+reproducible run, and nothing else. Scenarios round-trip through plain
+dicts (:meth:`FleetScenario.from_dict` / :meth:`FleetScenario.to_dict`)
+so the CLI can read them from JSON files and BENCH_fleet.json can
+record exactly what was simulated next to every result.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["FleetScenario", "load_scenario"]
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """Configuration of one fleet simulation cell.
+
+    Args:
+        topology: cluster shape spec ``"RACKSxMACHINESxDISKS"``.
+        code: fleet code spec — a registered array-code family name
+            (instantiated at ``n`` disks) or a locality spec like
+            ``"xorbas"`` / ``"lrc:10:6:2"``
+            (see :func:`repro.fleet.codemodel.make_fleet_code`).
+        n: array width for array-code families (ignored by locality
+            specs, which carry their own width).
+        placement: ``"random"``, ``"copyset"``, or ``"pss"``.
+        failure_model: preset name (``"independent"``/``"correlated"``)
+            or a dict of :class:`~repro.fleet.events.FailureModel`
+            fields.
+        mttf_hours: override the preset failure model's disk MTTF.
+        stripes: stripes sharded across the cluster.
+        duration_hours: simulated horizon (default 10 years).
+        chunk_mib: size of one stripe chunk (the repair-traffic unit).
+        disk_mib_s: replacement-disk repair bandwidth.
+        cross_rack_mib_s: aggregate cross-rack repair bandwidth.
+        copyset_permutations: copyset placement's scatter parameter.
+        seed: root seed; every stream of every trial derives from it.
+    """
+
+    topology: str = "4x4x4"
+    code: str = "tip"
+    n: int = 8
+    placement: str = "random"
+    failure_model: str | dict = "correlated"
+    mttf_hours: float | None = None
+    stripes: int = 1000
+    duration_hours: float = 87_600.0
+    chunk_mib: float = 256.0
+    disk_mib_s: float = 50.0
+    cross_rack_mib_s: float = 200.0
+    copyset_permutations: int = 2
+    seed: int = 0
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.stripes < 1:
+            raise ValueError("stripes must be >= 1")
+        if self.duration_hours <= 0:
+            raise ValueError("duration_hours must be positive")
+        if self.chunk_mib <= 0:
+            raise ValueError("chunk_mib must be positive")
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe; recorded beside every result)."""
+        data = asdict(self)
+        data.pop("extra")
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetScenario":
+        """Build from a spec dict, rejecting unknown keys loudly."""
+        known = {f for f in cls.__dataclass_fields__ if f != "extra"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown scenario keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**data)
+
+    def cell_label(self) -> str:
+        """Short ``code/placement/model`` label for tables and logs."""
+        model = (
+            self.failure_model
+            if isinstance(self.failure_model, str)
+            else "custom"
+        )
+        return f"{self.code}/{self.placement}/{model}"
+
+
+def load_scenario(path: str | Path) -> FleetScenario:
+    """Read one scenario spec from a JSON file."""
+    return FleetScenario.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,657 @@
+"""The event-driven fleet loop: thousands of stripes, one clock.
+
+:class:`FleetSimulator` wires the pieces together: a
+:class:`~repro.fleet.topology.Topology` populated by a placement
+strategy, a :class:`~repro.fleet.events.FailureModel` feeding the
+deterministic :class:`~repro.fleet.events.EventQueue`, a
+:class:`~repro.fleet.repair.RepairScheduler` stretching rebuilds under
+bandwidth contention, and a code model answering repairability.
+
+Per-stripe bookkeeping distinguishes two erasure sets:
+
+* the **permanent** set — chunks on fail-stopped disks plus latent
+  sector errors. When the code model cannot repair it, the stripe's
+  data is *lost*, permanently, and the loss instant is recorded.
+* the **inaccessible** set — the permanent set plus chunks on disks
+  that are merely down (machine crash, rack power, partition). When
+  that is unrepairable the stripe is *unavailable*: reads fail now,
+  but the data returns when the domain comes back.
+
+State is tracked incrementally so fleet-sized runs stay fast: every
+chunk carries a bad-source bitmask (failed / down / latent), stripes
+carry bad-chunk counters, and only stripes whose counters actually
+moved get reclassified — with the code model consulted only in the
+ambiguous (≥ 2 bad chunks) cases, through a memoized repairability
+query. A rack power event touching hundreds of stripes therefore costs
+hundreds of counter bumps, not hundreds of decoder consultations.
+
+Unavailability and degraded-stripe time integrate between events
+(count × dt), so the reported fractions are exact for the simulated
+trajectory, not sampled. Every effective event is appended to
+``event_log``; two runs of the same scenario and seed produce identical
+logs — the determinism contract the replay tests pin down.
+
+RNG discipline: one placement stream and one event stream, both
+spawned from the scenario seed via :class:`numpy.random.SeedSequence`.
+Every stochastic draw happens inside an event handler, and the queue
+pops in a deterministic order, so the draw sequence — and therefore
+the entire history — is a pure function of (scenario, seed, trial
+index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fleet.codemodel import make_fleet_code
+from repro.fleet.events import (
+    DISK_FAIL,
+    DISK_REPAIRED,
+    LATENT_MINT,
+    LATENT_SCRUB,
+    MACHINE_DOWN,
+    MACHINE_UP,
+    PARTITION_END,
+    PARTITION_START,
+    RACK_DOWN,
+    RACK_UP,
+    EventQueue,
+    make_failure_model,
+)
+from repro.fleet.placement import make_placement
+from repro.fleet.repair import RepairBandwidth, RepairScheduler
+from repro.fleet.scenario import FleetScenario
+from repro.fleet.topology import Topology
+
+__all__ = [
+    "FleetResult",
+    "FleetSummary",
+    "FleetSimulator",
+    "simulate_fleet",
+    "run_fleet_trials",
+]
+
+#: Chunk bad-source bits. FAILED and LATENT are *permanent* (data on
+#: that chunk is gone until rebuilt); DOWN is transient reachability.
+_FAILED = 1
+_DOWN = 2
+_LATENT = 4
+_PERM = _FAILED | _LATENT
+
+
+@dataclass
+class FleetResult:
+    """Metrics of one fleet trial."""
+
+    scenario: FleetScenario
+    duration_hours: float
+    stripes: int
+    #: (time, stripe id) of every permanent stripe loss.
+    losses: list[tuple[float, int]] = field(default_factory=list)
+    unavailable_stripe_hours: float = 0.0
+    degraded_stripe_hours: float = 0.0
+    repair_read_mib: float = 0.0
+    repair_write_mib: float = 0.0
+    cross_rack_read_mib: float = 0.0
+    repairs_completed: int = 0
+    repair_hours_total: float = 0.0
+    event_counts: dict[str, int] = field(default_factory=dict)
+    #: (time, kind, subject) of every effective event, in pop order.
+    event_log: list[tuple[float, str, int]] = field(default_factory=list)
+    #: (time, degraded stripes, unavailable stripes, active repairs)
+    #: sampled after every effective event.
+    series: list[tuple[float, int, int, int]] = field(default_factory=list)
+
+    @property
+    def lost_stripes(self) -> int:
+        """Stripes that permanently lost data."""
+        return len(self.losses)
+
+    @property
+    def data_loss_probability(self) -> float:
+        """Fraction of stripes lost within the horizon."""
+        return self.lost_stripes / self.stripes
+
+    @property
+    def any_loss(self) -> bool:
+        """Did the fleet lose any stripe at all?"""
+        return bool(self.losses)
+
+    @property
+    def first_loss_hours(self) -> float | None:
+        """Time of the first stripe loss (None if none occurred)."""
+        return self.losses[0][0] if self.losses else None
+
+    @property
+    def unavailability_fraction(self) -> float:
+        """Unavailable stripe-hours over total stripe-hours."""
+        return self.unavailable_stripe_hours / (
+            self.stripes * self.duration_hours
+        )
+
+    @property
+    def mean_repair_hours(self) -> float:
+        """Mean rebuild duration (0 when nothing was repaired)."""
+        if not self.repairs_completed:
+            return 0.0
+        return self.repair_hours_total / self.repairs_completed
+
+
+@dataclass
+class FleetSummary:
+    """Aggregate over independent trials of one scenario."""
+
+    scenario: FleetScenario
+    trials: int
+    #: Fraction of trials that lost at least one stripe.
+    loss_trial_fraction: float
+    #: Mean per-trial stripe-loss probability.
+    mean_loss_probability: float
+    mean_unavailability: float
+    mean_repair_read_mib: float
+    mean_repair_write_mib: float
+    mean_cross_rack_read_mib: float
+    mean_repair_hours: float
+    total_losses: int
+
+
+class FleetSimulator:
+    """One seeded trial of one scenario. Build, :meth:`run`, read metrics."""
+
+    def __init__(
+        self,
+        scenario: FleetScenario,
+        seed_seq: np.random.SeedSequence | None = None,
+    ) -> None:
+        self.scenario = scenario
+        self.topology = Topology.parse(scenario.topology)
+        self.code = make_fleet_code(scenario.code, scenario.n)
+        self.model = make_failure_model(
+            scenario.failure_model, scenario.mttf_hours
+        )
+        self.bandwidth = RepairBandwidth(
+            disk_mib_s=scenario.disk_mib_s,
+            cross_rack_mib_s=scenario.cross_rack_mib_s,
+        )
+        root = seed_seq or np.random.SeedSequence(scenario.seed)
+        placement_seq, event_seq = root.spawn(2)
+        placement_rng = np.random.default_rng(placement_seq)
+        self.rng = np.random.default_rng(event_seq)
+
+        kwargs = (
+            {"permutations": scenario.copyset_permutations}
+            if scenario.placement == "copyset"
+            else {}
+        )
+        self.placement = make_placement(
+            scenario.placement, self.topology, self.code.width, **kwargs
+        )
+        #: stripe id -> tuple of hosting disk ids (chunk i on disks[i]).
+        self.assignment = self.placement.assign(
+            scenario.stripes, placement_rng
+        )
+        #: disk -> [(stripe, chunk index)] — the rebuild work list.
+        self.stripes_on_disk: dict[int, list[tuple[int, int]]] = {
+            d: [] for d in range(self.topology.num_disks)
+        }
+        for stripe, disks in enumerate(self.assignment):
+            for chunk, disk in enumerate(disks):
+                self.stripes_on_disk[disk].append((stripe, chunk))
+
+        # --- mutable cluster state ---
+        self.now = 0.0
+        self.failed_disks: set[int] = set()
+        #: disk -> count of transient outage sources covering it (its
+        #: machine AND its rack can be down at once; the disk is down
+        #: while the depth is nonzero).
+        self._down_depth = [0] * self.topology.num_disks
+        width = self.code.width
+        #: per-chunk bad-source bitmask, the incremental ground truth.
+        self._chunk_state = [bytearray(width) for _ in range(scenario.stripes)]
+        self._bad_count = [0] * scenario.stripes
+        self._perm_count = [0] * scenario.stripes
+        self._dirty: set[int] = set()
+        #: latent id -> (stripe, chunk, disk); ids are mint order.
+        self._latents: dict[int, tuple[int, int, int]] = {}
+        self._latent_seq = 0
+        self.lost: set[int] = set()
+        self._unavailable: set[int] = set()
+        self._degraded: set[int] = set()
+        self._fail_version: dict[int, int] = {}
+        #: disk -> time its current outage began (for repair durations).
+        self._repair_starts: dict[int, float] = {}
+        #: is every single-chunk erasure repairable? (the fast path for
+        #: the overwhelmingly common one-bad-chunk stripe state)
+        self._single_ok = all(
+            self.code.is_repairable(frozenset((c,))) for c in range(width)
+        )
+
+        self.queue = EventQueue()
+        self.repairs = RepairScheduler(self.bandwidth)
+        self.result = FleetResult(
+            scenario=scenario,
+            duration_hours=scenario.duration_hours,
+            stripes=scenario.stripes,
+        )
+        self._last_integrate = 0.0
+        self._schedule_initial()
+
+    # ------------------------------------------------------------------
+    # scheduling helpers
+    # ------------------------------------------------------------------
+    def _schedule_disk_fail(self, disk: int, at: float) -> None:
+        version = self._fail_version.get(disk, 0) + 1
+        self._fail_version[disk] = version
+        self.queue.schedule(at, DISK_FAIL, disk, version)
+
+    def _schedule_initial(self) -> None:
+        model, rng = self.model, self.rng
+        for disk in range(self.topology.num_disks):
+            self._schedule_disk_fail(disk, model.next_disk_failure(rng))
+        if model.latent_rate > 0:
+            for disk in range(self.topology.num_disks):
+                self.queue.schedule(
+                    model.next_poisson(model.latent_rate, rng),
+                    LATENT_MINT, disk,
+                )
+        if model.machine_failure_rate > 0:
+            for machine in range(self.topology.num_machines):
+                self.queue.schedule(
+                    model.next_poisson(model.machine_failure_rate, rng),
+                    MACHINE_DOWN, machine,
+                )
+        if model.rack_failure_rate > 0:
+            for rack in range(self.topology.racks):
+                self.queue.schedule(
+                    model.next_poisson(model.rack_failure_rate, rng),
+                    RACK_DOWN, rack,
+                )
+        if model.partition_rate > 0:
+            for rack in range(self.topology.racks):
+                self.queue.schedule(
+                    model.next_poisson(model.partition_rate, rng),
+                    PARTITION_START, rack,
+                )
+
+    # ------------------------------------------------------------------
+    # incremental stripe state
+    # ------------------------------------------------------------------
+    def _set_chunk_bit(self, stripe: int, chunk: int, bit: int, on: bool) -> None:
+        """Flip one bad-source bit; maintain the stripe's counters."""
+        row = self._chunk_state[stripe]
+        old = row[chunk]
+        new = (old | bit) if on else (old & ~bit)
+        if new == old:
+            return
+        row[chunk] = new
+        if (old != 0) != (new != 0):
+            self._bad_count[stripe] += 1 if new else -1
+        if bool(old & _PERM) != bool(new & _PERM):
+            self._perm_count[stripe] += 1 if new & _PERM else -1
+        self._dirty.add(stripe)
+
+    def _mark_disk(self, disk: int, bit: int, on: bool) -> None:
+        """Apply a disk-level transition to every hosted chunk.
+
+        This is the hot loop of the whole simulator (a machine event
+        touches every stripe on four disks), so the body of
+        :meth:`_set_chunk_bit` is inlined here.
+        """
+        chunk_state = self._chunk_state
+        bad_count, perm_count = self._bad_count, self._perm_count
+        dirty = self._dirty
+        for stripe, chunk in self.stripes_on_disk[disk]:
+            row = chunk_state[stripe]
+            old = row[chunk]
+            new = (old | bit) if on else (old & ~bit)
+            if new == old:
+                continue
+            row[chunk] = new
+            if (old != 0) != (new != 0):
+                bad_count[stripe] += 1 if new else -1
+            if bool(old & _PERM) != bool(new & _PERM):
+                perm_count[stripe] += 1 if new & _PERM else -1
+            dirty.add(stripe)
+
+    def _adjust_down(self, disks, delta: int) -> None:
+        """Raise/lower the transient-outage depth of a disk range."""
+        depth = self._down_depth
+        for disk in disks:
+            before = depth[disk] > 0
+            depth[disk] += delta
+            after = depth[disk] > 0
+            if before != after:
+                self._mark_disk(disk, _DOWN, after)
+
+    def _chunks_with(self, stripe: int, mask: int) -> frozenset[int]:
+        row = self._chunk_state[stripe]
+        return frozenset(
+            c for c in range(self.code.width) if row[c] & mask
+        )
+
+    def _reclassify_dirty(self) -> None:
+        """Re-derive lost/unavailable/degraded for touched stripes.
+
+        Sorted iteration keeps the loss order (and therefore the event
+        log and loss records) deterministic when one event dirties many
+        stripes at once.
+        """
+        dirty, self._dirty = self._dirty, set()
+        for stripe in sorted(dirty):
+            if stripe in self.lost:
+                continue
+            perm = self._perm_count[stripe]
+            if perm:
+                lost_now = (
+                    not self._single_ok
+                    if perm == 1
+                    else not self.code.is_repairable(
+                        self._chunks_with(stripe, _PERM)
+                    )
+                )
+                if lost_now:
+                    self.lost.add(stripe)
+                    self.result.losses.append((self.now, stripe))
+                    self._unavailable.discard(stripe)
+                    self._degraded.discard(stripe)
+                    continue
+            bad = self._bad_count[stripe]
+            if bad == 0:
+                self._degraded.discard(stripe)
+                self._unavailable.discard(stripe)
+                continue
+            self._degraded.add(stripe)
+            available = (
+                self._single_ok
+                if bad == 1
+                else self.code.is_repairable(self._chunks_with(stripe, 0xFF))
+            )
+            if available:
+                self._unavailable.discard(stripe)
+            else:
+                self._unavailable.add(stripe)
+
+    def _integrate_to(self, time: float) -> None:
+        """Accumulate unavailability/degraded stripe-hours up to ``time``.
+
+        Lost stripes count as unavailable forever, so the availability
+        metric keeps its meaning after a loss event.
+        """
+        dt = time - self._last_integrate
+        if dt > 0:
+            self.result.unavailable_stripe_hours += (
+                len(self._unavailable) + len(self.lost)
+            ) * dt
+            self.result.degraded_stripe_hours += len(self._degraded) * dt
+            self._last_integrate = time
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _on_disk_fail(self, disk: int) -> None:
+        self.failed_disks.add(disk)
+        self._mark_disk(disk, _FAILED, True)
+        # Rebuild job: read cost per the code model, write one chunk
+        # per hosted stripe; lost stripes have nothing left to rebuild.
+        read_mib = 0.0
+        cross_mib = 0.0
+        write_chunks = 0
+        chunk_mib = self.scenario.chunk_mib
+        rack = self.topology.rack_of_disk(disk)
+        for stripe, chunk in self.stripes_on_disk[disk]:
+            if stripe in self.lost:
+                continue
+            permanent = self._chunks_with(stripe, _PERM)
+            reads = self.code.repair_read_chunks(permanent, chunk)
+            disks = self.assignment[stripe]
+            survivors = [
+                d for c, d in enumerate(disks) if c not in permanent
+            ]
+            if survivors:
+                cross = sum(
+                    1 for d in survivors
+                    if self.topology.rack_of_disk(d) != rack
+                )
+                cross_fraction = cross / len(survivors)
+            else:
+                cross_fraction = 0.0
+            read_mib += reads * chunk_mib
+            cross_mib += reads * chunk_mib * cross_fraction
+            write_chunks += 1
+        self.result.repair_read_mib += read_mib
+        self.result.cross_rack_read_mib += cross_mib
+        self.result.repair_write_mib += write_chunks * chunk_mib
+        # The job's size is the reconstruction traffic it must move;
+        # an empty disk (all its stripes already lost) repairs in one
+        # chunk's time rather than instantaneously, keeping the event
+        # pattern regular.
+        job_mib = max(read_mib, chunk_mib)
+        for target, finish, version in self.repairs.start(
+            self.now, disk, job_mib
+        ):
+            self.queue.schedule(finish, DISK_REPAIRED, target, version)
+        # Correlated burst: further same-rack failures inside the window.
+        candidates = [
+            d for d in self.topology.disks_of_rack(rack)
+            if d != disk and d not in self.failed_disks
+        ]
+        for target, delay in self.model.burst_failures(self.rng, candidates):
+            self._schedule_disk_fail(target, self.now + delay)
+        self._reclassify_dirty()
+
+    def _on_disk_repaired(self, disk: int, version: int) -> None:
+        done, reschedules = self.repairs.complete(self.now, disk, version)
+        if not done:
+            return
+        self.result.repairs_completed += 1
+        self.result.repair_hours_total += (
+            self.now - self._repair_starts.pop(disk, self.now)
+        )
+        for target, finish, new_version in reschedules:
+            self.queue.schedule(finish, DISK_REPAIRED, target, new_version)
+        self.failed_disks.discard(disk)
+        self._mark_disk(disk, _FAILED, False)
+        # The replacement disk starts with fresh sectors: latent errors
+        # that lived on the dead disk are rebuilt away.
+        for latent_id in [
+            lid for lid, (_, _, d) in self._latents.items() if d == disk
+        ]:
+            stripe, chunk, _ = self._latents.pop(latent_id)
+            self._set_chunk_bit(stripe, chunk, _LATENT, False)
+        self._schedule_disk_fail(
+            disk, self.now + self.model.next_disk_failure(self.rng)
+        )
+        self._reclassify_dirty()
+
+    def _on_latent_mint(self, disk: int) -> None:
+        # Next arrival of this disk's latent process first, so the draw
+        # order is independent of whether this mint takes effect.
+        self.queue.schedule(
+            self.now + self.model.next_poisson(
+                self.model.latent_rate, self.rng
+            ),
+            LATENT_MINT, disk,
+        )
+        hosted = self.stripes_on_disk[disk]
+        if not hosted or disk in self.failed_disks:
+            return
+        stripe, chunk = hosted[int(self.rng.integers(len(hosted)))]
+        if stripe in self.lost:
+            return
+        if self._chunk_state[stripe][chunk] & _LATENT:
+            return
+        self._set_chunk_bit(stripe, chunk, _LATENT, True)
+        self._latent_seq += 1
+        self._latents[self._latent_seq] = (stripe, chunk, disk)
+        self.queue.schedule(
+            self.now + self.model.scrub_interval_hours,
+            LATENT_SCRUB, self._latent_seq,
+        )
+        self._reclassify_dirty()
+
+    def _on_latent_scrub(self, latent_id: int) -> None:
+        stripe, chunk, _ = self._latents.pop(latent_id)
+        self._set_chunk_bit(stripe, chunk, _LATENT, False)
+        self._reclassify_dirty()
+
+    def _on_domain_down(self, kind: str, subject: int) -> None:
+        if kind == MACHINE_DOWN:
+            up_kind, downtime = MACHINE_UP, self.model.machine_downtime
+            disks = self.topology.disks_of_machine(subject)
+        elif kind == RACK_DOWN:
+            up_kind, downtime = RACK_UP, self.model.rack_downtime
+            disks = self.topology.disks_of_rack(subject)
+        else:  # PARTITION_START
+            up_kind, downtime = PARTITION_END, self.model.partition_duration
+            disks = self.topology.disks_of_rack(subject)
+        self._adjust_down(disks, +1)
+        self.queue.schedule(
+            self.now + downtime.sample(self.rng), up_kind, subject
+        )
+        self._reclassify_dirty()
+
+    def _on_domain_up(self, kind: str, subject: int) -> None:
+        if kind == MACHINE_UP:
+            rate, next_kind = self.model.machine_failure_rate, MACHINE_DOWN
+            disks = self.topology.disks_of_machine(subject)
+        elif kind == RACK_UP:
+            rate, next_kind = self.model.rack_failure_rate, RACK_DOWN
+            disks = self.topology.disks_of_rack(subject)
+        else:  # PARTITION_END
+            rate, next_kind = self.model.partition_rate, PARTITION_START
+            disks = self.topology.disks_of_rack(subject)
+        self._adjust_down(disks, -1)
+        self.queue.schedule(
+            self.now + self.model.next_poisson(rate, self.rng),
+            next_kind, subject,
+        )
+        self._reclassify_dirty()
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def run(self, stop_on_loss: bool = False) -> FleetResult:
+        """Run to the horizon (or the first loss) and return the metrics.
+
+        Args:
+            stop_on_loss: return as soon as any stripe is lost — the
+                oracle mode used to estimate fleet MTTDL against the
+                single-array models.
+        """
+        horizon = self.scenario.duration_hours
+        result = self.result
+        while self.queue:
+            event = self.queue.pop()
+            if event.time > horizon:
+                break
+            self._integrate_to(event.time)
+            self.now = event.time
+            if self._dispatch(event):
+                result.event_counts[event.kind] = (
+                    result.event_counts.get(event.kind, 0) + 1
+                )
+                result.event_log.append(
+                    (round(event.time, 9), event.kind, event.subject)
+                )
+                result.series.append(
+                    (
+                        self.now,
+                        len(self._degraded),
+                        len(self._unavailable),
+                        self.repairs.active(),
+                    )
+                )
+            if stop_on_loss and result.losses:
+                result.duration_hours = self.now
+                return result
+        self._integrate_to(horizon)
+        self.now = horizon
+        return result
+
+    def _dispatch(self, event) -> bool:
+        """Route one event; returns False for stale (dropped) events."""
+        kind, subject, version = event.kind, event.subject, event.version
+        if kind == DISK_FAIL:
+            if (
+                subject in self.failed_disks
+                or version != self._fail_version.get(subject)
+            ):
+                return False
+            self._repair_starts[subject] = event.time
+            self._on_disk_fail(subject)
+            return True
+        if kind == DISK_REPAIRED:
+            job = self.repairs.jobs.get(subject)
+            if job is None or job.version != version:
+                return False
+            self._on_disk_repaired(subject, version)
+            return True
+        if kind == LATENT_MINT:
+            self._on_latent_mint(subject)
+            return True
+        if kind == LATENT_SCRUB:
+            if subject not in self._latents:
+                return False  # already cleared by a disk rebuild
+            self._on_latent_scrub(subject)
+            return True
+        if kind in (MACHINE_DOWN, RACK_DOWN, PARTITION_START):
+            self._on_domain_down(kind, subject)
+            return True
+        if kind in (MACHINE_UP, RACK_UP, PARTITION_END):
+            self._on_domain_up(kind, subject)
+            return True
+        raise AssertionError(f"unknown event kind {kind!r}")
+
+
+def simulate_fleet(
+    scenario: FleetScenario,
+    seed_seq: np.random.SeedSequence | None = None,
+    stop_on_loss: bool = False,
+) -> FleetResult:
+    """Build and run one trial of ``scenario``."""
+    return FleetSimulator(scenario, seed_seq).run(stop_on_loss=stop_on_loss)
+
+
+def run_fleet_trials(
+    scenario: FleetScenario, trials: int = 10
+) -> FleetSummary:
+    """Run independent seeded trials and aggregate the fleet metrics.
+
+    Trial ``t`` uses the ``t``-th child of
+    ``SeedSequence(scenario.seed)`` — trials are statistically
+    independent yet individually reproducible (re-running trial ``t``
+    alone gives the same history).
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    children = np.random.SeedSequence(scenario.seed).spawn(trials)
+    results = [
+        FleetSimulator(scenario, child).run() for child in children
+    ]
+    loss_trials = sum(1 for r in results if r.any_loss)
+    return FleetSummary(
+        scenario=scenario,
+        trials=trials,
+        loss_trial_fraction=loss_trials / trials,
+        mean_loss_probability=(
+            sum(r.data_loss_probability for r in results) / trials
+        ),
+        mean_unavailability=(
+            sum(r.unavailability_fraction for r in results) / trials
+        ),
+        mean_repair_read_mib=(
+            sum(r.repair_read_mib for r in results) / trials
+        ),
+        mean_repair_write_mib=(
+            sum(r.repair_write_mib for r in results) / trials
+        ),
+        mean_cross_rack_read_mib=(
+            sum(r.cross_rack_read_mib for r in results) / trials
+        ),
+        mean_repair_hours=(
+            sum(r.mean_repair_hours for r in results) / trials
+        ),
+        total_losses=sum(r.lost_stripes for r in results),
+    )

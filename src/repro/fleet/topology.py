@@ -1,0 +1,115 @@
+"""Rack → machine → disk topology of the simulated cluster.
+
+The fleet simulator addresses hardware by three nested levels: a
+cluster holds ``racks`` racks, every rack ``machines_per_rack``
+machines, every machine ``disks_per_machine`` disks. Disks, machines,
+and racks are identified by dense global integer ids (row-major:
+disk ``d`` lives on machine ``d // disks_per_machine``, machine ``m``
+in rack ``m // machines_per_rack``), so per-entity state lives in flat
+arrays and failure-domain lookups are integer arithmetic, not dict
+walks — the event loop touches these on every event.
+
+The hierarchy is what makes failures *correlated*: a rack power event
+takes down ``machines_per_rack * disks_per_machine`` disks at the same
+instant, which is precisely the burst an independent-lifetime model
+cannot produce and the reason placement strategy moves the data-loss
+number (see :mod:`repro.fleet.placement`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Topology"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Shape of the simulated cluster.
+
+    Args:
+        racks: number of racks.
+        machines_per_rack: machines in each rack.
+        disks_per_machine: disks in each machine.
+    """
+
+    racks: int
+    machines_per_rack: int
+    disks_per_machine: int
+
+    def __post_init__(self) -> None:
+        if min(self.racks, self.machines_per_rack, self.disks_per_machine) < 1:
+            raise ValueError("every topology level needs at least one unit")
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+    @property
+    def num_machines(self) -> int:
+        """Total machines in the cluster."""
+        return self.racks * self.machines_per_rack
+
+    @property
+    def num_disks(self) -> int:
+        """Total disks in the cluster."""
+        return self.num_machines * self.disks_per_machine
+
+    # ------------------------------------------------------------------
+    # failure-domain lookups (hot path: plain integer arithmetic)
+    # ------------------------------------------------------------------
+    def machine_of_disk(self, disk: int) -> int:
+        """Global machine id hosting ``disk``."""
+        return disk // self.disks_per_machine
+
+    def rack_of_machine(self, machine: int) -> int:
+        """Rack id hosting ``machine``."""
+        return machine // self.machines_per_rack
+
+    def rack_of_disk(self, disk: int) -> int:
+        """Rack id hosting ``disk``."""
+        return self.rack_of_machine(self.machine_of_disk(disk))
+
+    def disks_of_machine(self, machine: int) -> range:
+        """Global disk ids of one machine (contiguous by construction)."""
+        if not 0 <= machine < self.num_machines:
+            raise ValueError(f"machine {machine} out of range")
+        start = machine * self.disks_per_machine
+        return range(start, start + self.disks_per_machine)
+
+    def machines_of_rack(self, rack: int) -> range:
+        """Global machine ids of one rack (contiguous by construction)."""
+        if not 0 <= rack < self.racks:
+            raise ValueError(f"rack {rack} out of range")
+        start = rack * self.machines_per_rack
+        return range(start, start + self.machines_per_rack)
+
+    def disks_of_rack(self, rack: int) -> range:
+        """Global disk ids of one rack."""
+        machines = self.machines_of_rack(rack)
+        return range(
+            machines.start * self.disks_per_machine,
+            machines.stop * self.disks_per_machine,
+        )
+
+    # ------------------------------------------------------------------
+    # spec parsing ("RxMxD", the CLI / scenario shorthand)
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "Topology":
+        """Build from an ``"RACKSxMACHINESxDISKS"`` spec, e.g. ``"4x4x4"``."""
+        parts = spec.lower().split("x")
+        if len(parts) != 3:
+            raise ValueError(
+                f"topology spec must be RACKSxMACHINESxDISKS, got {spec!r}"
+            )
+        try:
+            racks, machines, disks = (int(p) for p in parts)
+        except ValueError:
+            raise ValueError(f"malformed topology spec {spec!r}") from None
+        return cls(racks, machines, disks)
+
+    def spec(self) -> str:
+        """The round-trippable ``"RxMxD"`` form of this topology."""
+        return (
+            f"{self.racks}x{self.machines_per_rack}x{self.disks_per_machine}"
+        )

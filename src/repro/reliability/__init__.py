@@ -9,10 +9,35 @@ studies showing concurrent disk failures are common at datacenter scale
   with exponential failure/rebuild times);
 * :mod:`repro.reliability.montecarlo` — discrete-event failure-injection
   simulation of the same process, cross-validating the Markov model and
-  supporting non-instantaneous rebuild policies.
+  supporting non-instantaneous rebuild policies;
+* :mod:`repro.reliability.distributions` — the shared lifetime and
+  repair-time sampling laws (exponential, Weibull, fixed), consumed by
+  both the single-array Monte Carlo and the fleet simulator
+  (:mod:`repro.fleet`) so the two stay cross-validatable.
 """
 
+from repro.reliability.distributions import (
+    Distribution,
+    Exponential,
+    Fixed,
+    Weibull,
+    as_generator,
+    make_distribution,
+    spawn_generators,
+)
 from repro.reliability.markov import ArrayReliability, mttdl
-from repro.reliability.montecarlo import simulate_mttdl
+from repro.reliability.montecarlo import MonteCarloResult, simulate_mttdl
 
-__all__ = ["ArrayReliability", "mttdl", "simulate_mttdl"]
+__all__ = [
+    "ArrayReliability",
+    "Distribution",
+    "Exponential",
+    "Fixed",
+    "MonteCarloResult",
+    "Weibull",
+    "as_generator",
+    "make_distribution",
+    "mttdl",
+    "simulate_mttdl",
+    "spawn_generators",
+]

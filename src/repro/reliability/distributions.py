@@ -1,0 +1,166 @@
+"""Shared lifetime/repair-time distributions for the reliability models.
+
+Both the single-array Monte-Carlo simulator
+(:func:`repro.reliability.montecarlo.simulate_mttdl`) and the fleet
+simulator (:mod:`repro.fleet`) sample disk lifetimes and repair
+durations from the same small family of distributions. This module is
+the single definition of that sampling so the two models stay
+cross-validatable: a fleet cell configured with ``Exponential(mttf)``
+lifetimes draws from exactly the law the Markov chain prices.
+
+Every distribution samples from an injected
+:class:`numpy.random.Generator`, never from global state — fleet trials
+spawn independent per-trial streams from one
+:class:`numpy.random.SeedSequence` and stay reproducible under any
+interleaving (see :func:`spawn_generators`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gamma as _gamma_fn
+
+import numpy as np
+
+__all__ = [
+    "Distribution",
+    "Exponential",
+    "Weibull",
+    "Fixed",
+    "make_distribution",
+    "as_generator",
+    "spawn_generators",
+]
+
+
+@dataclass(frozen=True)
+class Exponential:
+    """Memoryless lifetime with the given mean (the Markov chain's law)."""
+
+    mean: float
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ValueError("mean must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """One draw; ``rng`` is consumed exactly once."""
+        return float(rng.exponential(self.mean))
+
+    @property
+    def mean_value(self) -> float:
+        """The distribution's mean (``E[X]``)."""
+        return self.mean
+
+
+@dataclass(frozen=True)
+class Weibull:
+    """Weibull lifetime: ``shape < 1`` models infant mortality,
+    ``shape > 1`` wear-out — the field-study alternative to the
+    memoryless exponential (shape 1 recovers it exactly)."""
+
+    shape: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0 or self.scale <= 0:
+            raise ValueError("shape and scale must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """One draw; ``rng`` is consumed exactly once."""
+        return float(self.scale * rng.weibull(self.shape))
+
+    @property
+    def mean_value(self) -> float:
+        """``scale * Gamma(1 + 1/shape)``."""
+        return self.scale * _gamma_fn(1.0 + 1.0 / self.shape)
+
+
+@dataclass(frozen=True)
+class Fixed:
+    """Deterministic duration (the fixed-rebuild mode); consumes no RNG."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ValueError("value must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Always ``value``; ``rng`` is untouched (stream-preserving)."""
+        return self.value
+
+    @property
+    def mean_value(self) -> float:
+        """The constant itself."""
+        return self.value
+
+
+Distribution = Exponential | Weibull | Fixed
+"""Any of the supported sampling laws (all expose ``sample``/``mean_value``)."""
+
+
+def make_distribution(spec: str | float | Distribution) -> Distribution:
+    """Parse a compact distribution spec.
+
+    Accepts an existing distribution (returned unchanged), a bare number
+    (exponential with that mean — the historical default), or a string:
+
+    * ``"exp:MEAN"`` — exponential;
+    * ``"weibull:SHAPE:SCALE"`` — Weibull;
+    * ``"fixed:VALUE"`` — deterministic.
+    """
+    if isinstance(spec, (Exponential, Weibull, Fixed)):
+        return spec
+    if isinstance(spec, (int, float)):
+        return Exponential(float(spec))
+    kind, _, body = spec.partition(":")
+    try:
+        if kind == "exp":
+            return Exponential(float(body))
+        if kind == "weibull":
+            shape, _, scale = body.partition(":")
+            return Weibull(float(shape), float(scale))
+        if kind == "fixed":
+            return Fixed(float(body))
+    except ValueError as exc:
+        if "must be positive" in str(exc):
+            raise
+        raise ValueError(f"malformed distribution spec {spec!r}") from None
+    raise ValueError(
+        f"unknown distribution kind {kind!r} (expected exp:MEAN, "
+        f"weibull:SHAPE:SCALE, or fixed:VALUE)"
+    )
+
+
+def as_generator(
+    seed: int | np.random.SeedSequence | np.random.Generator,
+) -> np.random.Generator:
+    """Coerce a seed, seed sequence, or ready generator to a Generator.
+
+    The common entry point for every simulator that accepts injected
+    randomness: passing a ``Generator`` shares (and advances) the
+    caller's stream; anything else derives a fresh independent one.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(
+    seed: int | np.random.SeedSequence, count: int
+) -> list[np.random.Generator]:
+    """``count`` statistically independent generators from one seed.
+
+    Built on :meth:`numpy.random.SeedSequence.spawn`, so per-trial (or
+    per-array) streams never overlap regardless of how many draws each
+    consumer makes — the fleet simulator's per-trial isolation.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    return [np.random.default_rng(child) for child in root.spawn(count)]

@@ -2,17 +2,32 @@
 
 Simulates the exact stochastic process of :mod:`repro.reliability.markov`
 (exponential failures, exponential rebuilds) with a discrete-event loop,
-plus an optional fixed (deterministic) rebuild-time mode the closed form
-cannot express. Used in tests to confirm the two models agree within
-sampling error, and by the reliability example to show how drastically a
+plus alternative rebuild laws the closed form cannot express (fixed
+duration, Weibull). Used in tests to confirm the two models agree within
+sampling error, by the fleet simulator's oracle test as the single-array
+reference, and by the reliability example to show how drastically a
 third parity extends MTTDL.
+
+Sampling goes through :mod:`repro.reliability.distributions` — the same
+laws the fleet simulator draws from — and the RNG is injectable: pass a
+:class:`numpy.random.Generator` (or a :class:`numpy.random.SeedSequence`)
+to run many arrays on independent spawned streams without any global
+seeding.
 """
 
 from __future__ import annotations
 
 import heapq
-import random
 from dataclasses import dataclass
+
+import numpy as np
+
+from repro.reliability.distributions import (
+    Distribution,
+    Exponential,
+    Fixed,
+    as_generator,
+)
 
 __all__ = ["MonteCarloResult", "simulate_mttdl"]
 
@@ -46,6 +61,8 @@ def simulate_mttdl(
     latent_error_rate: float = 0.0,
     scrub_interval_hours: float = 0.0,
     latent_detection_fraction: float = 0.5,
+    rng: np.random.Generator | np.random.SeedSequence | None = None,
+    rebuild_time: Distribution | None = None,
 ) -> MonteCarloResult:
     """Estimate MTTDL by simulating the failure/rebuild process to loss.
 
@@ -55,12 +72,14 @@ def simulate_mttdl(
         disk_mttf_hours: per-disk exponential MTTF.
         rebuild_hours: mean (or fixed) rebuild duration.
         trials: independent runs to average.
-        seed: RNG seed; results are deterministic given it.
+        seed: RNG seed; results are deterministic given it. Ignored
+            when ``rng`` is supplied.
         deterministic_rebuild: rebuilds take exactly ``rebuild_hours``
-            instead of exponentially distributed time.
+            instead of exponentially distributed time (shorthand for
+            ``rebuild_time=Fixed(rebuild_hours)``).
         latent_error_rate: latent sector errors per disk per hour; 0
             (default) disables the sector-error model — the RNG stream,
-            and therefore every seeded result, is byte-identical to the
+            and therefore every seeded result, is identical to the
             pre-sector-model simulator.
         scrub_interval_hours: background scrub period bounding how long
             a latent error survives undetected (0 with a nonzero rate:
@@ -68,6 +87,14 @@ def simulate_mttdl(
         latent_detection_fraction: mean fraction of the scrub interval
             before detection (the scrubber's measured
             :meth:`~repro.faults.scrub.ScrubReport.detection_fraction`).
+        rng: injected randomness — a ready ``numpy.random.Generator``
+            (shared and advanced by this call) or a ``SeedSequence``
+            to derive one. Fleet-level trials spawn one independent
+            child per array and pass it here, so no caller ever touches
+            global RNG state.
+        rebuild_time: explicit rebuild-duration distribution from
+            :mod:`repro.reliability.distributions`; overrides
+            ``rebuild_hours``/``deterministic_rebuild`` when given.
 
     A critical-state rebuild (all redundancy spent) absorbs into data
     loss with the same probability the Markov model uses
@@ -90,13 +117,20 @@ def simulate_mttdl(
         scrub_interval_hours=scrub_interval_hours,
         latent_detection_fraction=latent_detection_fraction,
     ).critical_sector_loss_probability()
-    rng = random.Random(seed)
+    if rebuild_time is None:
+        rebuild_time = (
+            Fixed(rebuild_hours)
+            if deterministic_rebuild
+            else Exponential(rebuild_hours)
+        )
+    lifetime = Exponential(disk_mttf_hours)
+    generator = as_generator(seed if rng is None else rng)
     losses: list[float] = []
     sector_losses = 0
     for _ in range(trials):
         hours, by_sector = _one_trial(
-            rng, disks, faults_tolerated, disk_mttf_hours,
-            rebuild_hours, deterministic_rebuild, sector_p,
+            generator, disks, faults_tolerated, lifetime,
+            rebuild_time, sector_p,
         )
         losses.append(hours)
         sector_losses += by_sector
@@ -110,12 +144,11 @@ def simulate_mttdl(
 
 
 def _one_trial(
-    rng: random.Random,
+    rng: np.random.Generator,
     disks: int,
     faults: int,
-    mttf: float,
-    rebuild: float,
-    deterministic: bool,
+    lifetime: Exponential,
+    rebuild_time: Distribution,
     sector_p: float = 0.0,
 ) -> tuple[float, int]:
     """Simulate one array until ``faults + 1`` disks are down at once
@@ -124,7 +157,9 @@ def _one_trial(
 
     Memorylessness of the exponential failure law lets us redraw each
     healthy disk's residual lifetime after every event, so the event queue
-    holds only the next failure and the in-flight rebuild completions.
+    holds only the next failure and the in-flight rebuild completions:
+    the minimum of ``healthy`` exponentials is an exponential with the
+    pooled mean, sampled as one draw scaled by the population.
     The sector-error draw is guarded by ``sector_p > 0`` so the default
     (off) configuration consumes exactly the historical RNG stream.
     """
@@ -133,7 +168,7 @@ def _one_trial(
     rebuild_queue: list[float] = []  # completion times of ongoing rebuilds
     while True:
         healthy = disks - failed
-        next_failure = now + rng.expovariate(healthy / mttf)
+        next_failure = now + lifetime.sample(rng) / healthy
         if rebuild_queue and rebuild_queue[0] <= next_failure:
             now = heapq.heappop(rebuild_queue)
             if (
@@ -151,5 +186,4 @@ def _one_trial(
         failed += 1
         if failed > faults:
             return now, 0
-        duration = rebuild if deterministic else rng.expovariate(1.0 / rebuild)
-        heapq.heappush(rebuild_queue, now + duration)
+        heapq.heappush(rebuild_queue, now + rebuild_time.sample(rng))

@@ -362,3 +362,55 @@ def test_volume_restripe_without_target_or_migration_errors(
     code, _, err = run(capsys, "volume", "restripe", "--dir", vol_dir)
     assert code == 2
     assert "no interrupted migration" in err
+
+
+def test_fleet_sweep_table(capsys):
+    code, out, _ = run(
+        capsys, "fleet",
+        "--topology", "3x3x2", "--code", "tip", "--n", "6",
+        "--placement", "random", "pss", "--model", "independent",
+        "--stripes", "50", "--duration-years", "2",
+        "--mttf", "30000", "--trials", "2", "--seed", "1",
+    )
+    assert code == 0
+    assert "fleet 3x3x2 (2 trials/cell, 50 stripes" in out
+    assert "tip/random/independent" in out
+    assert "tip/pss/independent" in out
+    assert "P(stripe loss)" in out
+
+
+def test_fleet_scenario_file(capsys, tmp_path):
+    import json
+
+    spec = tmp_path / "cell.json"
+    spec.write_text(json.dumps({
+        "topology": "3x3x2", "code": "star", "n": 6,
+        "placement": "copyset", "failure_model": "independent",
+        "mttf_hours": 30000.0, "stripes": 40,
+        "duration_hours": 10000.0, "seed": 2,
+    }))
+    code, out, _ = run(
+        capsys, "fleet", "--scenario", str(spec), "--trials", "2",
+    )
+    assert code == 0
+    assert "star/copyset/independent" in out
+
+
+def test_fleet_rejects_oversized_stripe(capsys):
+    # xorbas needs 10 distinct machines; 3x3x2 has only 9.
+    code, _, err = run(
+        capsys, "fleet",
+        "--topology", "3x3x2", "--code", "xorbas",
+        "--stripes", "10", "--trials", "1",
+    )
+    assert code == 2
+    assert "exceeds 9 machines" in err
+
+
+def test_fleet_rejects_unknown_model(capsys):
+    code, _, err = run(
+        capsys, "fleet", "--model", "chaos", "--stripes", "10",
+        "--trials", "1",
+    )
+    assert code == 2
+    assert "unknown failure model" in err

@@ -1,0 +1,106 @@
+"""Tests for the shared sampling distributions and RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    Exponential,
+    Fixed,
+    Weibull,
+    as_generator,
+    make_distribution,
+    spawn_generators,
+)
+
+
+class TestLaws:
+    def test_exponential_mean(self):
+        rng = np.random.default_rng(0)
+        draws = [Exponential(100.0).sample(rng) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(100.0, rel=0.05)
+        assert Exponential(100.0).mean_value == 100.0
+
+    def test_weibull_shape_one_is_exponential(self):
+        """Weibull(1, scale) and Exponential(scale) are the same law."""
+        w, e = Weibull(1.0, 50.0), Exponential(50.0)
+        assert w.mean_value == pytest.approx(e.mean_value)
+        rng = np.random.default_rng(1)
+        draws = [w.sample(rng) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(50.0, rel=0.05)
+
+    def test_weibull_mean_gamma_formula(self):
+        # E[X] = scale * Gamma(1 + 1/shape); shape=2 -> scale*sqrt(pi)/2
+        assert Weibull(2.0, 10.0).mean_value == pytest.approx(
+            10.0 * np.sqrt(np.pi) / 2
+        )
+
+    def test_fixed_consumes_no_rng(self):
+        rng = np.random.default_rng(2)
+        before = rng.bit_generator.state["state"]["state"]
+        assert Fixed(7.5).sample(rng) == 7.5
+        assert rng.bit_generator.state["state"]["state"] == before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+        with pytest.raises(ValueError):
+            Weibull(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            Weibull(1.0, 0.0)
+        with pytest.raises(ValueError):
+            Fixed(-3.0)
+
+
+class TestMakeDistribution:
+    def test_passthrough(self):
+        d = Weibull(1.2, 900.0)
+        assert make_distribution(d) is d
+
+    def test_bare_number_is_exponential_mean(self):
+        assert make_distribution(1000) == Exponential(1000.0)
+        assert make_distribution(24.0) == Exponential(24.0)
+
+    def test_string_specs(self):
+        assert make_distribution("exp:500") == Exponential(500.0)
+        assert make_distribution("weibull:1.5:2000") == Weibull(1.5, 2000.0)
+        assert make_distribution("fixed:12") == Fixed(12.0)
+
+    def test_malformed_specs(self):
+        with pytest.raises(ValueError, match="unknown distribution kind"):
+            make_distribution("gauss:1:2")
+        with pytest.raises(ValueError, match="malformed"):
+            make_distribution("exp:abc")
+        with pytest.raises(ValueError, match="malformed"):
+            make_distribution("weibull:1.5")
+
+    def test_invalid_parameters_surface(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_distribution("exp:-5")
+
+
+class TestGenerators:
+    def test_as_generator_passthrough_shares_stream(self):
+        rng = np.random.default_rng(3)
+        assert as_generator(rng) is rng
+
+    def test_as_generator_from_seed_is_deterministic(self):
+        a = as_generator(42).random()
+        b = as_generator(42).random()
+        assert a == b
+
+    def test_as_generator_from_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        a = as_generator(seq).random()
+        b = as_generator(np.random.SeedSequence(7)).random()
+        assert a == b
+
+    def test_spawn_generators_independent_and_reproducible(self):
+        first = [g.random() for g in spawn_generators(5, 4)]
+        again = [g.random() for g in spawn_generators(5, 4)]
+        assert first == again
+        assert len(set(first)) == 4  # streams differ from each other
+
+    def test_spawn_generators_validation(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+        assert spawn_generators(0, 0) == []

@@ -1,0 +1,126 @@
+"""Tests for the fleet code models (array-code adapter + LRC/XORBAS)."""
+
+import pytest
+
+from repro.codes import make_code
+from repro.fleet import ArrayCodeModel, LocalityCodeModel, make_fleet_code
+
+
+class TestArrayCodeModel:
+    def test_repairability_matches_decoder(self):
+        """The adapter must agree with the real decoder on every pattern
+        up to the fault budget (tip n=6 tolerates any triple)."""
+        model = ArrayCodeModel(make_code("tip", 6))
+        assert model.width == 6
+        assert model.is_repairable(frozenset())
+        for a in range(6):
+            for b in range(a, 6):
+                for c in range(b, 6):
+                    assert model.is_repairable(frozenset((a, b, c)))
+        assert not model.is_repairable(frozenset((0, 1, 2, 3)))
+
+    def test_two_fault_code_rejects_triples(self):
+        model = ArrayCodeModel(make_code("evenodd", 6))
+        assert model.is_repairable(frozenset((1, 4)))
+        assert not model.is_repairable(frozenset((0, 1, 2)))
+
+    def test_mds_repair_reads_all_survivors(self):
+        model = ArrayCodeModel(make_code("cauchy-rs", 8))
+        assert model.repair_read_chunks(frozenset((3,)), 3) == 7
+        assert model.repair_read_chunks(frozenset((1, 3)), 3) == 6
+
+    def test_verdicts_memoized(self):
+        model = ArrayCodeModel(make_code("star", 8))
+        pattern = frozenset((0, 2, 5))
+        assert model.is_repairable(pattern)
+        assert model._repairable[pattern] is True
+
+
+class TestLocalityCodeModel:
+    def setup_method(self):
+        # The canonical XORBAS(10, 6, 2): data 0-5 in two groups of 3,
+        # local parities 6 and 7, global parities 8 and 9.
+        self.code = LocalityCodeModel(10, 6, 2)
+
+    def test_layout(self):
+        assert self.code.width == 10
+        assert self.code.m1 == 2
+        assert self.code.group_size == 3
+        assert self.code.group_of(0) == 0
+        assert self.code.group_of(5) == 1
+        assert self.code.group_of(6) == 0  # group 0's local parity
+        assert self.code.group_of(9) is None  # global parity
+
+    def test_single_failure_repairs_locally(self):
+        """The locality win: one lost chunk reads k/l chunks, not k."""
+        assert self.code.repair_read_chunks(frozenset((1,)), 1) == 3
+        assert self.code.repair_read_chunks(frozenset((6,)), 6) == 3
+
+    def test_multi_failure_falls_back_to_global(self):
+        # Two lost in one group: the group cannot self-repair.
+        assert self.code.repair_read_chunks(frozenset((0, 1)), 0) == 6
+
+    def test_xorbas_parity_group_repair(self):
+        # One lost global parity repairs from the other parities
+        # (l + m1 - 1 = 3 reads), not via full decode.
+        assert self.code.repair_read_chunks(frozenset((9,)), 9) == 3
+        plain = LocalityCodeModel(10, 6, 2, xorbas=False)
+        assert plain.repair_read_chunks(frozenset((9,)), 9) == 6
+
+    def test_peeling_repairs_spread_failures(self):
+        # One per group + one global: each peels in turn.
+        assert self.code.is_repairable(frozenset((0, 3, 8)))
+
+    def test_mr_bound(self):
+        # Three data chunks of one group gone: the group's local parity
+        # gives one equation, the two globals cover the rest.
+        assert self.code.is_repairable(frozenset((0, 1, 2)))
+        # Whole group plus a spread failure: group 0's residual is 3,
+        # exceeding the two global parities.
+        assert not self.code.is_repairable(frozenset((0, 1, 2, 3, 6)))
+        # Two erased in one group plus both globals erased: residual
+        # 1 + 2 = 3 > m1 — a 4-erasure pattern below distance coverage.
+        assert not self.code.is_repairable(frozenset((0, 1, 8, 9)))
+        # All parities erased: pure recomputation from intact data.
+        assert self.code.is_repairable(frozenset((6, 7, 8, 9)))
+
+    def test_repairability_cheaper_than_mds_on_average(self):
+        """Across all single failures, mean repair reads must beat k."""
+        reads = [
+            self.code.repair_read_chunks(frozenset((c,)), c)
+            for c in range(10)
+        ]
+        assert max(reads) < self.code.k
+        assert all(r == 3 for r in reads)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalityCodeModel(10, 6, 4)  # k not divisible by l
+        with pytest.raises(ValueError):
+            LocalityCodeModel(8, 6, 2)  # no global parity left
+
+
+class TestMakeFleetCode:
+    def test_array_family_spec(self):
+        model = make_fleet_code("tip", 8)
+        assert isinstance(model, ArrayCodeModel)
+        assert model.width == 8
+
+    def test_xorbas_default_instance(self):
+        model = make_fleet_code("xorbas")
+        assert isinstance(model, LocalityCodeModel)
+        assert (model.n, model.k, model.l) == (10, 6, 2)
+        assert model.xorbas
+
+    def test_explicit_locality_spec(self):
+        model = make_fleet_code("lrc:12:8:2")
+        assert (model.n, model.k, model.l) == (12, 8, 2)
+        assert not model.xorbas
+
+    def test_malformed_locality_spec(self):
+        with pytest.raises(ValueError, match="malformed"):
+            make_fleet_code("xorbas:10:6")
+
+    def test_unknown_family_propagates(self):
+        with pytest.raises(KeyError):
+            make_fleet_code("nonsense", 8)

@@ -1,0 +1,167 @@
+"""Tests for the fleet event queue, failure models, and repair scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    Event,
+    EventQueue,
+    FailureModel,
+    RepairBandwidth,
+    RepairScheduler,
+    make_failure_model,
+)
+from repro.fleet.events import FAILURE_MODELS
+from repro.reliability import Exponential, Fixed, Weibull
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.schedule(5.0, "b", 1)
+        q.schedule(1.0, "a", 2)
+        q.schedule(3.0, "c", 3)
+        assert [q.pop().kind for _ in range(3)] == ["a", "c", "b"]
+
+    def test_ties_pop_in_insertion_order(self):
+        """The determinism keystone: simultaneous events (a rack event
+        fanning out) pop exactly in scheduling order."""
+        q = EventQueue()
+        for subject in (9, 4, 7, 1):
+            q.schedule(2.5, "tie", subject)
+        assert [q.pop().subject for _ in range(4)] == [9, 4, 7, 1]
+
+    def test_interleaved_ties_stay_fifo(self):
+        q = EventQueue()
+        q.schedule(1.0, "x", 0)
+        q.schedule(0.5, "y", 1)
+        q.schedule(1.0, "x", 2)
+        got = [(q.pop().kind, q.pop().subject)]
+        assert len(q) == 1
+        assert got == [("y", 0)]  # first pop y, then the first x
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.schedule(1.0, "a", 0)
+        assert q and len(q) == 1
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(Event(-1.0, "a", 0))
+
+
+class TestFailureModel:
+    def test_presets(self):
+        independent = make_failure_model("independent")
+        assert independent.machine_failure_rate == 0.0
+        assert independent.burst_probability == 0.0
+        correlated = make_failure_model("correlated")
+        assert correlated.machine_failure_rate > 0
+        assert correlated.burst_probability > 0
+
+    def test_preset_mttf_override(self):
+        model = make_failure_model("independent", mttf_hours=1234.0)
+        assert model.disk_lifetime == Exponential(1234.0)
+
+    def test_dict_spec_parses_distribution_fields(self):
+        model = make_failure_model(
+            {
+                "disk_lifetime": "weibull:1.2:100000",
+                "machine_failure_rate": 1e-3,
+                "machine_downtime": "fixed:4",
+            }
+        )
+        assert model.disk_lifetime == Weibull(1.2, 100_000.0)
+        assert model.machine_downtime == Fixed(4.0)
+
+    def test_passthrough(self):
+        model = FailureModel()
+        assert make_failure_model(model) is model
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="unknown failure model"):
+            make_failure_model("chaos")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureModel(latent_rate=-1.0)
+        with pytest.raises(ValueError):
+            FailureModel(burst_probability=1.5)
+        with pytest.raises(ValueError):
+            FailureModel(scrub_interval_hours=0.0)
+
+    def test_disabled_rate_never_fires(self):
+        model = FailureModel()
+        rng = np.random.default_rng(0)
+        assert model.next_poisson(0.0, rng) == float("inf")
+
+    def test_disabled_burst_draws_nothing(self):
+        """Stream invisibility: bursts off must not consume RNG."""
+        model = FailureModel(burst_probability=0.0)
+        rng = np.random.default_rng(1)
+        before = rng.bit_generator.state["state"]["state"]
+        assert model.burst_failures(rng, [1, 2, 3]) == []
+        assert rng.bit_generator.state["state"]["state"] == before
+
+    def test_burst_picks_candidates_within_window(self):
+        model = FailureModel(
+            burst_probability=1.0, burst_fanout=2, burst_window_hours=24.0
+        )
+        extra = model.burst_failures(np.random.default_rng(2), [10, 11, 12])
+        assert len(extra) == 2
+        for disk, delay in extra:
+            assert disk in (10, 11, 12)
+            assert 0.0 <= delay <= 24.0
+
+    def test_registry_names(self):
+        assert set(FAILURE_MODELS) == {"independent", "correlated"}
+
+
+class TestRepairScheduler:
+    def test_single_job_runs_at_disk_speed(self):
+        bw = RepairBandwidth(disk_mib_s=50.0, cross_rack_mib_s=200.0)
+        sched = RepairScheduler(bw)
+        [(disk, finish, _)] = sched.start(0.0, disk=3, total_mib=50.0 * 3600)
+        assert disk == 3
+        assert finish == pytest.approx(1.0)  # one hour at 50 MiB/s
+
+    def test_contention_stretches_all_jobs(self):
+        """Four concurrent jobs share the 200 MiB/s pipe: 50 each, and a
+        fifth drops everyone below disk speed."""
+        bw = RepairBandwidth(disk_mib_s=50.0, cross_rack_mib_s=200.0)
+        sched = RepairScheduler(bw)
+        hour_mib = 50.0 * 3600
+        for d in range(4):
+            schedule = sched.start(0.0, d, hour_mib)
+        assert all(f == pytest.approx(1.0) for _, f, _ in schedule)
+        schedule = sched.start(0.0, 4, hour_mib)
+        # 200/5 = 40 MiB/s each -> 1.25 h for a full-hour-at-50 job
+        assert all(f == pytest.approx(1.25) for _, f, _ in schedule)
+
+    def test_stale_completion_dropped_and_fresh_one_lands(self):
+        bw = RepairBandwidth(disk_mib_s=50.0, cross_rack_mib_s=50.0)
+        sched = RepairScheduler(bw)
+        [(_, _, v1)] = sched.start(0.0, 0, 50.0 * 3600)
+        sched.start(0.5, 1, 50.0 * 3600)  # re-paces job 0 -> v1 is stale
+        done, _ = sched.complete(1.0, 0, v1)
+        assert not done
+        job = sched.jobs[0]
+        done, reschedules = sched.complete(
+            job.last_advance + job.remaining_mib / job.rate_mib_h,
+            0,
+            job.version,
+        )
+        assert done
+        assert sched.repaired_mib == pytest.approx(50.0 * 3600)
+        assert [d for d, _, _ in reschedules] == [1]
+
+    def test_double_start_rejected(self):
+        sched = RepairScheduler(RepairBandwidth())
+        sched.start(0.0, 0, 100.0)
+        with pytest.raises(ValueError, match="already"):
+            sched.start(0.0, 0, 100.0)
+
+    def test_bandwidth_validated(self):
+        with pytest.raises(ValueError):
+            RepairBandwidth(disk_mib_s=0.0)

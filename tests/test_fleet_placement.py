@@ -1,0 +1,188 @@
+"""Tests for fleet topology addressing and placement strategies."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    CopysetPlacement,
+    PartitionedPlacement,
+    RandomPlacement,
+    Topology,
+    make_placement,
+    validate_assignment,
+)
+
+
+class TestTopology:
+    def test_sizes_and_addressing(self):
+        t = Topology(racks=3, machines_per_rack=4, disks_per_machine=2)
+        assert t.num_machines == 12
+        assert t.num_disks == 24
+        assert t.machine_of_disk(0) == 0
+        assert t.machine_of_disk(23) == 11
+        assert t.rack_of_machine(11) == 2
+        assert t.rack_of_disk(23) == 2
+        assert list(t.disks_of_machine(1)) == [2, 3]
+        assert list(t.machines_of_rack(1)) == [4, 5, 6, 7]
+        assert list(t.disks_of_rack(0)) == list(range(8))
+
+    def test_every_disk_maps_back_into_its_domains(self):
+        t = Topology(2, 3, 5)
+        for disk in range(t.num_disks):
+            assert disk in t.disks_of_machine(t.machine_of_disk(disk))
+            assert disk in t.disks_of_rack(t.rack_of_disk(disk))
+
+    def test_parse_round_trip(self):
+        t = Topology.parse("4x8x12")
+        assert (t.racks, t.machines_per_rack, t.disks_per_machine) == (4, 8, 12)
+        assert Topology.parse(t.spec()) == t
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            Topology.parse("4x8")
+        with pytest.raises(ValueError):
+            Topology.parse("4xax2")
+        with pytest.raises(ValueError):
+            Topology.parse("0x4x4")
+
+    def test_domain_lookups_validated(self):
+        t = Topology(2, 2, 2)
+        with pytest.raises(ValueError):
+            t.disks_of_machine(4)
+        with pytest.raises(ValueError):
+            t.machines_of_rack(-1)
+
+
+class TestValidateAssignment:
+    def setup_method(self):
+        self.topology = Topology(2, 4, 2)  # 8 machines, 16 disks
+
+    def test_accepts_legal_assignment(self):
+        validate_assignment(self.topology, [(0, 2, 4, 6)], width=4)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError, match="expected 4"):
+            validate_assignment(self.topology, [(0, 2, 4)], width=4)
+
+    def test_rejects_out_of_range_disk(self):
+        with pytest.raises(ValueError, match="out of range"):
+            validate_assignment(self.topology, [(0, 2, 4, 99)], width=4)
+
+    def test_rejects_duplicate_disks(self):
+        with pytest.raises(ValueError):
+            validate_assignment(self.topology, [(0, 2, 4, 4)], width=4)
+
+    def test_rejects_shared_machine(self):
+        # disks 0 and 1 live on machine 0
+        with pytest.raises(ValueError, match="share a machine"):
+            validate_assignment(self.topology, [(0, 1, 4, 6)], width=4)
+
+
+class TestRandomPlacement:
+    def test_assignment_obeys_constraints(self):
+        t = Topology(4, 4, 4)
+        p = RandomPlacement(t, width=8)
+        assignment = p.assign(200, np.random.default_rng(0))
+        validate_assignment(t, assignment, 8)
+
+    def test_deterministic_given_seed(self):
+        t = Topology(4, 4, 4)
+        a = RandomPlacement(t, 8).assign(50, np.random.default_rng(3))
+        b = RandomPlacement(t, 8).assign(50, np.random.default_rng(3))
+        assert a == b
+
+    def test_many_distinct_machine_sets(self):
+        """Spread placement approaches C(M, width) distinct sets."""
+        t = Topology(4, 4, 1)
+        p = RandomPlacement(t, width=4)
+        assignment = p.assign(500, np.random.default_rng(1))
+        sets = {
+            frozenset(t.machine_of_disk(d) for d in disks)
+            for disks in assignment
+        }
+        assert len(sets) > 100  # C(16, 4) = 1820 possible
+
+    def test_width_exceeding_machines_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            RandomPlacement(Topology(1, 4, 8), width=5)
+
+
+class TestCopysetPlacement:
+    def setup_method(self):
+        self.topology = Topology(4, 4, 2)  # 16 machines
+
+    def test_every_stripe_inside_one_copyset(self):
+        """The core invariant: a stripe's machines are exactly one
+        copyset, so only copyset-covering failures can lose data."""
+        p = CopysetPlacement(self.topology, width=4, permutations=3)
+        assignment = p.assign(300, np.random.default_rng(2))
+        validate_assignment(self.topology, assignment, 4)
+        copysets = {frozenset(cs) for cs in p.copysets}
+        for disks in assignment:
+            machines = frozenset(
+                self.topology.machine_of_disk(d) for d in disks
+            )
+            assert machines in copysets
+
+    def test_copyset_count_bounded(self):
+        """len(copysets) <= permutations * (M // width) — the bounded
+        fatal-set family that distinguishes copyset from random."""
+        for perms in (1, 2, 4):
+            p = CopysetPlacement(self.topology, width=4, permutations=perms)
+            p.assign(100, np.random.default_rng(0))
+            assert len(p.copysets) <= perms * (16 // 4)
+
+    def test_each_copyset_has_distinct_machines(self):
+        p = CopysetPlacement(self.topology, width=4, permutations=2)
+        p.assign(10, np.random.default_rng(5))
+        for cs in p.copysets:
+            assert len(set(cs)) == 4
+
+    def test_scatter_width(self):
+        p = CopysetPlacement(self.topology, width=4, permutations=3)
+        assert p.scatter_width == 3 * (4 - 1)
+
+    def test_permutations_validated(self):
+        with pytest.raises(ValueError):
+            CopysetPlacement(self.topology, width=4, permutations=0)
+
+
+class TestPartitionedPlacement:
+    def test_groups_are_fixed_and_disjoint(self):
+        t = Topology(4, 4, 2)
+        p = PartitionedPlacement(t, width=4)
+        assert p.groups == [
+            (0, 1, 2, 3), (4, 5, 6, 7), (8, 9, 10, 11), (12, 13, 14, 15),
+        ]
+
+    def test_stripes_round_robin_over_groups(self):
+        t = Topology(4, 4, 2)
+        p = PartitionedPlacement(t, width=4)
+        assignment = p.assign(8, np.random.default_rng(0))
+        validate_assignment(t, assignment, 4)
+        for stripe, disks in enumerate(assignment):
+            machines = tuple(
+                sorted(t.machine_of_disk(d) for d in disks)
+            )
+            assert machines == p.groups[stripe % 4]
+
+    def test_tail_machines_host_nothing(self):
+        t = Topology(1, 10, 1)  # 10 machines, width 4 -> 2 machines idle
+        p = PartitionedPlacement(t, width=4)
+        assignment = p.assign(40, np.random.default_rng(0))
+        used = {t.machine_of_disk(d) for disks in assignment for d in disks}
+        assert used == set(range(8))
+
+
+class TestMakePlacement:
+    def test_registry(self):
+        t = Topology(4, 4, 2)
+        assert isinstance(make_placement("random", t, 4), RandomPlacement)
+        assert isinstance(make_placement("pss", t, 4), PartitionedPlacement)
+        copyset = make_placement("copyset", t, 4, permutations=5)
+        assert isinstance(copyset, CopysetPlacement)
+        assert copyset.permutations == 5
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown placement"):
+            make_placement("ring", Topology(4, 4, 2), 4)

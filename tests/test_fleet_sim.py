@@ -1,0 +1,313 @@
+"""Tests for the fleet simulator: determinism, oracle, contention."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    FleetScenario,
+    FleetSimulator,
+    load_scenario,
+    run_fleet_trials,
+    simulate_fleet,
+)
+from repro.reliability import mttdl, simulate_mttdl
+from repro.reliability.distributions import Fixed
+
+#: A small, eventful scenario: every failure process active, short
+#: horizon, aggressive rates — cheap but exercises all the machinery.
+BUSY = FleetScenario(
+    topology="3x3x2",
+    code="tip",
+    n=6,
+    placement="random",
+    failure_model={
+        "disk_lifetime": 2_000.0,
+        "latent_rate": 1e-3,
+        "scrub_interval_hours": 100.0,
+        "machine_failure_rate": 2e-3,
+        "rack_failure_rate": 5e-4,
+        "partition_rate": 5e-4,
+        "burst_probability": 0.3,
+    },
+    stripes=60,
+    duration_hours=6_000.0,
+    chunk_mib=512.0,
+    seed=11,
+)
+
+_BUSY_RESULT = None
+
+
+def busy_result():
+    """One shared run of BUSY for tests that only read its metrics."""
+    global _BUSY_RESULT
+    if _BUSY_RESULT is None:
+        _BUSY_RESULT = simulate_fleet(BUSY)
+    return _BUSY_RESULT
+
+
+class TestDeterminism:
+    def test_same_seed_identical_event_log_and_metrics(self):
+        """The replay contract: (scenario, seed) determines the full
+        history — every event, not just the summary numbers."""
+        a = simulate_fleet(BUSY)
+        b = simulate_fleet(BUSY)
+        assert a.event_log == b.event_log
+        assert a.losses == b.losses
+        assert a.series == b.series
+        assert a.unavailable_stripe_hours == b.unavailable_stripe_hours
+        assert a.degraded_stripe_hours == b.degraded_stripe_hours
+        assert a.repair_read_mib == b.repair_read_mib
+        assert a.event_counts == b.event_counts
+
+    def test_different_seed_different_history(self):
+        a = busy_result()
+        b = simulate_fleet(
+            FleetScenario(**{**BUSY.to_dict(), "seed": 12})
+        )
+        assert a.event_log != b.event_log
+
+    def test_trials_are_individually_reproducible(self):
+        """Trial t is the t-th SeedSequence child: rerunning it alone
+        reproduces its history inside the aggregate."""
+        children = np.random.SeedSequence(BUSY.seed).spawn(3)
+        direct = FleetSimulator(BUSY, children[2]).run()
+        again = FleetSimulator(
+            BUSY, np.random.SeedSequence(BUSY.seed).spawn(3)[2]
+        ).run()
+        assert direct.event_log == again.event_log
+
+    def test_summary_deterministic(self):
+        a = run_fleet_trials(BUSY, trials=3)
+        b = run_fleet_trials(BUSY, trials=3)
+        assert a.mean_unavailability == b.mean_unavailability
+        assert a.mean_repair_read_mib == b.mean_repair_read_mib
+
+    def test_all_failure_processes_fired(self):
+        counts = busy_result().event_counts
+        for kind in (
+            "disk_fail", "disk_repaired", "latent_mint",
+            "machine_down", "machine_up",
+        ):
+            assert counts.get(kind, 0) > 0, f"no {kind} events"
+
+
+class TestOracle:
+    """Tiny-fleet cross-check against the single-array models.
+
+    One stripe of a 2-fault code on six single-disk machines, with
+    bandwidth sized so one rebuild takes ~REBUILD hours, is exactly the
+    process `simulate_mttdl` (parallel rebuilds, fixed duration) runs —
+    the fleet's mean time to first loss must agree within Monte-Carlo
+    tolerance, and sit near the Markov closed form.
+    """
+
+    MTTF = 2_000.0
+    REBUILD = 100.0
+    _losses_cache: list[float] = []
+
+    def _fleet_first_losses(self, trials: int) -> list[float]:
+        if len(self._losses_cache) == trials:
+            return self._losses_cache
+        # One rebuild reads the 5 surviving chunks; pick the disk
+        # bandwidth so exactly that much data moves in REBUILD hours.
+        chunk = 3600.0
+        scenario = FleetScenario(
+            topology="1x6x1",
+            code="evenodd",
+            n=6,
+            placement="pss",
+            failure_model={"disk_lifetime": self.MTTF},
+            stripes=1,
+            duration_hours=1e9,
+            chunk_mib=chunk,
+            disk_mib_s=5 * chunk / (3600.0 * self.REBUILD),
+            cross_rack_mib_s=1e9,
+            seed=1,
+        )
+        children = np.random.SeedSequence(scenario.seed).spawn(trials)
+        losses = []
+        for child in children:
+            result = FleetSimulator(scenario, child).run(stop_on_loss=True)
+            assert result.any_loss, "horizon too short for the oracle"
+            losses.append(result.first_loss_hours)
+        type(self)._losses_cache = losses
+        return losses
+
+    def test_fleet_matches_monte_carlo_reference(self):
+        losses = self._fleet_first_losses(trials=250)
+        fleet_mttdl = sum(losses) / len(losses)
+        reference = simulate_mttdl(
+            6, 2,
+            disk_mttf_hours=self.MTTF,
+            rebuild_hours=self.REBUILD,
+            trials=4000,
+            seed=2,
+            rebuild_time=Fixed(self.REBUILD),
+        )
+        assert fleet_mttdl == pytest.approx(reference.mean_hours, rel=0.2)
+
+    def test_fleet_near_markov_closed_form(self):
+        """Coarser: the closed form assumes exponential rebuilds, the
+        fleet's are (near-)fixed, so agreement is order-of-magnitude
+        plus — it still catches wrong fault budgets or broken repair."""
+        losses = self._fleet_first_losses(trials=250)
+        fleet_mttdl = sum(losses) / len(losses)
+        exact = mttdl(
+            6, 2, disk_mttf_hours=self.MTTF, rebuild_hours=self.REBUILD
+        )
+        assert fleet_mttdl == pytest.approx(exact, rel=0.5)
+
+
+class TestRepairContention:
+    def _summary(self, cross_rack_mib_s: float):
+        scenario = FleetScenario(
+            topology="2x4x2",
+            code="tip",
+            n=6,
+            placement="random",
+            failure_model={
+                "disk_lifetime": 3_000.0,
+                # Subcritical bursts (expected fanout 0.6 < 1): failures
+                # cluster tightly enough to overlap their repairs, but
+                # cascades die out.
+                "burst_probability": 0.3,
+                "burst_fanout": 2,
+                "burst_window_hours": 1.0,
+            },
+            stripes=100,
+            duration_hours=20_000.0,
+            chunk_mib=512.0,
+            disk_mib_s=20.0,
+            cross_rack_mib_s=cross_rack_mib_s,
+            seed=5,
+        )
+        return run_fleet_trials(scenario, trials=3)
+
+    def test_narrow_pipe_stretches_rebuilds(self):
+        """Bursty failures + a 10x narrower cross-rack pipe must yield
+        longer mean rebuilds — the contention mechanism itself."""
+        wide = self._summary(cross_rack_mib_s=200.0)
+        narrow = self._summary(cross_rack_mib_s=20.0)
+        assert narrow.mean_repair_hours > wide.mean_repair_hours * 1.5
+
+    def test_locality_code_moves_less_repair_traffic(self):
+        """XORBAS repairs from its group: per-rebuild read traffic must
+        undercut a same-width MDS code on the same fleet."""
+        def per_repair_reads(code):
+            scenario = FleetScenario(
+                topology="2x6x2",
+                code=code,
+                n=10,
+                placement="random",
+                failure_model={"disk_lifetime": 3_000.0},
+                stripes=100,
+                duration_hours=20_000.0,
+                seed=9,
+            )
+            s = run_fleet_trials(scenario, trials=2)
+            return s.mean_repair_read_mib
+
+        assert per_repair_reads("xorbas") < 0.6 * per_repair_reads(
+            "cauchy-rs"
+        )
+
+
+class TestMetrics:
+    def test_losses_recorded_and_stripe_stays_lost(self):
+        """Slow repair + tiny MTTF: losses must occur, count once, and
+        keep counting as unavailable through the horizon."""
+        scenario = FleetScenario(
+            topology="1x6x1",
+            code="evenodd",
+            n=6,
+            placement="pss",
+            failure_model={"disk_lifetime": 150.0},
+            stripes=3,
+            duration_hours=50_000.0,
+            chunk_mib=3600.0,
+            disk_mib_s=0.5,  # ~10h+ rebuilds against a 150h MTTF
+            cross_rack_mib_s=1e9,
+            seed=3,
+        )
+        result = simulate_fleet(scenario)
+        assert result.any_loss
+        assert result.lost_stripes == len({s for _, s in result.losses})
+        assert 0 < result.data_loss_probability <= 1.0
+        # Once lost, a stripe accrues unavailable time to the horizon.
+        first_loss = result.first_loss_hours
+        assert result.unavailable_stripe_hours >= (
+            scenario.duration_hours - first_loss
+        )
+
+    def test_stop_on_loss_truncates(self):
+        scenario = FleetScenario(
+            topology="1x6x1",
+            code="evenodd",
+            n=6,
+            placement="pss",
+            failure_model={"disk_lifetime": 150.0},
+            stripes=3,
+            duration_hours=50_000.0,
+            chunk_mib=3600.0,
+            disk_mib_s=0.5,
+            cross_rack_mib_s=1e9,
+            seed=3,
+        )
+        result = FleetSimulator(scenario).run(stop_on_loss=True)
+        assert result.lost_stripes >= 1
+        assert result.duration_hours == result.losses[0][0]
+
+    def test_domain_outages_cause_unavailability_not_loss(self):
+        """Machine downtime with no disk failures: degraded time
+        accrues, nothing is ever lost, nothing is rebuilt."""
+        scenario = FleetScenario(
+            topology="2x4x2",
+            code="tip",
+            n=6,
+            placement="random",
+            failure_model={
+                "disk_lifetime": 1e12,
+                "machine_failure_rate": 1e-2,
+            },
+            stripes=50,
+            duration_hours=10_000.0,
+            seed=4,
+        )
+        result = simulate_fleet(scenario)
+        assert result.event_counts.get("machine_down", 0) > 0
+        assert result.degraded_stripe_hours > 0
+        assert not result.any_loss
+        assert result.repairs_completed == 0
+        # tip at n=6 tolerates 3 losses; single-machine outages erase
+        # at most one chunk per stripe, so nothing goes unavailable.
+        assert result.unavailable_stripe_hours == 0.0
+
+
+class TestScenario:
+    def test_round_trip(self):
+        data = BUSY.to_dict()
+        assert FleetScenario.from_dict(data) == BUSY
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario keys"):
+            FleetScenario.from_dict({"topolgy": "4x4x4"})
+
+    def test_load_scenario(self, tmp_path):
+        path = tmp_path / "cell.json"
+        path.write_text(json.dumps({"code": "star", "stripes": 10}))
+        scenario = load_scenario(path)
+        assert scenario.code == "star"
+        assert scenario.stripes == 10
+
+    def test_cell_label(self):
+        assert BUSY.cell_label() == "tip/random/custom"
+        assert FleetScenario().cell_label() == "tip/random/correlated"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetScenario(stripes=0)
+        with pytest.raises(ValueError):
+            FleetScenario(duration_hours=0.0)
